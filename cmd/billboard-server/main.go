@@ -1,0 +1,96 @@
+// Command billboard-server runs a standalone billboard service with a
+// planted object universe, printing the address and per-player tokens so
+// that distributed players (see examples/distributed) can connect from
+// other processes or machines.
+//
+//	billboard-server -addr 127.0.0.1:7777 -n 32 -m 256 -good 2
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/journal"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "billboard-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("billboard-server", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:0", "listen address")
+		n           = fs.Int("n", 16, "number of players")
+		m           = fs.Int("m", 128, "number of objects")
+		good        = fs.Int("good", 1, "number of good objects")
+		alpha       = fs.Float64("alpha", 0.75, "advertised assumed honest fraction")
+		seed        = fs.Uint64("seed", 1, "universe/token seed")
+		journalPath = fs.String("journal", "", "append the billboard journal to this file (and recover from it if it exists)")
+		once        = fs.Bool("print-and-exit", false, "print config and exit (for tests)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src := rng.New(*seed)
+	u, err := object.NewPlanted(object.Planted{M: *m, Good: *good}, src)
+	if err != nil {
+		return err
+	}
+	tokens := make([]string, *n)
+	for i := range tokens {
+		tokens[i] = fmt.Sprintf("tok-%d-%016x", i, src.Uint64())
+	}
+	cfg := server.Config{
+		Universe: u, Tokens: tokens, Alpha: *alpha, Beta: u.Beta(),
+	}
+	if *journalPath != "" {
+		if prior, err := os.ReadFile(*journalPath); err == nil && len(prior) > 0 {
+			cfg.Recover = bytes.NewReader(prior)
+			fmt.Fprintf(out, "recovering billboard from %s (%d bytes)\n", *journalPath, len(prior))
+		}
+		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Journal = journal.NewWriter(f)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	fmt.Fprintf(out, "billboard server listening on %s\n", bound)
+	fmt.Fprintf(out, "players %d, objects %d (%d good), advertised alpha %.3f\n",
+		*n, *m, *good, *alpha)
+	for i, tok := range tokens {
+		fmt.Fprintf(out, "player %3d token %s\n", i, tok)
+	}
+	if *once {
+		return nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(out, "shutting down")
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintAndExit(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "3", "-m", "16", "-print-and-exit"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "listening on 127.0.0.1:") {
+		t.Fatalf("no listen line:\n%s", got)
+	}
+	if strings.Count(got, "player ") != 3 {
+		t.Fatalf("want 3 token lines:\n%s", got)
+	}
+	if !strings.Contains(got, "players 3, objects 16") {
+		t.Fatalf("config line missing:\n%s", got)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "1", "-m", "0", "-print-and-exit"}, &out); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:99999", "-print-and-exit"}, &out); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -1,0 +1,86 @@
+// Command distill-sim runs one configured search simulation and prints the
+// per-run metrics. It is the quickest way to poke at the system:
+//
+//	distill-sim -n 1024 -m 1024 -alpha 0.9 -adversary spam-distinct
+//	distill-sim -algorithm async-round-robin -n 4096 -alpha 0.5 -reps 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "distill-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("distill-sim", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 1024, "number of players")
+		m         = fs.Int("m", 1024, "number of objects")
+		good      = fs.Int("good", 1, "number of good objects")
+		alpha     = fs.Float64("alpha", 0.9, "honest fraction")
+		algorithm = fs.String("algorithm", "distill", fmt.Sprintf("honest algorithm %v", repro.ProtocolNames()))
+		adv       = fs.String("adversary", "silent", fmt.Sprintf("Byzantine strategy %v", repro.Adversaries()))
+		seed      = fs.Uint64("seed", 1, "base random seed")
+		reps      = fs.Int("reps", 1, "number of replications")
+		votes     = fs.Int("f", 1, "votes per player (§4.1)")
+		errRate   = fs.Float64("error-rate", 0, "honest erroneous-vote probability (§4.1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var probes, rounds, successes []float64
+	for r := 0; r < *reps; r++ {
+		res, err := repro.Run(repro.SearchConfig{
+			Players:         *n,
+			Objects:         *m,
+			GoodObjects:     *good,
+			Alpha:           *alpha,
+			Algorithm:       *algorithm,
+			Adversary:       *adv,
+			Seed:            *seed + uint64(r),
+			VotesPerPlayer:  *votes,
+			HonestErrorRate: *errRate,
+		})
+		if err != nil {
+			return err
+		}
+		probes = append(probes, res.MeanHonestProbes())
+		rounds = append(rounds, float64(res.Rounds))
+		successes = append(successes, res.SuccessFraction())
+		if *reps == 1 {
+			fmt.Fprintf(out, "protocol   %s\n", res.Protocol)
+			fmt.Fprintf(out, "adversary  %s\n", orSilent(res.Adversary))
+			fmt.Fprintf(out, "players    %d (honest %d, α=%.3f)\n", res.N, len(res.Honest), res.Alpha)
+			fmt.Fprintf(out, "objects    %d\n", res.M)
+			fmt.Fprintf(out, "rounds     %d (timed out: %v)\n", res.Rounds, res.TimedOut)
+			fmt.Fprintf(out, "success    %.1f%% of honest players\n", 100*res.SuccessFraction())
+			fmt.Fprintf(out, "probes     %s\n", stats.Summarize(res.HonestProbes()))
+			fmt.Fprintf(out, "cost       %s\n", stats.Summarize(res.HonestCosts()))
+			return nil
+		}
+	}
+	fmt.Fprintf(out, "replications       %d\n", *reps)
+	fmt.Fprintf(out, "mean probes/player %s\n", stats.Summarize(probes))
+	fmt.Fprintf(out, "rounds             %s\n", stats.Summarize(rounds))
+	fmt.Fprintf(out, "success fraction   %s\n", stats.Summarize(successes))
+	return nil
+}
+
+func orSilent(name string) string {
+	if name == "" {
+		return "silent"
+	}
+	return name
+}

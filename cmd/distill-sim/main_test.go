@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleRunOutput(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "64", "-m", "64", "-alpha", "0.8", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"protocol   distill", "adversary  silent", "players    64", "success    100.0%"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestMultiRepOutput(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "64", "-m", "64", "-alpha", "1", "-reps", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "replications       3") {
+		t.Fatalf("missing replication summary:\n%s", got)
+	}
+	if !strings.Contains(got, "mean probes/player") {
+		t.Fatalf("missing probes summary:\n%s", got)
+	}
+}
+
+func TestAdversaryAndAlgorithmFlags(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-n", "64", "-m", "64", "-alpha", "0.5",
+		"-algorithm", "async-round-robin", "-adversary", "collude",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "async-round-robin") {
+		t.Fatalf("algorithm flag ignored:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "collude") {
+		t.Fatalf("adversary flag ignored:\n%s", out.String())
+	}
+}
+
+func TestBadFlagsSurface(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-algorithm", "nope", "-n", "8", "-m", "8"}, &out); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run([]string{"-adversary", "nope", "-n", "8", "-m", "8"}, &out); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Command experiments regenerates the paper-reproduction tables E1…E13
+// (see DESIGN.md §5 for the claim index and EXPERIMENTS.md for recorded
+// results).
+//
+//	experiments                  # run everything at full scale
+//	experiments -scale 0.2       # quick pass
+//	experiments -only E1,E7      # a subset
+//	experiments -csv out/        # also write one CSV per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		scale      = fs.Float64("scale", 1, "workload scale (1 = full EXPERIMENTS.md configuration)")
+		seed       = fs.Uint64("seed", 0, "base seed family (0 = default)")
+		only       = fs.String("only", "", "comma-separated experiment ids to run (default all)")
+		csvDir     = fs.String("csv", "", "directory to write per-experiment CSV files into")
+		workers    = fs.Int("workers", 0, "replication parallelism (0 = GOMAXPROCS)")
+		ablations  = fs.Bool("ablations", false, "also run the design-choice ablations A1…A5")
+		extensions = fs.Bool("extensions", false, "also run the §6 open-problem extensions X1…X6")
+		format     = fs.String("format", "text", `output format: "text" or "markdown"`)
+		list       = fs.Bool("list", false, "list all experiment ids and claims, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		all := repro.Experiments()
+		all = append(all, repro.ExperimentAblations()...)
+		all = append(all, repro.ExperimentExtensions()...)
+		for _, e := range all {
+			fmt.Fprintf(out, "%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return nil
+	}
+
+	var selected []repro.Experiment
+	if *only == "" {
+		selected = repro.Experiments()
+		if *ablations {
+			selected = append(selected, repro.ExperimentAblations()...)
+		}
+		if *extensions {
+			selected = append(selected, repro.ExperimentExtensions()...)
+		}
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, err := repro.ExperimentByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	if *format != "text" && *format != "markdown" {
+		return fmt.Errorf("unknown -format %q", *format)
+	}
+
+	opts := repro.ExperimentOptions{Scale: *scale, BaseSeed: *seed, Workers: *workers}
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		switch *format {
+		case "markdown":
+			fmt.Fprintf(out, "## %s — %s\n\n", e.ID, e.Title)
+			fmt.Fprintf(out, "**Claim.** %s\n\n", e.Claim)
+			fmt.Fprintf(out, "%s\n", tab.Markdown())
+		default:
+			fmt.Fprintf(out, "=== %s — %s (%.1fs)\n", e.ID, e.Title, time.Since(start).Seconds())
+			fmt.Fprintf(out, "claim: %s\n\n", e.Claim)
+			fmt.Fprintln(out, tab.String())
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOnlySubsetRuns(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-only", "E12", "-scale", "0.1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "=== E12") {
+		t.Fatalf("missing E12 header:\n%s", got)
+	}
+	if strings.Contains(got, "=== E1 ") {
+		t.Fatalf("-only leaked other experiments:\n%s", got)
+	}
+}
+
+func TestAblationByID(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "A1", "-scale", "0.1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "=== A1") {
+		t.Fatalf("A1 not runnable via -only:\n%s", out.String())
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "E99"}, &out); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestCSVWritten(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-only", "E12", "-scale", "0.1", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e12.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "n,dishonest,success rate,rounds") {
+		t.Fatalf("unexpected CSV header: %s", data)
+	}
+}
+
+func TestMarkdownFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "E12", "-scale", "0.1", "-format", "markdown"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "## E12 —") || !strings.Contains(got, "**Claim.**") {
+		t.Fatalf("markdown structure missing:\n%s", got)
+	}
+	if !strings.Contains(got, "|---|") {
+		t.Fatalf("no markdown pipe table:\n%s", got)
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-format", "yaml", "-only", "E12", "-scale", "0.1"}, &out); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, id := range []string{"E1", "E13", "A1", "A4", "X1", "X6"} {
+		if !strings.Contains(got, id+" ") {
+			t.Fatalf("missing %s in list:\n%s", id, got)
+		}
+	}
+}

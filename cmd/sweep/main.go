@@ -1,0 +1,94 @@
+// Command sweep runs a parameter sweep over n or α for a chosen algorithm
+// and adversary and emits CSV for plotting:
+//
+//	sweep -param n -values 256,512,1024,2048 -alpha 0.9
+//	sweep -param alpha -values 0.1,0.2,0.4,0.8 -n 2048 -adversary threshold-ride
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		param     = fs.String("param", "n", `sweep parameter: "n" or "alpha"`)
+		values    = fs.String("values", "", "comma-separated sweep values (required)")
+		n         = fs.Int("n", 1024, "players (fixed when sweeping alpha)")
+		mRatio    = fs.Float64("m-ratio", 1, "objects per player (m = ratio·n)")
+		good      = fs.Int("good", 1, "good objects")
+		alpha     = fs.Float64("alpha", 0.9, "honest fraction (fixed when sweeping n)")
+		algorithm = fs.String("algorithm", "distill", "honest algorithm")
+		adv       = fs.String("adversary", "silent", "Byzantine strategy")
+		reps      = fs.Int("reps", 10, "replications per point")
+		seed      = fs.Uint64("seed", 1, "base seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *values == "" {
+		return fmt.Errorf("-values is required")
+	}
+	if *param != "n" && *param != "alpha" {
+		return fmt.Errorf("unknown -param %q", *param)
+	}
+
+	fmt.Fprintln(out, "param,value,mean_probes,p95_probes,mean_rounds,success_rate")
+	for _, raw := range strings.Split(*values, ",") {
+		raw = strings.TrimSpace(raw)
+		var curN = *n
+		var curAlpha = *alpha
+		switch *param {
+		case "n":
+			v, err := strconv.Atoi(raw)
+			if err != nil {
+				return fmt.Errorf("value %q: %w", raw, err)
+			}
+			curN = v
+		case "alpha":
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return fmt.Errorf("value %q: %w", raw, err)
+			}
+			curAlpha = v
+		}
+		var probes, rounds, success []float64
+		for r := 0; r < *reps; r++ {
+			res, err := repro.Run(repro.SearchConfig{
+				Players:     curN,
+				Objects:     int(*mRatio * float64(curN)),
+				GoodObjects: *good,
+				Alpha:       curAlpha,
+				Algorithm:   *algorithm,
+				Adversary:   *adv,
+				Seed:        *seed + uint64(r),
+			})
+			if err != nil {
+				return err
+			}
+			probes = append(probes, res.HonestProbes()...)
+			rounds = append(rounds, float64(res.Rounds))
+			success = append(success, res.SuccessFraction())
+		}
+		fmt.Fprintf(out, "%s,%s,%.4f,%.4f,%.4f,%.4f\n",
+			*param, raw,
+			stats.Mean(probes), stats.Quantile(probes, 0.95),
+			stats.Mean(rounds), stats.Mean(success))
+	}
+	return nil
+}

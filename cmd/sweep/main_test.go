@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepAlpha(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-param", "alpha", "-values", "0.5,1",
+		"-n", "64", "-reps", "2", "-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 { // header + 2 values
+		t.Fatalf("got %d lines:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "param,value,mean_probes") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "alpha,0.5,") {
+		t.Fatalf("bad row: %s", lines[1])
+	}
+}
+
+func TestSweepN(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-param", "n", "-values", "32,64", "-reps", "2", "-alpha", "1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "n,32,") || !strings.Contains(out.String(), "n,64,") {
+		t.Fatalf("missing rows:\n%s", out.String())
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-param", "n"}, &out); err == nil {
+		t.Fatal("missing -values accepted")
+	}
+	if err := run([]string{"-param", "bogus", "-values", "1"}, &out); err == nil {
+		t.Fatal("bad param accepted")
+	}
+	if err := run([]string{"-param", "n", "-values", "abc"}, &out); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+	if err := run([]string{"-param", "alpha", "-values", "xyz"}, &out); err == nil {
+		t.Fatal("non-numeric alpha accepted")
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	render := func() string {
+		var out strings.Builder
+		if err := run([]string{
+			"-param", "alpha", "-values", "1", "-n", "64", "-reps", "3", "-seed", "9",
+		}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if render() != render() {
+		t.Fatal("sweep output not deterministic for a fixed seed")
+	}
+}

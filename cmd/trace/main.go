@@ -1,0 +1,87 @@
+// Command trace runs one simulation and emits a per-round CSV of the run's
+// dynamics — active players, satisfied players, votes, good-object votes —
+// for plotting how the billboard state evolves:
+//
+//	trace -n 1024 -alpha 0.5 -adversary spam-distinct > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/adversary"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 1024, "number of players")
+		m         = fs.Int("m", 0, "number of objects (0 = n)")
+		good      = fs.Int("good", 1, "number of good objects")
+		alpha     = fs.Float64("alpha", 0.9, "honest fraction")
+		algorithm = fs.String("algorithm", "distill", "honest algorithm")
+		adv       = fs.String("adversary", "silent", "Byzantine strategy")
+		seed      = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *m == 0 {
+		*m = *n
+	}
+
+	u, err := object.NewPlanted(object.Planted{M: *m, Good: *good}, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	proto, err := repro.NewProtocol(*algorithm)
+	if err != nil {
+		return err
+	}
+	var advStrategy sim.Adversary
+	if *adv != "" && *adv != "silent" {
+		advStrategy = adversary.ByName(*adv)
+		if advStrategy == nil {
+			return fmt.Errorf("unknown adversary %q (valid: %v)", *adv, adversary.Names())
+		}
+	}
+
+	fmt.Fprintln(out, "round,active,satisfied,probes,total_votes,voted_objects,good_votes")
+	engine, err := sim.NewEngine(sim.Config{
+		Universe:  u,
+		Protocol:  proto,
+		Adversary: advStrategy,
+		N:         *n,
+		Alpha:     *alpha,
+		Seed:      *seed,
+		MaxRounds: 1 << 16,
+		Observer: func(s sim.RoundStats) {
+			fmt.Fprintf(out, "%d,%d,%d,%d,%d,%d,%d\n",
+				s.Round, s.ActiveHonest, s.SatisfiedHonest, s.ProbesThisRound,
+				s.TotalVotes, s.VotedObjects, s.GoodVotes)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	res, err := engine.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# rounds=%d success=%.3f mean_probes=%.3f\n",
+		res.Rounds, res.SuccessFraction(), res.MeanHonestProbes())
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceEmitsPerRoundRows(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "64", "-alpha", "0.8", "-seed", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few lines:\n%s", out.String())
+	}
+	if lines[0] != "round,active,satisfied,probes,total_votes,voted_objects,good_votes" {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,") {
+		t.Fatalf("first data row should be round 0: %s", lines[1])
+	}
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "# rounds=") || !strings.Contains(last, "success=1.000") {
+		t.Fatalf("bad summary: %s", last)
+	}
+	// Satisfied counts must be non-decreasing across rounds.
+	prev := -1
+	for _, line := range lines[1 : len(lines)-1] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 7 {
+			t.Fatalf("bad row: %s", line)
+		}
+		var satisfied int
+		if _, err := fmtSscan(fields[2], &satisfied); err != nil {
+			t.Fatal(err)
+		}
+		if satisfied < prev {
+			t.Fatalf("satisfied count decreased: %s", line)
+		}
+		prev = satisfied
+	}
+}
+
+// fmtSscan is a tiny indirection so the test reads clearly.
+func fmtSscan(s string, v *int) (int, error) {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, nil
+		}
+		n = n*10 + int(r-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+func TestTraceWithAdversary(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "64", "-alpha", "0.5", "-adversary", "spam-distinct"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# rounds=") {
+		t.Fatal("no summary line")
+	}
+}
+
+func TestTraceBadAdversary(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-adversary", "nope"}, &out); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/async"
+	"repro/internal/client"
+	"repro/internal/dist"
+	"repro/internal/journal"
+	"repro/internal/server"
+	"repro/internal/trust"
+)
+
+// This file re-exports the substrate systems — the asynchronous model of
+// [1], the networked billboard service, the durable journal, and the
+// EigenTrust-style trust computation — so that downstream users of the
+// module can reach them through the supported public API.
+
+// Asynchronous model (§1.2; the model of the authors' prior work [1]).
+type (
+	// AsyncConfig describes one asynchronous run.
+	AsyncConfig = async.Config
+	// AsyncResult reports per-player probe counts and completion.
+	AsyncResult = async.Result
+	// AsyncStrategy is a per-step policy in the asynchronous model.
+	AsyncStrategy = async.Strategy
+	// AsyncSchedule decides which player steps next (adversary-controlled).
+	AsyncSchedule = async.Schedule
+)
+
+// RunAsync executes one asynchronous-model simulation.
+func RunAsync(cfg AsyncConfig) (*AsyncResult, error) { return async.Run(cfg) }
+
+// NewExploreFollow returns the algorithm of [1]: explore or follow a random
+// vote, with equal probability.
+func NewExploreFollow(n, m int) AsyncStrategy { return async.NewExploreFollow(n, m) }
+
+// NewSoloStrategy returns the billboard-oblivious asynchronous strategy.
+func NewSoloStrategy(m int) AsyncStrategy { return async.NewSolo(m) }
+
+// Asynchronous schedules.
+var (
+	// ScheduleRoundRobin cycles fairly through active players.
+	ScheduleRoundRobin AsyncSchedule = async.RoundRobin{}
+	// ScheduleUniformRandom picks a uniformly random active player.
+	ScheduleUniformRandom AsyncSchedule = async.UniformRandom{}
+)
+
+// ScheduleStarve runs the given victim exclusively until it halts — the
+// §1.2 schedule that forces Θ(1/β) individual cost.
+func ScheduleStarve(victim int) AsyncSchedule { return async.Starve{Victim: victim} }
+
+// Networked billboard service.
+type (
+	// BillboardServerConfig configures the billboard service.
+	BillboardServerConfig = server.Config
+	// BillboardServer is a running billboard service.
+	BillboardServer = server.Server
+	// BillboardClient is one player's authenticated connection.
+	BillboardClient = client.Client
+	// CachedReader is a per-round read cache over a BillboardClient.
+	CachedReader = client.Cached
+)
+
+// NewBillboardServer builds a billboard service (call Start to listen).
+func NewBillboardServer(cfg BillboardServerConfig) (*BillboardServer, error) {
+	return server.New(cfg)
+}
+
+// DialBillboard connects and authenticates to a billboard server.
+func DialBillboard(addr string, player int, token string) (*BillboardClient, error) {
+	return client.Dial(addr, player, token)
+}
+
+// NewCachedReader wraps a client with a per-round read cache; call
+// Invalidate after each Barrier.
+func NewCachedReader(c *BillboardClient) *CachedReader { return client.NewCached(c) }
+
+// Distributed runs.
+type (
+	// ClusterConfig describes a full distributed run on localhost.
+	ClusterConfig = dist.ClusterConfig
+	// ClusterResult aggregates a distributed run.
+	ClusterResult = dist.ClusterResult
+)
+
+// RunDistributedCluster starts a billboard server and runs every player as
+// a concurrent TCP client.
+func RunDistributedCluster(cfg ClusterConfig) (*ClusterResult, error) {
+	return dist.RunCluster(cfg)
+}
+
+// Durable journal for the append-only billboard.
+type (
+	// JournalWriter appends billboard events to a stream.
+	JournalWriter = journal.Writer
+)
+
+// NewJournalWriter wraps w as a billboard journal sink.
+func NewJournalWriter(w io.Writer) *JournalWriter { return journal.NewWriter(w) }
+
+// EigenTrust-style reputation (the §1.3 critique, experiment X5).
+type (
+	// TrustReport is one (player, object, value) rating.
+	TrustReport = trust.Report
+	// TrustConfig tunes the trust computation.
+	TrustConfig = trust.Config
+)
+
+// TrustScores computes agreement-popularity global trust per player.
+func TrustScores(reports []TrustReport, cfg TrustConfig) ([]float64, error) {
+	return trust.Scores(reports, cfg)
+}
+
+// TrustRecommend ranks objects by trust-weighted positive ratings.
+func TrustRecommend(reports []TrustReport, scores []float64, threshold float64) (object int, score float64, ok bool) {
+	return trust.Recommend(reports, scores, threshold)
+}

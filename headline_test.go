@@ -1,0 +1,82 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+// collectProbes gathers per-replication mean honest probes for an algorithm
+// under the spam adversary.
+func collectProbes(t *testing.T, algorithm string, n, reps int, alpha float64) []float64 {
+	t.Helper()
+	out := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		res, err := repro.Run(repro.SearchConfig{
+			Players: n, Objects: n, Alpha: alpha,
+			Algorithm: algorithm, Adversary: "spam-distinct",
+			Seed: uint64(7000 + r), MaxRounds: 1 << 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllHonestSatisfied() {
+			t.Fatalf("%s replication %d did not finish", algorithm, r)
+		}
+		out = append(out, res.MeanHonestProbes())
+	}
+	return out
+}
+
+// TestHeadlineDistillBeatsAsyncSignificantly pins the paper's headline
+// comparison with a rank-sum test rather than a bare mean comparison:
+// at large n and high α, DISTILL's individual cost is stochastically below
+// the asynchronous baseline's at the 1% level.
+func TestHeadlineDistillBeatsAsyncSignificantly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const n, reps, alpha = 4096, 12, 0.9
+	distill := collectProbes(t, "distill", n, reps, alpha)
+	async := collectProbes(t, "async-round-robin", n, reps, alpha)
+	_, p := stats.MannWhitney(distill, async)
+	t.Logf("distill mean %.2f vs async mean %.2f (two-sided p = %.2g)",
+		stats.Mean(distill), stats.Mean(async), p)
+	if !stats.SignificantlyLess(distill, async, 0.01) {
+		t.Fatalf("DISTILL (%v) not significantly below async (%v), p=%v",
+			stats.Mean(distill), stats.Mean(async), p)
+	}
+}
+
+// TestHeadlineFlatInN pins Corollary 5's shape with a significance guard in
+// the other direction: quadrupling n at α = 1 − n^{-1/2} must NOT produce a
+// significant cost increase beyond 1.8x (log-shape tolerance).
+func TestHeadlineFlatInN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const reps = 12
+	small := collectProbes(t, "distill", 1024, reps, 1-1.0/32) // α = 1 - n^{-0.5}
+	large := collectProbes(t, "distill", 4096, reps, 1-1.0/64)
+	ratio := stats.Mean(large) / stats.Mean(small)
+	t.Logf("n=1024: %.2f probes; n=4096: %.2f probes (ratio %.2f)",
+		stats.Mean(small), stats.Mean(large), ratio)
+	if ratio > 1.8 {
+		t.Fatalf("cost grew %vx over a 4x n increase; Corollary 5 shape violated", ratio)
+	}
+}
+
+// TestHeadlineTrivialScalesLinearly pins the other end of E1: the
+// billboard-oblivious baseline must grow essentially linearly in 1/β.
+func TestHeadlineTrivialScalesLinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	small := collectProbes(t, "trivial-random", 256, 8, 0.9)
+	large := collectProbes(t, "trivial-random", 1024, 8, 0.9)
+	ratio := stats.Mean(large) / stats.Mean(small)
+	if ratio < 2.5 || ratio > 6.5 {
+		t.Fatalf("trivial baseline ratio %v over a 4x n (=1/β) increase; want ≈ 4", ratio)
+	}
+}

@@ -1,0 +1,181 @@
+// Package adversary implements Byzantine strategies for the dishonest
+// players (§2.3). All strategies are adaptive: Act runs after the honest
+// players' probes of the round are buffered, so a strategy may condition on
+// every past coin flip and on the in-flight posts (billboard.Board.Pending).
+//
+// The suite covers the extremal behaviours identified by the paper's
+// analysis plus generic attacks:
+//
+//   - Silent: dishonest players do nothing (control).
+//   - SpamDistinct: each dishonest player immediately votes a distinct bad
+//     object, maximizing |S| and stuffing C₀ (the attack the one-vote rule
+//     is designed to bound).
+//   - Collude: all dishonest players vote one bad object, pushing a single
+//     bad candidate past every threshold.
+//   - Slander: dishonest players post negative reports about good objects
+//     ("slander"); DISTILL uses only positive reports, so this must have no
+//     effect (§6: "is slander useless?" — here, yes by construction).
+//   - RandomLiar: each dishonest player votes a random bad object at a
+//     random time.
+//   - DelayedStuffing: saves all votes, then dumps them on the candidate
+//     set the moment the distillation loop starts.
+//   - ThresholdRide: the Lemma 7 extremal strategy — spends the (1-α)n vote
+//     budget to keep as many bad candidates as possible just above the
+//     per-window survival threshold n/(4c_t), maximizing the number of
+//     while-loop iterations.
+//   - Mimic: groups of dishonest players emulate honest voting statistics
+//     for designated bad objects, the symmetry attack behind Theorem 2.
+package adversary
+
+import (
+	"repro/internal/billboard"
+	"repro/internal/object"
+	"repro/internal/sim"
+)
+
+// Silent is the no-op adversary.
+type Silent struct{}
+
+var _ sim.Adversary = Silent{}
+
+// Name implements sim.Adversary.
+func (Silent) Name() string { return "silent" }
+
+// Act implements sim.Adversary.
+func (Silent) Act(*sim.AdvContext) {}
+
+// badObjects returns the bad objects of the universe in index order.
+func badObjects(u *object.Universe) []int {
+	out := make([]int, 0, u.M()-u.GoodCount())
+	for i := 0; i < u.M(); i++ {
+		if !u.IsGood(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// vote posts a positive report by player for obj. Errors cannot occur for
+// in-range ids; the board enforces the vote cap regardless.
+func vote(b *billboard.Board, player, obj int) {
+	_ = b.Post(billboard.Post{Player: player, Object: obj, Value: 1, Positive: true})
+}
+
+// SpamDistinct votes a distinct bad object per dishonest player in round 0.
+type SpamDistinct struct{}
+
+var _ sim.Adversary = SpamDistinct{}
+
+// Name implements sim.Adversary.
+func (SpamDistinct) Name() string { return "spam-distinct" }
+
+// Act implements sim.Adversary.
+func (SpamDistinct) Act(ctx *sim.AdvContext) {
+	if ctx.Round != 0 {
+		return
+	}
+	bad := badObjects(ctx.Universe)
+	if len(bad) == 0 {
+		return
+	}
+	for i, p := range ctx.Dishonest {
+		vote(ctx.Board, p, bad[i%len(bad)])
+	}
+}
+
+// Collude makes every dishonest player vote the same bad object in round 0.
+type Collude struct{}
+
+var _ sim.Adversary = Collude{}
+
+// Name implements sim.Adversary.
+func (Collude) Name() string { return "collude" }
+
+// Act implements sim.Adversary.
+func (Collude) Act(ctx *sim.AdvContext) {
+	if ctx.Round != 0 {
+		return
+	}
+	bad := badObjects(ctx.Universe)
+	if len(bad) == 0 {
+		return
+	}
+	target := bad[ctx.Rng.Intn(len(bad))]
+	for _, p := range ctx.Dishonest {
+		vote(ctx.Board, p, target)
+	}
+}
+
+// Slander posts negative reports about good objects every round. The
+// positive-votes-only rule makes this a no-op against DISTILL; the E6
+// experiment verifies that empirically.
+type Slander struct{}
+
+var _ sim.Adversary = Slander{}
+
+// Name implements sim.Adversary.
+func (Slander) Name() string { return "slander" }
+
+// Act implements sim.Adversary.
+func (Slander) Act(ctx *sim.AdvContext) {
+	good := ctx.Universe.GoodObjects()
+	for _, p := range ctx.Dishonest {
+		obj := good[ctx.Rng.Intn(len(good))]
+		_ = ctx.Board.Post(billboard.Post{Player: p, Object: obj, Value: 0, Positive: false})
+	}
+}
+
+// FloodLiar posts a positive report for a random bad object from every
+// dishonest player every round, ignoring vote budgets — the billboard's
+// vote cap f is the only thing containing it. Built for the A2 ablation:
+// with the paper's f = 1 the flood is harmless; with the cap removed it
+// drowns the candidate sets.
+type FloodLiar struct{}
+
+var _ sim.Adversary = FloodLiar{}
+
+// Name implements sim.Adversary.
+func (FloodLiar) Name() string { return "flood-liar" }
+
+// Act implements sim.Adversary.
+func (FloodLiar) Act(ctx *sim.AdvContext) {
+	bad := badObjects(ctx.Universe)
+	if len(bad) == 0 {
+		return
+	}
+	for _, p := range ctx.Dishonest {
+		vote(ctx.Board, p, bad[ctx.Rng.Intn(len(bad))])
+	}
+}
+
+// RandomLiar has each dishonest player vote a uniformly random bad object
+// with probability Rate each round until its vote budget is spent.
+type RandomLiar struct {
+	// Rate is the per-round vote probability (default 0.25).
+	Rate float64
+}
+
+var _ sim.Adversary = (*RandomLiar)(nil)
+
+// Name implements sim.Adversary.
+func (*RandomLiar) Name() string { return "random-liar" }
+
+// Act implements sim.Adversary.
+func (a *RandomLiar) Act(ctx *sim.AdvContext) {
+	rate := a.Rate
+	if rate == 0 {
+		rate = 0.25
+	}
+	bad := badObjects(ctx.Universe)
+	if len(bad) == 0 {
+		return
+	}
+	for _, p := range ctx.Dishonest {
+		if ctx.Board.HasVote(p) {
+			continue
+		}
+		if ctx.Rng.Bernoulli(rate) {
+			vote(ctx.Board, p, bad[ctx.Rng.Intn(len(bad))])
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// runDistill runs DISTILL against the given adversary over reps replications
+// and returns the aggregate.
+func runDistill(t *testing.T, makeAdv func() sim.Adversary, n int, alpha float64, reps int) sim.Aggregate {
+	t.Helper()
+	results, err := sim.Replicator{
+		Reps:     reps,
+		BaseSeed: 40,
+		Build: func(seed uint64) (*sim.Engine, error) {
+			u, err := object.NewPlanted(object.Planted{M: n, Good: 1}, rng.New(seed))
+			if err != nil {
+				return nil, err
+			}
+			var adv sim.Adversary
+			if makeAdv != nil {
+				adv = makeAdv()
+			}
+			return sim.NewEngine(sim.Config{
+				Universe: u, Protocol: core.NewDistill(core.Params{}),
+				Adversary: adv, N: n, Alpha: alpha, Seed: seed, MaxRounds: 20000,
+			})
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sim.AggregateResults(results)
+	if agg.TimedOut > 0 {
+		t.Fatalf("%d/%d replications timed out", agg.TimedOut, reps)
+	}
+	if agg.SuccessRate != 1 {
+		t.Fatalf("success rate %v < 1", agg.SuccessRate)
+	}
+	return agg
+}
+
+func TestDistillBeatsEveryAdversary(t *testing.T) {
+	// DISTILL must terminate against the whole suite at moderate α.
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			agg := runDistill(t, func() sim.Adversary { return ByName(name) }, 256, 0.5, 10)
+			t.Logf("%s: mean probes %.1f, mean rounds %.1f", name,
+				agg.MeanIndividualProbes, agg.MeanRounds)
+		})
+	}
+}
+
+func TestSlanderIsUseless(t *testing.T) {
+	// Negative reports change nothing: runs with Slander must match runs
+	// with Silent round for round (the board state DISTILL reads is
+	// identical and the honest random streams are independent of the
+	// adversary's).
+	for seed := uint64(0); seed < 5; seed++ {
+		run := func(adv sim.Adversary) *sim.Result {
+			u, err := object.NewPlanted(object.Planted{M: 128, Good: 1}, rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := sim.NewEngine(sim.Config{
+				Universe: u, Protocol: core.NewDistill(core.Params{}),
+				Adversary: adv, N: 128, Alpha: 0.75, Seed: seed, MaxRounds: 20000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		silent := run(Silent{})
+		slandered := run(Slander{})
+		if silent.Rounds != slandered.Rounds {
+			t.Fatalf("seed %d: slander changed rounds: %d vs %d",
+				seed, silent.Rounds, slandered.Rounds)
+		}
+		if silent.MeanHonestProbes() != slandered.MeanHonestProbes() {
+			t.Fatalf("seed %d: slander changed probes", seed)
+		}
+	}
+}
+
+func TestSpamDistinctSpendsOneVoteEach(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 64, Good: 1}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: core.NewDistill(core.Params{}),
+		Adversary: SpamDistinct{}, N: 64, Alpha: 0.5, Seed: 1, MaxRounds: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	honest := make(map[int]bool)
+	for _, p := range e.Honest() {
+		honest[p] = true
+	}
+	dishonestVotes := 0
+	for p := 0; p < 64; p++ {
+		if honest[p] {
+			continue
+		}
+		votes := e.Board().Votes(p)
+		if len(votes) > 1 {
+			t.Fatalf("dishonest player %d holds %d votes; cap is 1", p, len(votes))
+		}
+		dishonestVotes += len(votes)
+		for _, v := range votes {
+			if u.IsGood(v.Object) {
+				t.Fatalf("spam adversary voted the good object")
+			}
+		}
+	}
+	if dishonestVotes != 32 {
+		t.Fatalf("dishonest votes = %d, want 32 (one each)", dishonestVotes)
+	}
+}
+
+func TestThresholdRideSlowsDistillAtLowAlpha(t *testing.T) {
+	silent := runDistill(t, nil, 512, 0.25, 12)
+	rider := runDistill(t, func() sim.Adversary { return NewThresholdRide() }, 512, 0.25, 12)
+	t.Logf("silent %.1f rounds, threshold-ride %.1f rounds",
+		silent.MeanRounds, rider.MeanRounds)
+	if rider.MeanRounds < silent.MeanRounds {
+		t.Fatalf("threshold-ride (%.1f rounds) should not beat silent (%.1f)",
+			rider.MeanRounds, silent.MeanRounds)
+	}
+}
+
+func TestMimicTracksHonestVoteRate(t *testing.T) {
+	// After a run with Mimic, fake objects should have received votes.
+	u, err := object.NewPlanted(object.Planted{M: 256, Good: 1}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := NewMimic(4)
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: core.NewDistill(core.Params{}),
+		Adversary: adv, N: 256, Alpha: 0.5, Seed: 9, MaxRounds: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHonestSatisfied() {
+		t.Fatal("mimic prevented termination")
+	}
+	fakeVotes := 0
+	for _, group := range adv.fake {
+		for _, obj := range group {
+			fakeVotes += e.Board().VoteCount(obj)
+		}
+	}
+	if fakeVotes == 0 {
+		t.Fatal("mimic cast no votes; the attack is not exercising anything")
+	}
+}
+
+func TestDelayedStuffingFiresWhenDistillPhaseReached(t *testing.T) {
+	// With short prepare/refine steps the distillation loop is reached
+	// while players are still unsatisfied, so the burst must fire on at
+	// least some seeds.
+	fired := false
+	for seed := uint64(0); seed < 10 && !fired; seed++ {
+		u, err := object.NewPlanted(object.Planted{M: 512, Good: 1}, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv := NewDelayedStuffing()
+		e, err := sim.NewEngine(sim.Config{
+			Universe: u, Protocol: core.NewDistill(core.Params{K1: 0.5, K2: 4}),
+			Adversary: adv, N: 512, Alpha: 0.25, Seed: seed, MaxRounds: 20000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.AllHonestSatisfied() {
+			t.Fatalf("seed %d: run did not finish", seed)
+		}
+		fired = fired || adv.done
+	}
+	if !fired {
+		t.Fatal("delayed stuffing never fired across 10 seeds; the distill phase was never reached with bad candidates")
+	}
+}
+
+func TestSuiteAndByName(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("suite has %d strategies, want 9", len(names))
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Fatalf("duplicate strategy name %q", name)
+		}
+		seen[name] = true
+		if ByName(name) == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+		if got := ByName(name).Name(); got != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, got)
+		}
+	}
+	if ByName("no-such-strategy") != nil {
+		t.Fatal("ByName of unknown name should be nil")
+	}
+}
+
+func TestByNameReturnsFreshInstances(t *testing.T) {
+	a := ByName("delayed-stuffing").(*DelayedStuffing)
+	a.done = true
+	b := ByName("delayed-stuffing").(*DelayedStuffing)
+	if b.done {
+		t.Fatal("ByName returned shared state")
+	}
+}
+
+func TestThresholdRideNoOpAgainstNonDistill(t *testing.T) {
+	// Against a protocol without DistillState the rider must do nothing.
+	u, err := object.NewPlanted(object.Planted{M: 32, Good: 1}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: dummyProtocol{}, Adversary: NewThresholdRide(),
+		N: 8, Alpha: 0.5, Seed: 2, MaxRounds: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Board().TotalVotes(); got != countHonestVotes(e) {
+		t.Fatalf("rider voted against a non-DISTILL protocol: %d total votes", got)
+	}
+}
+
+func countHonestVotes(e *sim.Engine) int {
+	honest := map[int]bool{}
+	for _, p := range e.Honest() {
+		honest[p] = true
+	}
+	count := 0
+	for p := range honest {
+		count += len(e.Board().Votes(p))
+	}
+	return count
+}
+
+// dummyProtocol probes object 0 forever.
+type dummyProtocol struct{}
+
+func (dummyProtocol) Name() string          { return "dummy" }
+func (dummyProtocol) Init(sim.Setup) error  { return nil }
+func (dummyProtocol) PrescribedRounds() int { return 0 }
+func (dummyProtocol) Probes(round int, active []int, dst []sim.Probe) []sim.Probe {
+	for _, p := range active {
+		dst = append(dst, sim.Probe{Player: p, Object: 0})
+	}
+	return dst
+}

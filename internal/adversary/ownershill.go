@@ -1,0 +1,46 @@
+package adversary
+
+import "repro/internal/sim"
+
+// OwnerShill models the §6 object-ownership question: every object belongs
+// to a player (Owner), and dishonest players promote the bad objects they
+// own — the eBay seller shilling its own listings. Paired with a billboard
+// vote-admission rule that discards votes for the voter's own objects
+// (sim.Config.VoteFilter), the attack is fully neutralized; without it, the
+// attack is a targeted variant of spam.
+type OwnerShill struct {
+	// Owner maps an object to its owning player (required).
+	Owner func(object int) int
+
+	done bool
+}
+
+var _ sim.Adversary = (*OwnerShill)(nil)
+
+// NewOwnerShill returns the shilling adversary for the given ownership map.
+func NewOwnerShill(owner func(object int) int) *OwnerShill {
+	return &OwnerShill{Owner: owner}
+}
+
+// Name implements sim.Adversary.
+func (a *OwnerShill) Name() string { return "owner-shill" }
+
+// Act implements sim.Adversary.
+func (a *OwnerShill) Act(ctx *sim.AdvContext) {
+	if a.done || a.Owner == nil {
+		return
+	}
+	a.done = true
+	dishonest := make(map[int]bool, len(ctx.Dishonest))
+	for _, p := range ctx.Dishonest {
+		dishonest[p] = true
+	}
+	for obj := 0; obj < ctx.Universe.M(); obj++ {
+		if ctx.Universe.IsGood(obj) {
+			continue
+		}
+		if p := a.Owner(obj); dishonest[p] {
+			vote(ctx.Board, p, obj)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestOwnerShillVotesOnlyOwnBadObjects(t *testing.T) {
+	const n, m = 32, 32
+	u, err := object.NewPlanted(object.Planted{M: m, Good: 2}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := func(obj int) int { return obj % n }
+	adv := NewOwnerShill(owner)
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: core.NewDistill(core.Params{}),
+		Adversary: adv, N: n, Alpha: 0.5, Seed: 3, MaxRounds: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	honest := map[int]bool{}
+	for _, p := range e.Honest() {
+		honest[p] = true
+	}
+	for p := 0; p < n; p++ {
+		if honest[p] {
+			continue
+		}
+		for _, v := range e.Board().Votes(p) {
+			if owner(v.Object) != p {
+				t.Fatalf("shill %d voted object %d it does not own", p, v.Object)
+			}
+			if u.IsGood(v.Object) {
+				t.Fatalf("shill %d voted a good object", p)
+			}
+		}
+	}
+}
+
+func TestOwnerShillNeutralizedByVoteFilter(t *testing.T) {
+	const n, m = 64, 64
+	u, err := object.NewPlanted(object.Planted{M: m, Good: 1}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := func(obj int) int { return obj % n }
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: core.NewDistill(core.Params{}),
+		Adversary: NewOwnerShill(owner), N: n, Alpha: 0.5, Seed: 4,
+		MaxRounds:  20000,
+		VoteFilter: func(player, objectID int) bool { return owner(objectID) != player },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHonestSatisfied() {
+		t.Fatal("run did not finish")
+	}
+	// With the own-vote rule every shill vote is inadmissible: the only
+	// votes on the board are honest ones for the good object.
+	for obj := 0; obj < m; obj++ {
+		if !u.IsGood(obj) && e.Board().VoteCount(obj) > 0 {
+			t.Fatalf("bad object %d holds votes despite the own-vote rule", obj)
+		}
+	}
+}
+
+func TestOwnerShillNilOwnerNoOp(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 16, Good: 1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &OwnerShill{}
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: core.NewDistill(core.Params{}),
+		Adversary: adv, N: 16, Alpha: 0.5, Seed: 5, MaxRounds: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	honest := map[int]bool{}
+	for _, p := range e.Honest() {
+		honest[p] = true
+	}
+	for p := 0; p < 16; p++ {
+		if !honest[p] && e.Board().HasVote(p) {
+			t.Fatal("nil-owner shill cast votes")
+		}
+	}
+}
+
+func TestFloodLiarRespectsCapOfOne(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 64, Good: 1}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: core.NewDistill(core.Params{}),
+		Adversary: FloodLiar{}, N: 32, Alpha: 0.5, Seed: 6, MaxRounds: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHonestSatisfied() {
+		t.Fatal("flood defeated DISTILL at f=1")
+	}
+	honest := map[int]bool{}
+	for _, p := range e.Honest() {
+		honest[p] = true
+	}
+	for p := 0; p < 32; p++ {
+		if honest[p] {
+			continue
+		}
+		if got := len(e.Board().Votes(p)); got > 1 {
+			t.Fatalf("flooder %d holds %d votes; billboard cap is 1", p, got)
+		}
+	}
+}
+
+func TestFloodLiarFillsLiftedCap(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 64, Good: 1}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: core.NewDistill(core.Params{}),
+		Adversary: FloodLiar{}, N: 32, Alpha: 0.5, Seed: 7,
+		MaxRounds: 20000, VotesPerPlayer: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	honest := map[int]bool{}
+	for _, p := range e.Honest() {
+		honest[p] = true
+	}
+	maxVotes := 0
+	for p := 0; p < 32; p++ {
+		if honest[p] {
+			continue
+		}
+		if got := len(e.Board().Votes(p)); got > maxVotes {
+			maxVotes = got
+		}
+		if got := len(e.Board().Votes(p)); got > 8 {
+			t.Fatalf("flooder exceeded lifted cap: %d", got)
+		}
+	}
+	if maxVotes < 2 {
+		t.Fatalf("lifted cap never used: max %d votes", maxVotes)
+	}
+}

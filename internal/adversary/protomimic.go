@@ -1,0 +1,135 @@
+package adversary
+
+import (
+	"repro/internal/billboard"
+	"repro/internal/sim"
+)
+
+// ProtocolMimic is the strongest symmetry attack and the engine behind the
+// Theorem 2 lower-bound instances: each dishonest group runs the *same*
+// protocol code as the honest players — against the same shared billboard,
+// on the same schedule — but evaluates probes with its own fake value
+// function ("the players in P_k view the world as if the input instance is
+// I_k"). Dishonest reports are therefore statistically indistinguishable
+// from honest ones; only the ground truth differs.
+type ProtocolMimic struct {
+	// Factory builds one protocol instance per group; it must produce the
+	// same protocol the honest players run.
+	Factory func() sim.Protocol
+	// FakeGood lists, per group, the objects that group pretends are good.
+	FakeGood [][]int
+
+	initialized bool
+	groups      []mimicGroup
+}
+
+type mimicGroup struct {
+	proto    sim.Protocol
+	fakeGood map[int]bool
+	active   []int // fake players still "searching"
+}
+
+var _ sim.Adversary = (*ProtocolMimic)(nil)
+
+// NewProtocolMimic returns a ProtocolMimic with the given factory and fake
+// good sets (one slice per group).
+func NewProtocolMimic(factory func() sim.Protocol, fakeGood [][]int) *ProtocolMimic {
+	return &ProtocolMimic{Factory: factory, FakeGood: fakeGood}
+}
+
+// Name implements sim.Adversary.
+func (a *ProtocolMimic) Name() string { return "protocol-mimic" }
+
+func (a *ProtocolMimic) setup(ctx *sim.AdvContext) error {
+	a.initialized = true
+	groups := len(a.FakeGood)
+	if groups == 0 || len(ctx.Dishonest) == 0 {
+		return nil
+	}
+	if groups > len(ctx.Dishonest) {
+		groups = len(ctx.Dishonest)
+	}
+	n := len(ctx.Honest) + len(ctx.Dishonest)
+	a.groups = make([]mimicGroup, groups)
+	for g := range a.groups {
+		grp := &a.groups[g]
+		grp.proto = a.Factory()
+		grp.fakeGood = make(map[int]bool, len(a.FakeGood[g]))
+		for _, obj := range a.FakeGood[g] {
+			grp.fakeGood[obj] = true
+		}
+		// Use exactly the α and β the honest protocol assumes, so the mimic
+		// groups' schedules are round-for-round identical to the honest one
+		// (otherwise phase-transition timing would give them away).
+		alpha := ctx.AssumedAlpha
+		if alpha <= 0 || alpha > 1 {
+			alpha = float64(len(ctx.Honest)) / float64(n)
+		}
+		beta := ctx.AssumedBeta
+		if beta <= 0 || beta > 1 {
+			beta = float64(len(a.FakeGood[g])) / float64(ctx.Universe.M())
+		}
+		if err := grp.proto.Init(sim.Setup{
+			N:        n,
+			Alpha:    alpha,
+			Beta:     beta,
+			Universe: ctx.Universe,
+			Board:    ctx.Board,
+			Rng:      ctx.Rng.Split(uint64(g) + 100),
+		}); err != nil {
+			return err
+		}
+	}
+	// Round-robin the dishonest players into groups.
+	for i, p := range ctx.Dishonest {
+		g := i % groups
+		a.groups[g].active = append(a.groups[g].active, p)
+	}
+	return nil
+}
+
+// Act implements sim.Adversary. Each group steps its protocol instance once
+// per round (keeping its schedule aligned with the honest one, since both
+// derive state from the same shared board) and posts the reports an honest
+// player with that group's value function would post.
+func (a *ProtocolMimic) Act(ctx *sim.AdvContext) {
+	if !a.initialized {
+		if err := a.setup(ctx); err != nil {
+			a.groups = nil
+			return
+		}
+	}
+	for g := range a.groups {
+		grp := &a.groups[g]
+		probes := grp.proto.Probes(ctx.Round, grp.active, nil)
+		var newlySatisfied map[int]bool
+		for _, pr := range probes {
+			fakeGood := grp.fakeGood[pr.Object]
+			value := 0.0
+			if fakeGood {
+				value = 1
+			}
+			_ = ctx.Board.Post(billboard.Post{
+				Player:   pr.Player,
+				Object:   pr.Object,
+				Value:    value,
+				Positive: fakeGood,
+			})
+			if fakeGood {
+				if newlySatisfied == nil {
+					newlySatisfied = make(map[int]bool)
+				}
+				newlySatisfied[pr.Player] = true
+			}
+		}
+		if newlySatisfied != nil {
+			keep := grp.active[:0]
+			for _, p := range grp.active {
+				if !newlySatisfied[p] {
+					keep = append(keep, p)
+				}
+			}
+			grp.active = keep
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestSilentDoesNothing(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 16, Good: 1}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: core.NewDistill(core.Params{}),
+		Adversary: Silent{}, N: 8, Alpha: 0.5, Seed: 1, MaxRounds: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	honest := map[int]bool{}
+	for _, p := range e.Honest() {
+		honest[p] = true
+	}
+	for p := 0; p < 8; p++ {
+		if !honest[p] && e.Board().HasVote(p) {
+			t.Fatal("silent adversary voted")
+		}
+	}
+}
+
+func TestProtocolMimicIndistinguishableReports(t *testing.T) {
+	// The mimic groups run the honest protocol with fake value oracles:
+	// after a run, each dishonest group's votes must land exclusively on
+	// its designated fake-good set, and at least one group must have voted
+	// (they execute the same schedule as honest players, so discoveries
+	// happen at comparable rates).
+	const n, m = 32, 32
+	u, err := object.NewPlanted(object.Planted{M: m, Good: 2}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fakeGood := [][]int{}
+	for g := 0; g < 3; g++ {
+		var set []int
+		for obj := 0; obj < m && len(set) < 2; obj++ {
+			if !u.IsGood(obj) && obj%3 == g {
+				set = append(set, obj)
+			}
+		}
+		fakeGood = append(fakeGood, set)
+	}
+	adv := NewProtocolMimic(func() sim.Protocol {
+		return core.NewDistill(core.Params{})
+	}, fakeGood)
+	if adv.Name() != "protocol-mimic" {
+		t.Fatalf("name %q", adv.Name())
+	}
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: core.NewDistill(core.Params{}),
+		Adversary: adv, N: n, Alpha: 0.5, Seed: 5, MaxRounds: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHonestSatisfied() {
+		t.Fatal("honest players did not finish against protocol-mimic")
+	}
+	allFakes := map[int]bool{}
+	for _, set := range fakeGood {
+		for _, obj := range set {
+			allFakes[obj] = true
+		}
+	}
+	honest := map[int]bool{}
+	for _, p := range e.Honest() {
+		honest[p] = true
+	}
+	dishonestVotes := 0
+	for p := 0; p < n; p++ {
+		if honest[p] {
+			continue
+		}
+		for _, v := range e.Board().Votes(p) {
+			dishonestVotes++
+			if !allFakes[v.Object] {
+				t.Fatalf("mimic player %d voted %d outside its fake set", p, v.Object)
+			}
+		}
+	}
+	if dishonestVotes == 0 {
+		t.Fatal("mimic groups cast no votes; they are not executing the protocol")
+	}
+}
+
+func TestProtocolMimicEmptyGroupsNoOp(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 16, Good: 1}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := NewProtocolMimic(func() sim.Protocol {
+		return core.NewDistill(core.Params{})
+	}, nil)
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: core.NewDistill(core.Params{}),
+		Adversary: adv, N: 8, Alpha: 0.5, Seed: 6, MaxRounds: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	honest := map[int]bool{}
+	for _, p := range e.Honest() {
+		honest[p] = true
+	}
+	for p := 0; p < 8; p++ {
+		if !honest[p] && e.Board().HasVote(p) {
+			t.Fatal("group-less mimic voted")
+		}
+	}
+}
+
+func TestProtocolMimicSilentGroupNeverVotes(t *testing.T) {
+	// A group with a nil fake set models the Theorem 2 players beyond B
+	// that "don't ever report any result".
+	u, err := object.NewPlanted(object.Planted{M: 16, Good: 1}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := NewProtocolMimic(func() sim.Protocol {
+		return core.NewDistill(core.Params{})
+	}, [][]int{nil})
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: core.NewDistill(core.Params{}),
+		Adversary: adv, N: 8, Honest: []int{0, 1, 2, 3}, Seed: 7, MaxRounds: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 4; p < 8; p++ {
+		if e.Board().HasVote(p) {
+			t.Fatalf("silent group member %d voted", p)
+		}
+	}
+}
+
+func TestMimicMoreGroupsThanDishonest(t *testing.T) {
+	// Groups are clamped to the dishonest count; the run must not panic.
+	u, err := object.NewPlanted(object.Planted{M: 32, Good: 1}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: core.NewDistill(core.Params{}),
+		Adversary: NewMimic(50), N: 16, Honest: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, // 2 dishonest
+		Seed: 8, MaxRounds: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHonestSatisfied() {
+		t.Fatal("run did not finish")
+	}
+}
+
+func TestNewMimicDefaults(t *testing.T) {
+	if NewMimic(0).Groups != 4 {
+		t.Fatal("default groups should be 4")
+	}
+	if NewMimic(-3).Groups != 4 {
+		t.Fatal("negative groups should default to 4")
+	}
+}

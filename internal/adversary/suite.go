@@ -1,0 +1,40 @@
+package adversary
+
+import "repro/internal/sim"
+
+// Suite returns one fresh instance of every adversary strategy, in a fixed
+// order. Strategies are stateful, so a new suite must be built per run;
+// call this once per replication.
+func Suite() []sim.Adversary {
+	return []sim.Adversary{
+		Silent{},
+		SpamDistinct{},
+		Collude{},
+		Slander{},
+		&RandomLiar{},
+		FloodLiar{},
+		NewDelayedStuffing(),
+		NewThresholdRide(),
+		NewMimic(4),
+	}
+}
+
+// Names returns the names of the suite strategies in suite order.
+func Names() []string {
+	suite := Suite()
+	names := make([]string, len(suite))
+	for i, a := range suite {
+		names[i] = a.Name()
+	}
+	return names
+}
+
+// ByName returns a fresh instance of the named strategy, or nil if unknown.
+func ByName(name string) sim.Adversary {
+	for _, a := range Suite() {
+		if a.Name() == name {
+			return a
+		}
+	}
+	return nil
+}

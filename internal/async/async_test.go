@@ -1,0 +1,177 @@
+package async
+
+import (
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func universe(t *testing.T, m, good int, seed uint64) *object.Universe {
+	t.Helper()
+	u, err := object.NewPlanted(object.Planted{M: m, Good: good}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestRunValidation(t *testing.T) {
+	u := universe(t, 10, 1, 1)
+	strat := NewSolo(10)
+	cases := []Config{
+		{Strategy: strat, Schedule: RoundRobin{}, N: 2},              // no universe
+		{Universe: u, Schedule: RoundRobin{}, N: 2},                  // no strategy
+		{Universe: u, Strategy: strat, N: 2},                         // no schedule
+		{Universe: u, Strategy: strat, Schedule: RoundRobin{}, N: 0}, // bad N
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	// No-local-testing universes are rejected.
+	nlt, err := object.NewTopBeta(10, 0.2, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{Universe: nlt, Strategy: strat, Schedule: RoundRobin{}, N: 2}); err == nil {
+		t.Fatal("no-local-testing universe accepted")
+	}
+}
+
+func TestRoundRobinCompletes(t *testing.T) {
+	u := universe(t, 100, 2, 2)
+	res, err := Run(Config{
+		Universe: u, Strategy: NewExploreFollow(8, 100), Schedule: RoundRobin{},
+		N: 8, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	for p, ok := range res.Satisfied {
+		if !ok {
+			t.Fatalf("player %d never satisfied", p)
+		}
+	}
+	if res.Strategy != "explore-follow" || res.Schedule != "round-robin" {
+		t.Fatalf("labels: %s %s", res.Strategy, res.Schedule)
+	}
+}
+
+func TestStarvationForcesSoloWork(t *testing.T) {
+	// Under starvation, the victim must pay ~1/β probes alone; under
+	// round-robin the same algorithm's individual cost collapses because
+	// followers piggyback on the first finder.
+	const n, m, good = 16, 400, 4 // 1/β = 100
+	var starved, fair []float64
+	for seed := uint64(0); seed < 20; seed++ {
+		u := universe(t, m, good, seed)
+		resStarve, err := Run(Config{
+			Universe: u, Strategy: NewExploreFollow(n, m), Schedule: Starve{Victim: 0},
+			N: n, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		starved = append(starved, float64(resStarve.Probes[0]))
+		resFair, err := Run(Config{
+			Universe: u, Strategy: NewExploreFollow(n, m), Schedule: RoundRobin{},
+			N: n, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var probes []float64
+		for _, c := range resFair.Probes {
+			probes = append(probes, float64(c))
+		}
+		fair = append(fair, stats.Mean(probes))
+	}
+	meanStarved, meanFair := stats.Mean(starved), stats.Mean(fair)
+	t.Logf("victim under starvation: %.1f probes; mean under round-robin: %.1f", meanStarved, meanFair)
+	// The victim explores alone at rate 1/2 (half its steps are failed
+	// follows), so ~2/β = 200 expected probes; fair scheduling shares the
+	// work across 16 players.
+	if meanStarved < 3*meanFair {
+		t.Fatalf("starvation should cost several times the fair schedule: %.1f vs %.1f",
+			meanStarved, meanFair)
+	}
+	if meanStarved < float64(m)/float64(good)/2 {
+		t.Fatalf("starved victim paid %.1f, less than half of 1/β = %d — it got help it cannot have",
+			meanStarved, m/good)
+	}
+}
+
+func TestSoloImmuneToSchedule(t *testing.T) {
+	// The billboard-oblivious strategy pays ~1/β under any schedule.
+	const n, m, good = 8, 200, 2
+	var fair, starved []float64
+	for seed := uint64(0); seed < 20; seed++ {
+		u := universe(t, m, good, seed)
+		a, err := Run(Config{Universe: u, Strategy: NewSolo(m), Schedule: RoundRobin{}, N: n, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(Config{Universe: u, Strategy: NewSolo(m), Schedule: Starve{Victim: 0}, N: n, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fair = append(fair, float64(a.Probes[0]))
+		starved = append(starved, float64(b.Probes[0]))
+	}
+	mf, ms := stats.Mean(fair), stats.Mean(starved)
+	// Both should be in the vicinity of 1/β = 100; allow generous noise.
+	if mf > 3*ms+50 || ms > 3*mf+50 {
+		t.Fatalf("solo strategy should be schedule-independent: fair %.1f vs starved %.1f", mf, ms)
+	}
+}
+
+func TestUniformRandomSchedule(t *testing.T) {
+	u := universe(t, 50, 1, 3)
+	res, err := Run(Config{
+		Universe: u, Strategy: NewExploreFollow(4, 50), Schedule: UniformRandom{},
+		N: 4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+}
+
+func TestMaxStepsTimeout(t *testing.T) {
+	u := universe(t, 1000, 1, 4)
+	res, err := Run(Config{
+		Universe: u, Strategy: NewSolo(1000), Schedule: RoundRobin{},
+		N: 4, Seed: 4, MaxSteps: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut || res.Steps != 10 {
+		t.Fatalf("TimedOut=%v Steps=%d", res.TimedOut, res.Steps)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	u := universe(t, 100, 1, 5)
+	runOnce := func() int {
+		res, err := Run(Config{
+			Universe: u, Strategy: NewExploreFollow(8, 100), Schedule: UniformRandom{},
+			N: 8, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Steps
+	}
+	if runOnce() != runOnce() {
+		t.Fatal("async runs are not deterministic")
+	}
+}

@@ -1,0 +1,36 @@
+package async_test
+
+import (
+	"fmt"
+
+	"repro/internal/async"
+	"repro/internal/object"
+	"repro/internal/rng"
+)
+
+// Example reproduces the §1.2 observation in miniature: under a starvation
+// schedule, the victim of the asynchronous model must find a good object
+// essentially alone.
+func Example() {
+	u, err := object.NewPlanted(object.Planted{M: 200, Good: 2}, rng.New(7))
+	if err != nil {
+		panic(err)
+	}
+	fair, err := async.Run(async.Config{
+		Universe: u, Strategy: async.NewExploreFollow(8, 200),
+		Schedule: async.RoundRobin{}, N: 8, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	starved, err := async.Run(async.Config{
+		Universe: u, Strategy: async.NewExploreFollow(8, 200),
+		Schedule: async.Starve{Victim: 0}, N: 8, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("victim pays more when starved:", starved.Probes[0] > 3*fair.Probes[0])
+	// Output:
+	// victim pays more when starved: true
+}

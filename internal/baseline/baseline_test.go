@@ -1,0 +1,302 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/billboard"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func run(t *testing.T, proto func() sim.Protocol, n, m, good int, alpha float64, reps int) []*sim.Result {
+	t.Helper()
+	results, err := sim.Replicator{
+		Reps:     reps,
+		BaseSeed: 1000,
+		Build: func(seed uint64) (*sim.Engine, error) {
+			u, err := object.NewPlanted(object.Planted{M: m, Good: good}, rng.New(seed))
+			if err != nil {
+				return nil, err
+			}
+			return sim.NewEngine(sim.Config{
+				Universe: u, Protocol: proto(), N: n, Alpha: alpha,
+				Seed: seed, MaxRounds: 100000,
+			})
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestTrivialRandomMatchesOneOverBeta(t *testing.T) {
+	// β = 1/20, so expected probes per player ≈ 20 regardless of n.
+	results := run(t, func() sim.Protocol { return NewTrivialRandom() }, 8, 200, 10, 1, 40)
+	var probes []float64
+	for _, r := range results {
+		if !r.AllHonestSatisfied() {
+			t.Fatal("trivial random did not finish")
+		}
+		probes = append(probes, r.HonestProbes()...)
+	}
+	mean := stats.Mean(probes)
+	if mean < 10 || mean > 35 {
+		t.Fatalf("trivial random mean probes %v, want ≈ 20 (1/β)", mean)
+	}
+}
+
+func TestTrivialRandomIgnoresAdversary(t *testing.T) {
+	// With and without an adversary that votes bad objects, trivial random
+	// behaves identically because it never reads the board.
+	u, err := object.NewPlanted(object.Planted{M: 50, Good: 5}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func(adv sim.Adversary) int {
+		e, err := sim.NewEngine(sim.Config{
+			Universe: u, Protocol: NewTrivialRandom(), N: 10,
+			Honest: []int{0, 1, 2, 3, 4}, Adversary: adv, Seed: 77, MaxRounds: 10000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rounds
+	}
+	if a, b := runOnce(nil), runOnce(badVoter{}); a != b {
+		t.Fatalf("adversary changed trivial random: %d vs %d rounds", a, b)
+	}
+}
+
+type badVoter struct{}
+
+func (badVoter) Name() string { return "bad-voter" }
+func (badVoter) Act(ctx *sim.AdvContext) {
+	for _, p := range ctx.Dishonest {
+		for obj := 0; obj < ctx.Universe.M(); obj++ {
+			if !ctx.Universe.IsGood(obj) {
+				_ = ctx.Board.Post(billboard.Post{Player: p, Object: obj, Value: 1, Positive: true})
+				break
+			}
+		}
+	}
+}
+
+func TestAsyncRoundRobinFinishesAndSpreadsVotes(t *testing.T) {
+	results := run(t, func() sim.Protocol { return NewAsyncRoundRobin() }, 64, 64, 1, 1, 20)
+	for _, r := range results {
+		if !r.AllHonestSatisfied() {
+			t.Fatal("async round robin did not finish")
+		}
+	}
+	agg := sim.AggregateResults(results)
+	// With m = n = 64, β = 1/64: first discovery within a few rounds, then
+	// votes double roughly every 2 rounds — well under 80 rounds on average.
+	if agg.MeanRounds > 80 {
+		t.Fatalf("async mean rounds %v too large", agg.MeanRounds)
+	}
+}
+
+func TestAsyncRoundRobinGrowsLogarithmically(t *testing.T) {
+	// The mean individual cost should grow with n (≈ log n) when β = 1/n.
+	mean := func(n int) float64 {
+		results := run(t, func() sim.Protocol { return NewAsyncRoundRobin() }, n, n, 1, 1, 15)
+		return sim.AggregateResults(results).MeanIndividualProbes
+	}
+	small, large := mean(32), mean(512)
+	if large <= small {
+		t.Fatalf("async cost did not grow with n: %v (n=32) vs %v (n=512)", small, large)
+	}
+	// It should not grow linearly: 16x more players must cost far less
+	// than 16x more probes.
+	if large > 8*small {
+		t.Fatalf("async cost grew superlogarithmically: %v vs %v", small, large)
+	}
+}
+
+func TestOracleCoopNeverRepeatsProbes(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 100, Good: 1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: NewOracleCoop(), N: 10, Alpha: 1,
+		Seed: 5, MaxRounds: 1000, KeepLog: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHonestSatisfied() {
+		t.Fatal("oracle did not finish")
+	}
+	// Count probes of non-good objects: each bad object at most once.
+	seen := map[int]int{}
+	for _, post := range e.Board().Log() {
+		if !u.IsGood(post.Object) {
+			seen[post.Object]++
+		}
+	}
+	for obj, count := range seen {
+		if count > 1 {
+			t.Fatalf("oracle probed bad object %d %d times", obj, count)
+		}
+	}
+}
+
+func TestOracleCoopMatchesUrnBound(t *testing.T) {
+	// With m objects, one good, and αn honest probers, the urn argument
+	// gives ≈ m/(αn) expected rounds until discovery (+1 follow round).
+	const n, m = 20, 400
+	results := run(t, func() sim.Protocol { return NewOracleCoop() }, n, m, 1, 1, 60)
+	var rounds []float64
+	for _, r := range results {
+		if !r.AllHonestSatisfied() {
+			t.Fatal("oracle did not finish")
+		}
+		rounds = append(rounds, float64(r.Rounds))
+	}
+	mean := stats.Mean(rounds)
+	urn := float64(m) / float64(n) / 2 // expected position of the good ball / players
+	if mean < urn/3 || mean > urn*3+3 {
+		t.Fatalf("oracle mean rounds %v far from urn prediction ≈ %v", mean, urn)
+	}
+}
+
+func TestOracleBeatsTrivialWhenManyPlayers(t *testing.T) {
+	// Collective search divides the work: oracle cost ≈ 1/(αβn) rounds,
+	// trivial cost ≈ 1/β. With n = 50 players the oracle must win big.
+	const n, m = 50, 500
+	trivial := run(t, func() sim.Protocol { return NewTrivialRandom() }, n, m, 1, 1, 20)
+	oracle := run(t, func() sim.Protocol { return NewOracleCoop() }, n, m, 1, 1, 20)
+	mt := sim.AggregateResults(trivial).MeanIndividualProbes
+	mo := sim.AggregateResults(oracle).MeanIndividualProbes
+	if mo*5 > mt {
+		t.Fatalf("oracle (%v probes) should be ≥5x cheaper than trivial (%v)", mo, mt)
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	if NewTrivialRandom().Name() != "trivial-random" ||
+		NewAsyncRoundRobin().Name() != "async-round-robin" ||
+		NewOracleCoop().Name() != "oracle-coop" {
+		t.Fatal("baseline names changed; EXPERIMENTS.md references them")
+	}
+}
+
+func TestTrivialRandomExpectedValueSanity(t *testing.T) {
+	// Sanity on the geometric mean: with β = 1/2 expected probes ≈ 2.
+	results := run(t, func() sim.Protocol { return NewTrivialRandom() }, 4, 10, 5, 1, 50)
+	var probes []float64
+	for _, r := range results {
+		probes = append(probes, r.HonestProbes()...)
+	}
+	if m := stats.Mean(probes); math.Abs(m-2) > 0.7 {
+		t.Fatalf("mean probes %v, want ≈ 2", m)
+	}
+}
+
+func TestPopularityFollowsVotes(t *testing.T) {
+	// With a single voted object, every player's first probe after the vote
+	// commits must be that object.
+	u, err := object.NewPlanted(object.Planted{M: 50, Good: 1}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := u.GoodObjects()[0]
+	e, err := sim.NewEngine(sim.Config{
+		Universe: u, Protocol: NewPopularity(), N: 8, Alpha: 1,
+		Seed: 11, MaxRounds: 10000, KeepLog: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHonestSatisfied() {
+		t.Fatal("popularity search did not finish")
+	}
+	// Once somebody voted the good object, the rest should pile onto it:
+	// every player probes it exactly once and never twice.
+	seen := map[int]int{}
+	for _, post := range e.Board().Log() {
+		if post.Object == good {
+			seen[post.Player]++
+		}
+	}
+	for p, c := range seen {
+		if c > 1 {
+			t.Fatalf("player %d probed the good object %d times; tried-set broken", p, c)
+		}
+	}
+}
+
+func TestPopularityHerdedBySpam(t *testing.T) {
+	// The §1.3 weakness: with (1-α)n spam votes, popularity wastes probes
+	// linearly in the dishonest count; DISTILL does not.
+	const n = 256
+	runProto := func(proto func() sim.Protocol) float64 {
+		results := run(t, proto, n, n, 1, 0.5, 10)
+		return sim.AggregateResults(results).MeanIndividualProbes
+	}
+	_ = runProto
+	resultsPop, err := sim.Replicator{
+		Reps: 10, BaseSeed: 500,
+		Build: func(seed uint64) (*sim.Engine, error) {
+			u, err := object.NewPlanted(object.Planted{M: n, Good: 1}, rng.New(seed))
+			if err != nil {
+				return nil, err
+			}
+			return sim.NewEngine(sim.Config{
+				Universe: u, Protocol: NewPopularity(), N: n, Alpha: 0.5,
+				Adversary: spamAdv{}, Seed: seed, MaxRounds: 1 << 15,
+			})
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sim.AggregateResults(resultsPop)
+	// 128 dishonest spam votes: popularity should waste on the order of
+	// that many probes per player.
+	if agg.MeanIndividualProbes < 30 {
+		t.Fatalf("popularity under spam cost only %.1f probes; herding not happening",
+			agg.MeanIndividualProbes)
+	}
+	if agg.SuccessRate != 1 {
+		t.Fatalf("popularity failed to finish: %v", agg.SuccessRate)
+	}
+}
+
+// spamAdv votes a distinct bad object per dishonest player in round 0
+// (local copy to avoid importing the adversary package).
+type spamAdv struct{}
+
+func (spamAdv) Name() string { return "spam-local" }
+func (spamAdv) Act(ctx *sim.AdvContext) {
+	if ctx.Round != 0 {
+		return
+	}
+	i := 0
+	for _, p := range ctx.Dishonest {
+		for ; i < ctx.Universe.M(); i++ {
+			if !ctx.Universe.IsGood(i) {
+				_ = ctx.Board.Post(billboard.Post{Player: p, Object: i, Value: 1, Positive: true})
+				i++
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/billboard"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Popularity is the §1.3 strawman: follow the crowd. Each round a player
+// probes the not-yet-tried object with the most cumulative votes (ties
+// broken randomly), falling back to a uniformly random object when nothing
+// popular is left. Web-search-style popularity ranking is exactly what the
+// paper's related-work section warns about: "such popularity-style
+// algorithms actually enhance the power of malicious users" — a coordinated
+// minority controls the top of the ranking and the crowd dutifully wastes
+// probes on it. Experiment X4 measures the damage.
+//
+// Per-player tried-sets make this protocol stateful per player, unlike the
+// shared-schedule DISTILL; memory is O(n + total probes).
+type Popularity struct {
+	n, m  int
+	src   *rng.Source
+	board billboard.Reader
+	tried []map[int]bool // per player, objects already probed
+}
+
+var _ sim.Protocol = (*Popularity)(nil)
+
+// NewPopularity returns the popularity-following baseline.
+func NewPopularity() *Popularity { return &Popularity{} }
+
+// Name implements sim.Protocol.
+func (p *Popularity) Name() string { return "popularity" }
+
+// Init implements sim.Protocol.
+func (p *Popularity) Init(setup sim.Setup) error {
+	p.n = setup.N
+	p.m = setup.Universe.M()
+	p.src = setup.Rng
+	p.board = setup.Board
+	p.tried = make([]map[int]bool, setup.N)
+	return nil
+}
+
+// PrescribedRounds implements sim.Protocol.
+func (p *Popularity) PrescribedRounds() int { return 0 }
+
+// Probes implements sim.Protocol.
+func (p *Popularity) Probes(round int, active []int, dst []sim.Probe) []sim.Probe {
+	// Rank the currently voted objects once per round (shared view).
+	voted := p.board.VotedObjects()
+	type ranked struct {
+		obj   int
+		count int
+	}
+	ranking := make([]ranked, len(voted))
+	for i, obj := range voted {
+		ranking[i] = ranked{obj, p.board.VoteCount(obj)}
+	}
+	sort.Slice(ranking, func(a, b int) bool {
+		if ranking[a].count != ranking[b].count {
+			return ranking[a].count > ranking[b].count
+		}
+		return ranking[a].obj < ranking[b].obj
+	})
+
+	for _, player := range active {
+		if p.tried[player] == nil {
+			p.tried[player] = make(map[int]bool)
+		}
+		obj := -1
+		for _, r := range ranking {
+			if !p.tried[player][r.obj] {
+				obj = r.obj
+				break
+			}
+		}
+		if obj < 0 {
+			// Nothing popular left: explore uniformly among untried objects
+			// (rejection sampling; falls back to any object when the tried
+			// set saturates).
+			for attempt := 0; attempt < 4; attempt++ {
+				cand := p.src.Intn(p.m)
+				if !p.tried[player][cand] {
+					obj = cand
+					break
+				}
+			}
+			if obj < 0 {
+				obj = p.src.Intn(p.m)
+			}
+		}
+		p.tried[player][obj] = true
+		dst = append(dst, sim.Probe{Player: player, Object: obj})
+	}
+	return dst
+}

@@ -1,0 +1,375 @@
+// Package billboard implements the shared public billboard of the paper's
+// model (§2.1): an append-only log of probe reports, each reliably tagged
+// with the posting player's identity and a timestamp (the round number).
+//
+// The billboard also implements the vote discipline DISTILL relies on
+// (§4): each player's *votes* are derived from its positive reports under
+// one of two rules —
+//
+//   - FirstPositive (local testing): a player's votes are its first f
+//     positive reports on distinct objects; all later positive reports are
+//     ignored. The paper uses f = 1; §4.1 generalizes to f votes.
+//   - BestValue (no local testing, §5.3): a player's single vote is the
+//     highest-value object it has reported so far, and may change as the
+//     execution progresses.
+//
+// Synchrony: posts made during a round are buffered and only become visible
+// after EndRound, so all players observing the board within one round see
+// the same state, matching the synchronous model of §2.1. Adaptive
+// adversaries may inspect the uncommitted buffer via Pending.
+package billboard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Reader is the read-only view of a billboard that honest protocols
+// consume. *Board implements it locally; the network client in
+// internal/client implements it against a remote billboard server, so the
+// same protocol code runs in-process and distributed.
+type Reader interface {
+	// Round returns the current round number.
+	Round() int
+	// Votes returns player p's current committed votes.
+	Votes(player int) []Vote
+	// HasVote reports whether player p has at least one committed vote.
+	HasVote(player int) bool
+	// VoteCount returns the number of current committed votes on object i.
+	VoteCount(object int) int
+	// NegativeCount returns the number of committed negative reports on
+	// object i.
+	NegativeCount(object int) int
+	// VotedObjects returns the distinct objects holding votes, ascending.
+	VotedObjects() []int
+	// NumVotedObjects returns the number of distinct objects with votes.
+	NumVotedObjects() int
+	// CountVotesInWindow counts vote events per object with round in
+	// [fromRound, toRound).
+	CountVotesInWindow(fromRound, toRound int) map[int]int
+}
+
+// VoteMode selects how votes are derived from posts.
+type VoteMode int
+
+const (
+	// FirstPositive derives votes from the first f positive reports of each
+	// player (the §4 local-testing rule).
+	FirstPositive VoteMode = iota + 1
+	// BestValue derives each player's single vote as its highest-value
+	// report so far (the §5.3 no-local-testing rule).
+	BestValue
+)
+
+// String returns the mode name.
+func (m VoteMode) String() string {
+	switch m {
+	case FirstPositive:
+		return "first-positive"
+	case BestValue:
+		return "best-value"
+	default:
+		return fmt.Sprintf("VoteMode(%d)", int(m))
+	}
+}
+
+// Post is one report on the billboard: player reports the value it observed
+// probing an object. Positive marks the report as a recommendation ("this
+// object is good"); it is meaningful only in FirstPositive mode. Round is
+// assigned by the board at commit time.
+type Post struct {
+	Player   int
+	Object   int
+	Value    float64
+	Positive bool
+	Round    int
+}
+
+// Vote is a player's current recommendation of an object.
+type Vote struct {
+	Player int
+	Object int
+	Round  int // round the vote was (last) cast
+	Value  float64
+}
+
+// VoteEvent records that a player's vote landed on an object at a given
+// round. In FirstPositive mode each vote produces exactly one event (votes
+// never move); in BestValue mode a player produces an event whenever its
+// vote improves or is re-affirmed by probing its current best object again.
+// Events are what the per-iteration vote counts ℓ_t(i) of Figure 1 count.
+type VoteEvent struct {
+	Player int
+	Object int
+	Round  int
+}
+
+// Config parameterizes a Board.
+type Config struct {
+	Players int // number of players n (required, > 0)
+	Objects int // number of objects m (required, > 0)
+	// Mode selects the vote rule; defaults to FirstPositive.
+	Mode VoteMode
+	// VotesPerPlayer is the cap f on positive votes per player in
+	// FirstPositive mode; defaults to 1 (the paper's base rule). Ignored in
+	// BestValue mode (always exactly one, movable).
+	VotesPerPlayer int
+	// KeepLog retains every post verbatim (including negative reports).
+	// Costs memory proportional to the total number of probes; only the
+	// vote structures are needed by the algorithms, so this defaults off.
+	KeepLog bool
+	// VoteFilter, when non-nil, vetoes vote derivation: a positive report
+	// by player p on object o only becomes a vote if VoteFilter(p, o) is
+	// true. Models honest-side vote-admission rules such as the §6
+	// object-ownership extension ("ignore votes for objects the voter
+	// owns"); the report itself is still posted.
+	VoteFilter func(player, object int) bool
+}
+
+// Board is the shared billboard. It is not safe for concurrent use; the
+// engine serializes access within a round.
+type Board struct {
+	cfg   Config
+	round int
+
+	pending []Post
+
+	log []Post // full post log if cfg.KeepLog
+
+	// votesByPlayer[p] holds player p's committed votes (<= f entries in
+	// FirstPositive mode; <= 1 entry in BestValue mode).
+	votesByPlayer [][]Vote
+	// voteCount[i] is the number of current committed votes on object i.
+	voteCount []int
+	// negCount[i] is the number of committed negative reports on object i
+	// (FirstPositive mode only; the base algorithm ignores it, the §6
+	// negative-recommendation extension consumes it).
+	negCount []int
+	// votedObjects is the number of objects with voteCount > 0.
+	votedObjects int
+
+	// events is the append-ordered vote event log; rounds are
+	// non-decreasing, so window queries binary search.
+	events []VoteEvent
+}
+
+// New validates cfg and returns an empty board at round 0.
+func New(cfg Config) (*Board, error) {
+	if cfg.Players <= 0 {
+		return nil, fmt.Errorf("billboard: Players must be > 0, got %d", cfg.Players)
+	}
+	if cfg.Objects <= 0 {
+		return nil, fmt.Errorf("billboard: Objects must be > 0, got %d", cfg.Objects)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = FirstPositive
+	}
+	if cfg.Mode != FirstPositive && cfg.Mode != BestValue {
+		return nil, fmt.Errorf("billboard: unknown vote mode %d", cfg.Mode)
+	}
+	if cfg.VotesPerPlayer == 0 {
+		cfg.VotesPerPlayer = 1
+	}
+	if cfg.VotesPerPlayer < 0 {
+		return nil, fmt.Errorf("billboard: VotesPerPlayer must be >= 0, got %d", cfg.VotesPerPlayer)
+	}
+	return &Board{
+		cfg:           cfg,
+		votesByPlayer: make([][]Vote, cfg.Players),
+		voteCount:     make([]int, cfg.Objects),
+		negCount:      make([]int, cfg.Objects),
+	}, nil
+}
+
+// Round returns the current round number (the number of EndRound calls).
+func (b *Board) Round() int { return b.round }
+
+// Mode returns the vote rule in effect.
+func (b *Board) Mode() VoteMode { return b.cfg.Mode }
+
+// Post buffers a report; it becomes visible after EndRound. Posts with an
+// out-of-range player or object are rejected with an error (the billboard
+// reliably tags identity, so a Byzantine player cannot spoof another id —
+// the engine passes the authenticated player id).
+func (b *Board) Post(p Post) error {
+	if p.Player < 0 || p.Player >= b.cfg.Players {
+		return fmt.Errorf("billboard: player %d out of range [0, %d)", p.Player, b.cfg.Players)
+	}
+	if p.Object < 0 || p.Object >= b.cfg.Objects {
+		return fmt.Errorf("billboard: object %d out of range [0, %d)", p.Object, b.cfg.Objects)
+	}
+	p.Round = b.round
+	b.pending = append(b.pending, p)
+	return nil
+}
+
+// Pending returns the posts buffered in the current round, in posting
+// order. This is the adaptive adversary's view of in-flight honest actions;
+// honest protocol code must not use it.
+func (b *Board) Pending() []Post {
+	out := make([]Post, len(b.pending))
+	copy(out, b.pending)
+	return out
+}
+
+// EndRound commits the round's buffered posts in posting order and
+// advances the round counter.
+func (b *Board) EndRound() {
+	for _, p := range b.pending {
+		b.commit(p)
+	}
+	b.pending = b.pending[:0]
+	b.round++
+}
+
+func (b *Board) commit(p Post) {
+	if b.cfg.KeepLog {
+		b.log = append(b.log, p)
+	}
+	switch b.cfg.Mode {
+	case FirstPositive:
+		if !p.Positive {
+			b.negCount[p.Object]++
+			return
+		}
+		if b.cfg.VoteFilter != nil && !b.cfg.VoteFilter(p.Player, p.Object) {
+			return // vetoed by the vote-admission rule; report only
+		}
+		votes := b.votesByPlayer[p.Player]
+		if len(votes) >= b.cfg.VotesPerPlayer {
+			return // vote budget exhausted; report ignored
+		}
+		for _, v := range votes {
+			if v.Object == p.Object {
+				return // duplicate vote for the same object; ignored
+			}
+		}
+		v := Vote{Player: p.Player, Object: p.Object, Round: p.Round, Value: p.Value}
+		b.votesByPlayer[p.Player] = append(votes, v)
+		b.bumpObject(p.Object)
+		b.events = append(b.events, VoteEvent{Player: p.Player, Object: p.Object, Round: p.Round})
+	case BestValue:
+		votes := b.votesByPlayer[p.Player]
+		switch {
+		case len(votes) == 0:
+			v := Vote{Player: p.Player, Object: p.Object, Round: p.Round, Value: p.Value}
+			b.votesByPlayer[p.Player] = []Vote{v}
+			b.bumpObject(p.Object)
+			b.events = append(b.events, VoteEvent{Player: p.Player, Object: p.Object, Round: p.Round})
+		case p.Value > votes[0].Value:
+			// Vote moves to the strictly better object.
+			old := votes[0].Object
+			if old != p.Object {
+				b.dropObject(old)
+				b.bumpObject(p.Object)
+			}
+			votes[0] = Vote{Player: p.Player, Object: p.Object, Round: p.Round, Value: p.Value}
+			b.events = append(b.events, VoteEvent{Player: p.Player, Object: p.Object, Round: p.Round})
+		case p.Object == votes[0].Object:
+			// Re-affirmation: the player probed its current best again.
+			// State is unchanged but the event counts toward this window's
+			// ℓ_t so that sustained support is visible per iteration.
+			votes[0].Round = p.Round
+			b.events = append(b.events, VoteEvent{Player: p.Player, Object: p.Object, Round: p.Round})
+		}
+	}
+}
+
+func (b *Board) bumpObject(obj int) {
+	if b.voteCount[obj] == 0 {
+		b.votedObjects++
+	}
+	b.voteCount[obj]++
+}
+
+func (b *Board) dropObject(obj int) {
+	b.voteCount[obj]--
+	if b.voteCount[obj] == 0 {
+		b.votedObjects--
+	}
+}
+
+// Votes returns player p's current committed votes. The returned slice is
+// a copy.
+func (b *Board) Votes(player int) []Vote {
+	votes := b.votesByPlayer[player]
+	if len(votes) == 0 {
+		return nil
+	}
+	out := make([]Vote, len(votes))
+	copy(out, votes)
+	return out
+}
+
+// HasVote reports whether player p has at least one committed vote.
+func (b *Board) HasVote(player int) bool {
+	return len(b.votesByPlayer[player]) > 0
+}
+
+// VoteCount returns the number of current committed votes on object i.
+func (b *Board) VoteCount(object int) int { return b.voteCount[object] }
+
+// NegativeCount returns the number of committed negative reports on object
+// i (FirstPositive mode).
+func (b *Board) NegativeCount(object int) int { return b.negCount[object] }
+
+// VotedObjects returns the distinct objects with at least one committed
+// vote, in increasing object order. This is the set S of Step 1.2.
+func (b *Board) VotedObjects() []int {
+	out := make([]int, 0, b.votedObjects)
+	for i, c := range b.voteCount {
+		if c > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumVotedObjects returns the number of distinct objects holding votes.
+func (b *Board) NumVotedObjects() int { return b.votedObjects }
+
+// TotalVotes returns the total number of committed current votes.
+func (b *Board) TotalVotes() int {
+	total := 0
+	for _, votes := range b.votesByPlayer {
+		total += len(votes)
+	}
+	return total
+}
+
+// CountVotesInWindow returns, for each object, the number of vote events
+// with round in [fromRound, toRound). This realizes the shared variable
+// ℓ_t(i) of Figure 1: votes an object received during iteration t.
+func (b *Board) CountVotesInWindow(fromRound, toRound int) map[int]int {
+	counts := make(map[int]int)
+	lo := sort.Search(len(b.events), func(i int) bool { return b.events[i].Round >= fromRound })
+	for i := lo; i < len(b.events) && b.events[i].Round < toRound; i++ {
+		counts[b.events[i].Object]++
+	}
+	return counts
+}
+
+// EventsInWindow returns the vote events with round in [fromRound, toRound).
+func (b *Board) EventsInWindow(fromRound, toRound int) []VoteEvent {
+	lo := sort.Search(len(b.events), func(i int) bool { return b.events[i].Round >= fromRound })
+	hi := lo
+	for hi < len(b.events) && b.events[hi].Round < toRound {
+		hi++
+	}
+	out := make([]VoteEvent, hi-lo)
+	copy(out, b.events[lo:hi])
+	return out
+}
+
+// Log returns the full post log if KeepLog was enabled, else nil. The
+// returned slice is a copy.
+func (b *Board) Log() []Post {
+	if !b.cfg.KeepLog {
+		return nil
+	}
+	out := make([]Post, len(b.log))
+	copy(out, b.log)
+	return out
+}
+
+var _ Reader = (*Board)(nil)

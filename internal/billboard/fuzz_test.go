@@ -1,0 +1,123 @@
+package billboard
+
+import "testing"
+
+// FuzzBoardInvariants drives a board with an arbitrary post/commit script
+// and checks the global accounting invariants after every commit:
+//
+//   - Σ VoteCount == TotalVotes == Σ per-player votes
+//   - NumVotedObjects == #objects with positive count
+//   - per-player vote counts never exceed the cap f
+//   - vote counts never decrease in FirstPositive mode
+func FuzzBoardInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 0, 5, 6, 0}, uint8(1), false)
+	f.Add([]byte{9, 9, 9, 9}, uint8(3), true)
+	f.Fuzz(func(t *testing.T, script []byte, fRaw uint8, bestValue bool) {
+		const players, objects = 6, 10
+		votesPer := int(fRaw%4) + 1
+		mode := FirstPositive
+		if bestValue {
+			mode = BestValue
+		}
+		b, err := New(Config{
+			Players: players, Objects: objects,
+			Mode: mode, VotesPerPlayer: votesPer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevTotal := 0
+		for i, op := range script {
+			if op == 0 {
+				b.EndRound()
+				// Invariant checks at every commit point.
+				sum, voted := 0, 0
+				for obj := 0; obj < objects; obj++ {
+					c := b.VoteCount(obj)
+					if c < 0 {
+						t.Fatalf("negative vote count on %d", obj)
+					}
+					sum += c
+					if c > 0 {
+						voted++
+					}
+				}
+				perPlayer := 0
+				for p := 0; p < players; p++ {
+					votes := b.Votes(p)
+					limit := votesPer
+					if mode == BestValue {
+						limit = 1
+					}
+					if len(votes) > limit {
+						t.Fatalf("player %d holds %d votes, cap %d", p, len(votes), limit)
+					}
+					perPlayer += len(votes)
+				}
+				if sum != b.TotalVotes() || sum != perPlayer {
+					t.Fatalf("vote accounting split: counts %d total %d perPlayer %d",
+						sum, b.TotalVotes(), perPlayer)
+				}
+				if voted != b.NumVotedObjects() {
+					t.Fatalf("voted objects %d != %d", voted, b.NumVotedObjects())
+				}
+				if mode == FirstPositive && sum < prevTotal {
+					t.Fatalf("votes disappeared: %d -> %d", prevTotal, sum)
+				}
+				prevTotal = sum
+				continue
+			}
+			post := Post{
+				Player:   int(op) % players,
+				Object:   int(op>>2) % objects,
+				Value:    float64(op%7) / 7,
+				Positive: op%2 == 1,
+			}
+			if err := b.Post(post); err != nil {
+				t.Fatalf("in-range post rejected: %v", err)
+			}
+			_ = i
+		}
+	})
+}
+
+// FuzzWindowCounts checks that window queries partition correctly: counts
+// over [0, r) equal the sum of counts over [0, k) and [k, r) for any split.
+func FuzzWindowCounts(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 3, 0}, uint8(1))
+	f.Fuzz(func(t *testing.T, script []byte, splitRaw uint8) {
+		b, err := New(Config{Players: 8, Objects: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range script {
+			if op == 0 {
+				b.EndRound()
+				continue
+			}
+			_ = b.Post(Post{
+				Player:   int(op) % 8,
+				Object:   int(op>>3) % 8,
+				Value:    1,
+				Positive: true,
+			})
+		}
+		b.EndRound()
+		r := b.Round()
+		split := int(splitRaw) % (r + 1)
+		full := b.CountVotesInWindow(0, r)
+		left := b.CountVotesInWindow(0, split)
+		right := b.CountVotesInWindow(split, r)
+		for obj, want := range full {
+			if left[obj]+right[obj] != want {
+				t.Fatalf("window split broken at %d for object %d: %d + %d != %d",
+					split, obj, left[obj], right[obj], want)
+			}
+		}
+		for obj, c := range left {
+			if c > full[obj] {
+				t.Fatalf("left window exceeds full for object %d", obj)
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package billboard
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// snapshotState is the serialized form of a Board's committed state.
+// Pending (uncommitted) posts are deliberately excluded: per the synchrony
+// contract they were never visible, so a snapshot always lands on a round
+// boundary.
+type snapshotState struct {
+	Players        int
+	Objects        int
+	Mode           VoteMode
+	VotesPerPlayer int
+	Round          int
+	VotesByPlayer  [][]Vote
+	NegCount       []int
+	Events         []VoteEvent
+	Log            []Post
+	KeepLog        bool
+}
+
+// Snapshot serializes the board's committed state (votes, vote events with
+// their round timestamps, negative counts, the optional full log, and the
+// round counter). Together with a journal of the rounds that follow, it
+// reconstructs the exact board — the compaction story for long-running
+// billboard services.
+func (b *Board) Snapshot() ([]byte, error) {
+	if len(b.pending) != 0 {
+		return nil, fmt.Errorf("billboard: snapshot with %d uncommitted posts; call EndRound first", len(b.pending))
+	}
+	st := snapshotState{
+		Players:        b.cfg.Players,
+		Objects:        b.cfg.Objects,
+		Mode:           b.cfg.Mode,
+		VotesPerPlayer: b.cfg.VotesPerPlayer,
+		Round:          b.round,
+		VotesByPlayer:  b.votesByPlayer,
+		NegCount:       b.negCount,
+		Events:         b.events,
+		Log:            b.log,
+		KeepLog:        b.cfg.KeepLog,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("billboard: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore rebuilds a board from a Snapshot. The VoteFilter (a function,
+// not serializable) must be re-supplied via filter; pass nil when none was
+// in use.
+func Restore(data []byte, filter func(player, object int) bool) (*Board, error) {
+	var st snapshotState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("billboard: restore: %w", err)
+	}
+	b, err := New(Config{
+		Players:        st.Players,
+		Objects:        st.Objects,
+		Mode:           st.Mode,
+		VotesPerPlayer: st.VotesPerPlayer,
+		KeepLog:        st.KeepLog,
+		VoteFilter:     filter,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("billboard: restore: %w", err)
+	}
+	b.round = st.Round
+	b.votesByPlayer = st.VotesByPlayer
+	if b.votesByPlayer == nil {
+		b.votesByPlayer = make([][]Vote, st.Players)
+	}
+	if st.NegCount != nil {
+		b.negCount = st.NegCount
+	}
+	b.events = st.Events
+	b.log = st.Log
+	// Rebuild the derived per-object counters from the vote state.
+	for _, votes := range b.votesByPlayer {
+		for _, v := range votes {
+			b.bumpObject(v.Object)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,100 @@
+package client
+
+import "repro/internal/billboard"
+
+// Cached wraps a Client with a per-round read cache. Billboard state only
+// changes at round boundaries (the synchrony contract), so every read in a
+// round can be served from the first RPC's result; the distributed player
+// invalidates the cache after each Barrier. This cuts the advice-heavy
+// protocols' RPC count by roughly the number of reads per round.
+type Cached struct {
+	c *Client
+
+	votes    map[int][]billboard.Vote
+	counts   map[int]int
+	negs     map[int]int
+	windows  map[[2]int]map[int]int
+	objects  []int
+	haveObjs bool
+}
+
+var _ billboard.Reader = (*Cached)(nil)
+
+// NewCached wraps c. The caller must Invalidate after every round barrier.
+func NewCached(c *Client) *Cached {
+	cc := &Cached{c: c}
+	cc.Invalidate()
+	return cc
+}
+
+// Client returns the underlying connection (for Probe/Post/Barrier/Done).
+func (cc *Cached) Client() *Client { return cc.c }
+
+// Invalidate drops all cached reads; call after each Barrier.
+func (cc *Cached) Invalidate() {
+	cc.votes = make(map[int][]billboard.Vote)
+	cc.counts = make(map[int]int)
+	cc.negs = make(map[int]int)
+	cc.windows = make(map[[2]int]map[int]int)
+	cc.objects = nil
+	cc.haveObjs = false
+}
+
+// Round returns the last observed round.
+func (cc *Cached) Round() int { return cc.c.Round() }
+
+// Votes returns player p's votes, cached for the round.
+func (cc *Cached) Votes(player int) []billboard.Vote {
+	if v, ok := cc.votes[player]; ok {
+		return v
+	}
+	v := cc.c.Votes(player)
+	cc.votes[player] = v
+	return v
+}
+
+// HasVote reports whether player p holds a vote.
+func (cc *Cached) HasVote(player int) bool { return len(cc.Votes(player)) > 0 }
+
+// VoteCount returns object i's vote count, cached for the round.
+func (cc *Cached) VoteCount(object int) int {
+	if v, ok := cc.counts[object]; ok {
+		return v
+	}
+	v := cc.c.VoteCount(object)
+	cc.counts[object] = v
+	return v
+}
+
+// NegativeCount returns object i's negative-report count, cached.
+func (cc *Cached) NegativeCount(object int) int {
+	if v, ok := cc.negs[object]; ok {
+		return v
+	}
+	v := cc.c.NegativeCount(object)
+	cc.negs[object] = v
+	return v
+}
+
+// VotedObjects returns the voted-object set, cached for the round.
+func (cc *Cached) VotedObjects() []int {
+	if !cc.haveObjs {
+		cc.objects = cc.c.VotedObjects()
+		cc.haveObjs = true
+	}
+	return cc.objects
+}
+
+// NumVotedObjects returns the number of voted objects.
+func (cc *Cached) NumVotedObjects() int { return len(cc.VotedObjects()) }
+
+// CountVotesInWindow returns window counts, cached per window bounds.
+func (cc *Cached) CountVotesInWindow(fromRound, toRound int) map[int]int {
+	key := [2]int{fromRound, toRound}
+	if v, ok := cc.windows[key]; ok {
+		return v
+	}
+	v := cc.c.CountVotesInWindow(fromRound, toRound)
+	cc.windows[key] = v
+	return v
+}

@@ -1,0 +1,215 @@
+// Package client is the player-side library for the networked billboard
+// service (internal/server). A Client implements billboard.Reader and
+// sim.PublicUniverse against the remote server, so the very same protocol
+// code (core.Distill and friends) that runs in the in-process engine drives
+// a distributed player over TCP.
+package client
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+
+	"repro/internal/billboard"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Client is one player's authenticated connection to a billboard server.
+// It is not safe for concurrent use; each player goroutine owns one Client.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	player       int
+	n, m         int
+	localTesting bool
+	alpha, beta  float64
+	costs        []float64
+	round        int
+}
+
+var (
+	_ billboard.Reader   = (*Client)(nil)
+	_ sim.PublicUniverse = (*Client)(nil)
+)
+
+// Dial connects and authenticates as the given player.
+func Dial(addr string, player int, token string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	c := &Client{
+		conn:   conn,
+		enc:    gob.NewEncoder(conn),
+		dec:    gob.NewDecoder(conn),
+		player: player,
+	}
+	resp, err := c.call(wire.Request{
+		Type: wire.ReqHello, Player: player, Token: token, Version: wire.Version,
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.n = resp.N
+	c.m = resp.M
+	c.localTesting = resp.LocalTesting
+	c.alpha = resp.Alpha
+	c.beta = resp.Beta
+	c.costs = resp.Costs
+	c.round = resp.Round
+	return c, nil
+}
+
+// Close tears down the connection. The server treats a dropped connection
+// as Done, so closing mid-round cannot wedge the barrier.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Player returns the authenticated player id.
+func (c *Client) Player() int { return c.player }
+
+// N returns the total number of players.
+func (c *Client) N() int { return c.n }
+
+// Alpha returns the server-advertised assumed honest fraction.
+func (c *Client) Alpha() float64 { return c.alpha }
+
+// Beta returns the server-advertised assumed good fraction.
+func (c *Client) Beta() float64 { return c.beta }
+
+func (c *Client) call(req wire.Request) (*wire.Response, error) {
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, fmt.Errorf("client: send %v: %w", req.Type, err)
+	}
+	var resp wire.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("client: recv %v: %w", req.Type, err)
+	}
+	if resp.Round > c.round {
+		c.round = resp.Round
+	}
+	if err := resp.Error(); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// sim.PublicUniverse implementation (from the Hello payload).
+
+// M returns the number of objects.
+func (c *Client) M() int { return c.m }
+
+// Cost returns the public cost of object i.
+func (c *Client) Cost(i int) float64 { return c.costs[i] }
+
+// LocalTesting reports the goodness model.
+func (c *Client) LocalTesting() bool { return c.localTesting }
+
+// ProbeResult is what a probe reveals to the prober.
+type ProbeResult struct {
+	Value float64
+	Good  bool // meaningful only with local testing
+	Cost  float64
+}
+
+// Probe pays object obj's cost and reveals its value (plus goodness under
+// local testing).
+func (c *Client) Probe(obj int) (ProbeResult, error) {
+	resp, err := c.call(wire.Request{Type: wire.ReqProbe, Object: obj})
+	if err != nil {
+		return ProbeResult{}, err
+	}
+	return ProbeResult{Value: resp.Value, Good: resp.Good, Cost: resp.Cost}, nil
+}
+
+// Post appends a report under the client's authenticated identity.
+func (c *Client) Post(obj int, value float64, positive bool) error {
+	_, err := c.call(wire.Request{Type: wire.ReqPost, Object: obj, Value: value, Positive: positive})
+	return err
+}
+
+// Barrier ends the caller's round and blocks until the server commits it.
+// It returns the new round number.
+func (c *Client) Barrier() (int, error) {
+	resp, err := c.call(wire.Request{Type: wire.ReqBarrier})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Round, nil
+}
+
+// Done deregisters the player from future rounds.
+func (c *Client) Done() error {
+	_, err := c.call(wire.Request{Type: wire.ReqDone})
+	return err
+}
+
+// billboard.Reader implementation (RPC-backed). Errors are not expressible
+// through the Reader interface, so transport failures surface as zero
+// values here and as errors on the next explicit call; the distributed
+// runner always finishes rounds with explicit calls (Probe/Post/Barrier),
+// which do report errors.
+
+// Round returns the last round number observed from the server.
+func (c *Client) Round() int { return c.round }
+
+// Votes returns player p's committed votes.
+func (c *Client) Votes(player int) []billboard.Vote {
+	resp, err := c.call(wire.Request{Type: wire.ReqVotes, OfPlayer: player})
+	if err != nil {
+		return nil
+	}
+	votes := make([]billboard.Vote, len(resp.Votes))
+	for i, v := range resp.Votes {
+		votes[i] = billboard.Vote{Player: v.Player, Object: v.Object, Round: v.Round, Value: v.Value}
+	}
+	return votes
+}
+
+// HasVote reports whether player p has a committed vote.
+func (c *Client) HasVote(player int) bool { return len(c.Votes(player)) > 0 }
+
+// VoteCount returns object i's committed vote count.
+func (c *Client) VoteCount(object int) int {
+	resp, err := c.call(wire.Request{Type: wire.ReqVoteCount, Object: object})
+	if err != nil {
+		return 0
+	}
+	return resp.Count
+}
+
+// NegativeCount returns object i's negative-report count.
+func (c *Client) NegativeCount(object int) int {
+	resp, err := c.call(wire.Request{Type: wire.ReqNegCount, Object: object})
+	if err != nil {
+		return 0
+	}
+	return resp.Count
+}
+
+// VotedObjects returns the objects currently holding votes.
+func (c *Client) VotedObjects() []int {
+	resp, err := c.call(wire.Request{Type: wire.ReqVotedObjects})
+	if err != nil {
+		return nil
+	}
+	return resp.Objects
+}
+
+// NumVotedObjects returns the number of objects holding votes.
+func (c *Client) NumVotedObjects() int { return len(c.VotedObjects()) }
+
+// CountVotesInWindow counts vote events per object in [fromRound, toRound).
+func (c *Client) CountVotesInWindow(fromRound, toRound int) map[int]int {
+	resp, err := c.call(wire.Request{Type: wire.ReqWindow, From: fromRound, To: toRound})
+	if err != nil {
+		return map[int]int{}
+	}
+	if resp.Counts == nil {
+		return map[int]int{}
+	}
+	return resp.Counts
+}

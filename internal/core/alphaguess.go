@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// AlphaGuess is the §5.1 wrapper for unknown α: it runs DISTILL^HP in
+// phases i = 0, 1, 2, ..., where phase i assumes α = 2^-i and lasts exactly
+// 2^i · k3 · log2(n) · (1/(βn) + 1) rounds. Once 2^-i drops below the true
+// honest fraction, that phase succeeds with high probability; earlier
+// phases leave only harmless after-effects (some satisfied players, some
+// spent dishonest votes). Total time is at most twice the last phase, i.e.
+// O(log n/(α₀βn) + log n/α₀) for the true α₀.
+type AlphaGuess struct {
+	params Params
+	k3     float64
+
+	setup    sim.Setup
+	inner    *Distill
+	phase    int // current i
+	phaseEnd int // first round of the next phase
+	maxPhase int
+}
+
+var _ sim.Protocol = (*AlphaGuess)(nil)
+
+// NewAlphaGuess returns the halving wrapper. params parameterizes the inner
+// DISTILL^HP; k3 scales the per-phase round budget (default 4).
+func NewAlphaGuess(params Params, k3 float64) *AlphaGuess {
+	if k3 <= 0 {
+		k3 = 4
+	}
+	return &AlphaGuess{params: params, k3: k3}
+}
+
+// Name implements sim.Protocol.
+func (g *AlphaGuess) Name() string { return "distill-alphaguess" }
+
+// PrescribedRounds implements sim.Protocol.
+func (g *AlphaGuess) PrescribedRounds() int { return 0 }
+
+// Phase returns the current halving phase index i (assumed α = 2^-i).
+func (g *AlphaGuess) Phase() int { return g.phase }
+
+// Init implements sim.Protocol. The assumed α in setup is ignored — that is
+// the point of the wrapper — but β must still be provided.
+func (g *AlphaGuess) Init(setup sim.Setup) error {
+	if setup.Beta <= 0 || setup.Beta > 1 {
+		return fmt.Errorf("core: AlphaGuess needs assumed beta in (0, 1], got %v", setup.Beta)
+	}
+	g.setup = setup
+	g.maxPhase = int(math.Ceil(math.Log2(float64(setup.N))))
+	if g.maxPhase < 0 {
+		g.maxPhase = 0
+	}
+	g.phase = -1
+	g.phaseEnd = 0
+	return g.startPhase(0, 0)
+}
+
+// startPhase begins halving phase i at the given round.
+func (g *AlphaGuess) startPhase(i, round int) error {
+	g.phase = i
+	alpha := math.Pow(2, -float64(i))
+	logN := math.Log2(float64(g.setup.N))
+	if logN < 1 {
+		logN = 1
+	}
+	budget := math.Pow(2, float64(i)) * g.k3 * logN *
+		(1/(g.setup.Beta*float64(g.setup.N)) + 1)
+	g.phaseEnd = round + int(math.Ceil(budget))
+
+	g.inner = NewDistillHP(g.params)
+	innerSetup := g.setup
+	innerSetup.Alpha = alpha
+	if err := g.inner.Init(innerSetup); err != nil {
+		return fmt.Errorf("core: AlphaGuess phase %d: %w", i, err)
+	}
+	return nil
+}
+
+// Probes implements sim.Protocol.
+func (g *AlphaGuess) Probes(round int, active []int, dst []sim.Probe) []sim.Probe {
+	if round >= g.phaseEnd && g.phase < g.maxPhase {
+		// The phase budget is spent; halve the assumed α. Errors cannot
+		// occur here: the setup was validated at Init.
+		if err := g.startPhase(g.phase+1, round); err != nil {
+			return dst
+		}
+	}
+	return g.inner.Probes(round, active, dst)
+}

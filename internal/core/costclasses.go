@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// CostClasses is the §5.2 wrapper for the general cost model (Theorem 12).
+// Objects are aggregated into cost classes [2^i, 2^(i+1)) using their public
+// costs; the wrapper runs DISTILL^HP on class 0 for a prescribed budget,
+// then class 1, and so on, assuming β = 1/m_i within class i. A player
+// halts as soon as it probes a good object, so the total cost paid is
+// O(q₀ · m log n/(αn)) where q₀ is the cheapest good object's cost.
+//
+// Probing (including advice-following) is restricted to the current class so
+// that a Byzantine vote for an expensive object cannot inflate an honest
+// player's spend beyond the current class ceiling.
+type CostClasses struct {
+	params Params
+	k3     float64
+
+	setup    sim.Setup
+	classes  [][]int // object ids per class, in increasing class order
+	inner    *Distill
+	classIdx int
+	phaseEnd int
+}
+
+var _ sim.Protocol = (*CostClasses)(nil)
+
+// NewCostClasses returns the cost-class wrapper. params parameterizes the
+// inner DISTILL^HP (its Domain is overwritten per class); k3 scales the
+// per-class round budget (default 4).
+func NewCostClasses(params Params, k3 float64) *CostClasses {
+	if k3 <= 0 {
+		k3 = 4
+	}
+	return &CostClasses{params: params, k3: k3}
+}
+
+// Name implements sim.Protocol.
+func (c *CostClasses) Name() string { return "distill-costclasses" }
+
+// PrescribedRounds implements sim.Protocol.
+func (c *CostClasses) PrescribedRounds() int { return 0 }
+
+// ClassIndex returns the index (into the non-empty class list) of the class
+// currently being searched.
+func (c *CostClasses) ClassIndex() int { return c.classIdx }
+
+// Init implements sim.Protocol.
+func (c *CostClasses) Init(setup sim.Setup) error {
+	if setup.Alpha <= 0 || setup.Alpha > 1 {
+		return fmt.Errorf("core: CostClasses needs assumed alpha in (0, 1], got %v", setup.Alpha)
+	}
+	c.setup = setup
+
+	// Build classes from the public costs: class index floor(log2 cost).
+	byIndex := make(map[int][]int)
+	maxIdx := 0
+	for obj := 0; obj < setup.Universe.M(); obj++ {
+		cost := setup.Universe.Cost(obj)
+		if cost < 1 {
+			return fmt.Errorf("core: CostClasses requires costs >= 1, object %d costs %v", obj, cost)
+		}
+		idx := int(math.Floor(math.Log2(cost)))
+		for cost < math.Pow(2, float64(idx)) {
+			idx--
+		}
+		for cost >= math.Pow(2, float64(idx+1)) {
+			idx++
+		}
+		byIndex[idx] = append(byIndex[idx], obj)
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	c.classes = nil
+	for i := 0; i <= maxIdx; i++ {
+		if objs, ok := byIndex[i]; ok {
+			c.classes = append(c.classes, objs)
+		}
+	}
+	c.classIdx = -1
+	return c.startClass(0, 0)
+}
+
+// startClass begins searching class idx (wrapping around) at round.
+func (c *CostClasses) startClass(idx, round int) error {
+	idx %= len(c.classes)
+	c.classIdx = idx
+	objs := c.classes[idx]
+	mi := len(objs)
+
+	logN := math.Log2(float64(c.setup.N))
+	if logN < 1 {
+		logN = 1
+	}
+	// Per-class budget ~ log n · (m_i/(αn) + 1) rounds (proof of Thm 12).
+	budget := c.k3 * logN * (float64(mi)/(c.setup.Alpha*float64(c.setup.N)) + 1)
+	c.phaseEnd = round + int(math.Ceil(budget))
+
+	params := c.params
+	params.Domain = objs
+	c.inner = NewDistillHP(params)
+	innerSetup := c.setup
+	// Minimal assumption per the proof: one good object in the class.
+	innerSetup.Beta = 1 / float64(mi)
+	if err := c.inner.Init(innerSetup); err != nil {
+		return fmt.Errorf("core: CostClasses class %d: %w", idx, err)
+	}
+	return nil
+}
+
+// Probes implements sim.Protocol.
+func (c *CostClasses) Probes(round int, active []int, dst []sim.Probe) []sim.Probe {
+	if round >= c.phaseEnd {
+		// Budget spent: move to the next class (wrapping, so that unlucky
+		// runs eventually revisit earlier classes rather than stalling).
+		if err := c.startClass(c.classIdx+1, round); err != nil {
+			return dst
+		}
+	}
+	return c.inner.Probes(round, active, dst)
+}

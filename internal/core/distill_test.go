@@ -1,0 +1,448 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/billboard"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// harness hand-drives a Distill protocol against a board without the
+// engine, so tests can steer exactly which votes appear in which window.
+type harness struct {
+	t     *testing.T
+	d     *Distill
+	board *billboard.Board
+	round int
+	n     int
+}
+
+func newHarness(t *testing.T, d *Distill, n, m int, alpha, beta float64) *harness {
+	t.Helper()
+	board, err := billboard.New(billboard.Config{Players: n, Objects: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := object.NewUniverse(object.Config{
+		Values:       goodAt(m, m-1),
+		LocalTesting: true,
+		Threshold:    0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Init(sim.Setup{
+		N: n, Alpha: alpha, Beta: beta,
+		Universe: u, Board: board, Rng: rng.New(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return &harness{t: t, d: d, board: board, n: n}
+}
+
+// goodAt returns m values with a single 1 at index idx.
+func goodAt(m, idx int) []float64 {
+	values := make([]float64, m)
+	values[idx] = 1
+	return values
+}
+
+// step advances one round: asks the protocol for probes (with no active
+// players, so the schedule advances without posting anything), applies the
+// given extra posts, and ends the round.
+func (h *harness) step(posts ...billboard.Post) {
+	h.t.Helper()
+	h.d.Probes(h.round, nil, nil)
+	for _, p := range posts {
+		if err := h.board.Post(p); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	h.board.EndRound()
+	h.round++
+}
+
+// stepN advances n rounds with no posts.
+func (h *harness) stepN(n int) {
+	for i := 0; i < n; i++ {
+		h.step()
+	}
+}
+
+func posVote(player, obj int) billboard.Post {
+	return billboard.Post{Player: player, Object: obj, Value: 1, Positive: true}
+}
+
+func TestDistillInitValidation(t *testing.T) {
+	board, err := billboard.New(billboard.Config{Players: 4, Objects: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := object.NewUniverse(object.Config{
+		Values: goodAt(4, 0), LocalTesting: true, Threshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.Setup{N: 4, Alpha: 0.5, Beta: 0.25, Universe: u, Board: board, Rng: rng.New(1)}
+
+	cases := []struct {
+		name  string
+		d     *Distill
+		tweak func(*sim.Setup)
+	}{
+		{"alpha zero", NewDistill(Params{}), func(s *sim.Setup) { s.Alpha = 0 }},
+		{"alpha above one", NewDistill(Params{}), func(s *sim.Setup) { s.Alpha = 1.5 }},
+		{"beta zero", NewDistill(Params{}), func(s *sim.Setup) { s.Beta = 0 }},
+		{"beta above one", NewDistill(Params{}), func(s *sim.Setup) { s.Beta = 2 }},
+		{"negative k1", NewDistill(Params{K1: -1}), nil},
+		{"domain out of range", NewDistill(Params{Domain: []int{9}}), nil},
+		{"empty domain", NewDistill(Params{Domain: []int{}}), nil},
+	}
+	for _, tc := range cases {
+		setup := base
+		if tc.tweak != nil {
+			tc.tweak(&setup)
+		}
+		if err := tc.d.Init(setup); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestDistillNames(t *testing.T) {
+	if NewDistill(Params{}).Name() != "distill" {
+		t.Fatal("base name")
+	}
+	if NewDistillHP(Params{}).Name() != "distill-hp" {
+		t.Fatal("hp name")
+	}
+	if NewNoLocalTesting(Params{}, 0).Name() != "distill-nlt" {
+		t.Fatal("nlt name")
+	}
+	if NewAlphaGuess(Params{}, 0).Name() != "distill-alphaguess" {
+		t.Fatal("alphaguess name")
+	}
+	if NewCostClasses(Params{}, 0).Name() != "distill-costclasses" {
+		t.Fatal("costclasses name")
+	}
+	if NewThreePhase().Name() != "three-phase" {
+		t.Fatal("threephase name")
+	}
+}
+
+func TestDistillScheduleStartsInPrepare(t *testing.T) {
+	d := NewDistill(Params{K1: 2, K2: 8})
+	h := newHarness(t, d, 8, 16, 1, 0.5)
+	st := d.DistillState()
+	if st.Phase != "prepare" {
+		t.Fatalf("initial phase %q", st.Phase)
+	}
+	if len(st.Candidates) != 16 {
+		t.Fatalf("prepare candidates = %d, want all 16", len(st.Candidates))
+	}
+	_ = h
+}
+
+func TestDistillExploreAdviceAlternation(t *testing.T) {
+	// With one active player: the explore round always yields a probe; the
+	// advice round yields one only if the chosen player has a vote.
+	d := NewDistill(Params{})
+	n, m := 4, 8
+	board, err := billboard.New(billboard.Config{Players: n, Objects: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := object.NewUniverse(object.Config{
+		Values: goodAt(m, 0), LocalTesting: true, Threshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Init(sim.Setup{N: n, Alpha: 1, Beta: 0.5, Universe: u, Board: board, Rng: rng.New(3)}); err != nil {
+		t.Fatal(err)
+	}
+	// Round 0 (explore): must probe.
+	probes := d.Probes(0, []int{0}, nil)
+	if len(probes) != 1 {
+		t.Fatalf("explore round yielded %d probes", len(probes))
+	}
+	board.EndRound()
+	// Round 1 (advice): board has no votes at all, so no probes possible.
+	probes = d.Probes(1, []int{0}, nil)
+	if len(probes) != 0 {
+		t.Fatalf("advice round with empty board yielded %d probes", len(probes))
+	}
+	board.EndRound()
+	// Give every player a vote for object 5; now the advice round of the
+	// next invocation must always probe object 5.
+	for p := 0; p < n; p++ {
+		if err := board.Post(posVote(p, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	board.EndRound() // commits during round 2... round counting is ours here
+	probes = d.Probes(2, []int{0}, nil)
+	if len(probes) != 1 {
+		t.Fatal("explore round must probe")
+	}
+	board.EndRound()
+	probes = d.Probes(3, []int{0}, nil)
+	if len(probes) != 1 || probes[0].Object != 5 {
+		t.Fatalf("advice round should follow the unanimous vote: %+v", probes)
+	}
+}
+
+func TestDistillStep12ComputesS(t *testing.T) {
+	// k1=1, alpha=1, beta=1/m, n=4, m=4: reps11 = ceil(1/(1·(1/4)·4)) = 1
+	// invocation = 2 rounds. Plant votes for objects 1 and 3 during step
+	// 1.1; S must become {1, 3}.
+	d := NewDistill(Params{K1: 1, K2: 8})
+	h := newHarness(t, d, 4, 4, 1, 0.25)
+	h.step(posVote(0, 1)) // round 0 explore
+	h.step(posVote(1, 3)) // round 1 advice; invocation complete
+	// Next Probes call transitions to refine with S = {1, 3}.
+	h.d.Probes(h.round, nil, nil)
+	st := d.DistillState()
+	if st.Phase != "refine" {
+		t.Fatalf("phase = %q, want refine", st.Phase)
+	}
+	if len(st.Candidates) != 2 || st.Candidates[0] != 1 || st.Candidates[1] != 3 {
+		t.Fatalf("S = %v, want [1 3]", st.Candidates)
+	}
+	if st.VotesNeeded != 2 { // ceil(k2/4) = 2
+		t.Fatalf("refine VotesNeeded = %d, want 2", st.VotesNeeded)
+	}
+}
+
+func TestDistillEmptySFallsBackToDomain(t *testing.T) {
+	d := NewDistill(Params{K1: 1, K2: 8})
+	h := newHarness(t, d, 4, 4, 1, 0.25)
+	h.stepN(2) // step 1.1 with no votes at all
+	h.d.Probes(h.round, nil, nil)
+	st := d.DistillState()
+	if st.Phase != "refine" {
+		t.Fatalf("phase = %q", st.Phase)
+	}
+	if len(st.Candidates) != 4 {
+		t.Fatalf("fallback S = %v, want the whole domain", st.Candidates)
+	}
+}
+
+func TestDistillC0ThresholdAndIteration(t *testing.T) {
+	// n=8, alpha=1, k2=8: refine takes ceil(8/1)=8 invocations (16 rounds),
+	// C0 threshold is ceil(8/4)=2 votes within the refine window.
+	d := NewDistill(Params{K1: 1, K2: 8})
+	h := newHarness(t, d, 8, 8, 1, 0.125)
+	h.stepN(2) // step 1.1 (1 invocation)
+
+	// Refine window: objects 2 gets 3 votes, 5 gets 2, 6 gets 1.
+	h.step(posVote(0, 2), posVote(1, 2), posVote(2, 2))
+	h.step(posVote(3, 5), posVote(4, 5))
+	h.step(posVote(5, 6))
+	h.stepN(13) // finish the 16-round refine step
+	h.d.Probes(h.round, nil, nil)
+	st := d.DistillState()
+	if st.Phase != "distill" {
+		t.Fatalf("phase = %q, want distill", st.Phase)
+	}
+	if len(st.Candidates) != 2 || st.Candidates[0] != 2 || st.Candidates[1] != 5 {
+		t.Fatalf("C0 = %v, want [2 5]", st.Candidates)
+	}
+	// Step 2.2 threshold: > n/(4·c_t) = 8/8 = 1, so VotesNeeded = 2.
+	if st.VotesNeeded != 2 {
+		t.Fatalf("distill VotesNeeded = %d, want 2", st.VotesNeeded)
+	}
+
+	// Iteration window = ceil(1/alpha) = 1 invocation = 2 rounds. Object 2
+	// gets 2 fresh votes (> 1); object 5 gets 1 (not > 1) and drops.
+	h.step(posVote(6, 2), posVote(7, 2))
+	h.step(posVote(6, 5)) // player 6 already voted; board ignores it (cap 1)
+	h.d.Probes(h.round, nil, nil)
+	st = d.DistillState()
+	if st.Phase != "distill" {
+		t.Fatalf("phase = %q", st.Phase)
+	}
+	if len(st.Candidates) != 1 || st.Candidates[0] != 2 {
+		t.Fatalf("C1 = %v, want [2]", st.Candidates)
+	}
+}
+
+func TestDistillRestartsAttemptWhenCandidatesEmpty(t *testing.T) {
+	d := NewDistill(Params{K1: 1, K2: 8})
+	h := newHarness(t, d, 8, 8, 1, 0.125)
+	h.stepN(2)  // step 1.1, no votes
+	h.stepN(16) // refine window, no votes -> C0 empty
+	h.d.Probes(h.round, nil, nil)
+	st := d.DistillState()
+	if st.Phase != "prepare" {
+		t.Fatalf("phase = %q, want prepare (fresh ATTEMPT)", st.Phase)
+	}
+	if d.Attempts() != 2 {
+		t.Fatalf("attempts = %d, want 2", d.Attempts())
+	}
+}
+
+func TestDistillIterationCountsRecorded(t *testing.T) {
+	d := NewDistill(Params{K1: 1, K2: 4})
+	h := newHarness(t, d, 4, 4, 1, 0.25)
+	h.stepN(2) // step 1.1
+	// Refine window: ceil(4/1) = 4 invocations = 8 rounds; threshold
+	// ceil(4/4)=1 vote. Give object 0 one vote.
+	h.step(posVote(0, 0))
+	h.stepN(7)
+	h.d.Probes(h.round, nil, nil)
+	if st := d.DistillState(); st.Phase != "distill" {
+		t.Fatalf("phase = %q", st.Phase)
+	}
+	// Iteration passes nothing: candidates empty -> attempt restarts with
+	// one recorded iteration.
+	h.stepN(2)
+	h.d.Probes(h.round, nil, nil)
+	// The completed attempt ran 1 iteration; the fresh attempt now in
+	// progress contributes a trailing 0.
+	counts := d.IterationCounts()
+	if len(counts) != 2 || counts[0] != 1 || counts[1] != 0 {
+		t.Fatalf("iteration counts = %v, want [1 0]", counts)
+	}
+}
+
+func TestDistillDomainRestriction(t *testing.T) {
+	// Domain = {0, 1, 2}; votes for object 5 (outside) must never surface
+	// in candidate sets, and advice probes must skip out-of-domain votes.
+	d := NewDistill(Params{K1: 1, K2: 4, Domain: []int{0, 1, 2}})
+	n, m := 4, 8
+	board, err := billboard.New(billboard.Config{Players: n, Objects: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := object.NewUniverse(object.Config{
+		Values: goodAt(m, 0), LocalTesting: true, Threshold: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Init(sim.Setup{N: n, Alpha: 1, Beta: 0.25, Universe: u, Board: board, Rng: rng.New(5)}); err != nil {
+		t.Fatal(err)
+	}
+	// All players vote object 5, outside the domain.
+	for p := 0; p < n; p++ {
+		if err := board.Post(posVote(p, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	board.EndRound()
+
+	// Explore probes stay inside the domain.
+	probes := d.Probes(1, []int{0, 1}, nil)
+	for _, pr := range probes {
+		if pr.Object > 2 {
+			t.Fatalf("explore probe outside domain: %d", pr.Object)
+		}
+	}
+	board.EndRound()
+	// Advice round: every vote is out-of-domain, so no probes.
+	probes = d.Probes(2, []int{0, 1}, nil)
+	if len(probes) != 0 {
+		t.Fatalf("advice followed out-of-domain vote: %+v", probes)
+	}
+	board.EndRound()
+	// And S must be empty -> fallback to domain, never object 5.
+	d.Probes(3, nil, nil)
+	d.Probes(4, nil, nil) // ensure transition happened (invocation ended)
+	st := d.DistillState()
+	for _, obj := range st.Candidates {
+		if obj > 2 {
+			t.Fatalf("candidate outside domain: %v", st.Candidates)
+		}
+	}
+}
+
+func TestDistillHPScalesConstants(t *testing.T) {
+	// n=256: log2 n = 8, so k2 = 4·8 = 32 and the refine threshold becomes
+	// ceil(32/4) = 8.
+	d := NewDistillHP(Params{})
+	h := newHarness(t, d, 256, 8, 1, 0.125)
+	h.stepN(2) // step 1.1 = ceil(1·8/(1·(1/8)·256)) = 1 invocation? k1=1·8=8 -> ceil(8/32)=1
+	h.d.Probes(h.round, nil, nil)
+	st := d.DistillState()
+	if st.Phase != "refine" {
+		t.Fatalf("phase = %q", st.Phase)
+	}
+	if st.VotesNeeded != 8 {
+		t.Fatalf("HP refine VotesNeeded = %d, want 8 (k2=32)", st.VotesNeeded)
+	}
+}
+
+func TestDistillEndToEndWithEngine(t *testing.T) {
+	for _, alpha := range []float64{1, 0.75, 0.5, 0.25} {
+		results, err := sim.Replicator{
+			Reps:     8,
+			BaseSeed: 17,
+			Build: func(seed uint64) (*sim.Engine, error) {
+				u, err := object.NewPlanted(object.Planted{M: 256, Good: 1}, rng.New(seed))
+				if err != nil {
+					return nil, err
+				}
+				return sim.NewEngine(sim.Config{
+					Universe: u, Protocol: NewDistill(Params{}), N: 256,
+					Alpha: alpha, Seed: seed, MaxRounds: 20000,
+				})
+			},
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := sim.AggregateResults(results)
+		if agg.SuccessRate != 1 || agg.TimedOut > 0 {
+			t.Fatalf("alpha=%v: success %v timeouts %d", alpha, agg.SuccessRate, agg.TimedOut)
+		}
+	}
+}
+
+func TestDistillManyObjectsFewPlayers(t *testing.T) {
+	// m >> n exercises Step 1.1's 1/(αβn) term.
+	results, err := sim.Replicator{
+		Reps:     6,
+		BaseSeed: 23,
+		Build: func(seed uint64) (*sim.Engine, error) {
+			u, err := object.NewPlanted(object.Planted{M: 2048, Good: 16}, rng.New(seed))
+			if err != nil {
+				return nil, err
+			}
+			return sim.NewEngine(sim.Config{
+				Universe: u, Protocol: NewDistill(Params{}), N: 64,
+				Alpha: 0.75, Seed: seed, MaxRounds: 50000,
+			})
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sim.AggregateResults(results)
+	if agg.SuccessRate != 1 || agg.TimedOut > 0 {
+		t.Fatalf("m>>n: success %v timeouts %d", agg.SuccessRate, agg.TimedOut)
+	}
+}
+
+func TestDistillDeterministicSchedule(t *testing.T) {
+	// Two identical harness runs produce identical state transitions.
+	trace := func() []string {
+		d := NewDistill(Params{K1: 1, K2: 8})
+		h := newHarness(t, d, 8, 8, 1, 0.125)
+		var phases []string
+		for i := 0; i < 30; i++ {
+			h.step(posVote(i%8, i%8))
+			phases = append(phases, d.DistillState().Phase)
+		}
+		return phases
+	}
+	a, b := trace(), trace()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/billboard"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TestScheduleInvariantsUnderRandomVotes drives DISTILL's shared schedule
+// with arbitrary vote injections and checks the structural invariants of
+// Figure 1 at every round:
+//
+//   - phases only move prepare → refine → distill, restarting at prepare;
+//   - within the distill phase, candidate sets only shrink (C_{t+1} ⊆ C_t);
+//   - the explore set is never empty;
+//   - every probe the protocol emits lies in the current explore set or
+//     follows some player's vote.
+func TestScheduleInvariantsUnderRandomVotes(t *testing.T) {
+	f := func(script []byte, k1Raw, k2Raw uint8, alphaRaw uint8) bool {
+		const n, m = 8, 12
+		k1 := float64(k1Raw%4)/2 + 0.5 // 0.5..2
+		k2 := float64(k2Raw%8) + 1     // 1..8
+		alpha := float64(alphaRaw%4+1) / 4
+
+		board, err := billboard.New(billboard.Config{Players: n, Objects: m})
+		if err != nil {
+			return false
+		}
+		u, err := object.NewUniverse(object.Config{
+			Values: goodAt(m, m-1), LocalTesting: true, Threshold: 0.5,
+		})
+		if err != nil {
+			return false
+		}
+		d := NewDistill(Params{K1: k1, K2: k2})
+		if err := d.Init(sim.Setup{
+			N: n, Alpha: alpha, Beta: 1.0 / m,
+			Universe: u, Board: board, Rng: rng.New(99),
+		}); err != nil {
+			return false
+		}
+
+		phaseOrder := map[string]int{"prepare": 0, "refine": 1, "distill": 2}
+		prevPhase := "prepare"
+		var prevCandidates map[int]bool
+
+		for round := 0; round < 3*len(script)+6; round++ {
+			probes := d.Probes(round, []int{0}, nil)
+			st := d.DistillState()
+
+			// Phase transitions are monotone modulo attempt restarts.
+			if st.Phase != prevPhase {
+				fromOrd, toOrd := phaseOrder[prevPhase], phaseOrder[st.Phase]
+				restart := st.Phase == "prepare"
+				forward := toOrd == fromOrd+1
+				if !restart && !forward {
+					t.Logf("illegal transition %s -> %s", prevPhase, st.Phase)
+					return false
+				}
+				prevCandidates = nil
+			}
+			// Candidate shrinkage inside the distill phase.
+			if st.Phase == "distill" {
+				cur := make(map[int]bool, len(st.Candidates))
+				for _, obj := range st.Candidates {
+					cur[obj] = true
+				}
+				if prevCandidates != nil && prevPhase == "distill" {
+					for obj := range cur {
+						if !prevCandidates[obj] {
+							t.Logf("candidate %d appeared from nowhere", obj)
+							return false
+						}
+					}
+				}
+				prevCandidates = cur
+			}
+			if len(st.Candidates) == 0 {
+				t.Logf("empty explore set in phase %s", st.Phase)
+				return false
+			}
+			// Probe legality.
+			for _, pr := range probes {
+				if pr.Object < 0 || pr.Object >= m {
+					return false
+				}
+			}
+			prevPhase = st.Phase
+
+			// Inject this round's scripted votes.
+			if len(script) > 0 {
+				b := script[round%len(script)]
+				if b%3 != 0 {
+					_ = board.Post(billboard.Post{
+						Player:   int(b) % n,
+						Object:   int(b>>2) % m,
+						Value:    1,
+						Positive: true,
+					})
+				}
+			}
+			board.EndRound()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAttemptsMonotone checks that the attempt counter never decreases and
+// iteration counts stay non-negative under random drive.
+func TestAttemptsMonotone(t *testing.T) {
+	f := func(script []byte) bool {
+		const n, m = 6, 6
+		board, err := billboard.New(billboard.Config{Players: n, Objects: m})
+		if err != nil {
+			return false
+		}
+		u, err := object.NewUniverse(object.Config{
+			Values: goodAt(m, 0), LocalTesting: true, Threshold: 0.5,
+		})
+		if err != nil {
+			return false
+		}
+		d := NewDistill(Params{K1: 0.5, K2: 2})
+		if err := d.Init(sim.Setup{
+			N: n, Alpha: 1, Beta: 1.0 / m,
+			Universe: u, Board: board, Rng: rng.New(5),
+		}); err != nil {
+			return false
+		}
+		prevAttempts := d.Attempts()
+		for round := 0; round < 2*len(script)+4; round++ {
+			d.Probes(round, nil, nil)
+			if a := d.Attempts(); a < prevAttempts {
+				return false
+			} else {
+				prevAttempts = a
+			}
+			for _, c := range d.IterationCounts() {
+				if c < 0 {
+					return false
+				}
+			}
+			if len(script) > 0 && script[round%len(script)]%2 == 0 {
+				_ = board.Post(billboard.Post{
+					Player:   int(script[round%len(script)]) % n,
+					Object:   int(script[round%len(script)]) % m,
+					Value:    1,
+					Positive: true,
+				})
+			}
+			board.EndRound()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestDistillSmoke(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		results, err := sim.Replicator{
+			Reps:     10,
+			BaseSeed: 7,
+			Build: func(seed uint64) (*sim.Engine, error) {
+				u, err := object.NewPlanted(object.Planted{M: n, Good: 1}, rng.New(seed))
+				if err != nil {
+					return nil, err
+				}
+				return sim.NewEngine(sim.Config{
+					Universe: u, Protocol: NewDistill(Params{}), N: n, Alpha: 0.9,
+					Seed: seed, MaxRounds: 5000,
+				})
+			},
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := sim.AggregateResults(results)
+		t.Logf("n=%d: mean probes %.1f, mean rounds %.1f, timeouts %d",
+			n, agg.MeanIndividualProbes, agg.MeanRounds, agg.TimedOut)
+		if agg.TimedOut > 0 {
+			t.Fatalf("n=%d: %d timeouts", n, agg.TimedOut)
+		}
+		if agg.SuccessRate != 1 {
+			t.Fatalf("n=%d: success rate %v", n, agg.SuccessRate)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import "math"
+
+// DistillState is the schedule state of DISTILL that any observer can
+// derive from the public billboard and the (public) protocol code. Adaptive
+// adversaries use it to play the extremal strategy of Lemma 7; this
+// accessor merely saves them from re-deriving the schedule.
+type DistillState struct {
+	// Phase is "prepare" (Step 1.1), "refine" (Step 1.3) or "distill"
+	// (Step 2).
+	Phase string
+	// Candidates is the current candidate set: the domain during prepare,
+	// S during refine, C_t during distill.
+	Candidates []int
+	// WindowStart is the first round of the current vote-counting window.
+	WindowStart int
+	// VotesNeeded is the number of votes an object must receive within the
+	// current window to survive into the next candidate set.
+	VotesNeeded int
+}
+
+// DistillState reports the current shared schedule state.
+func (d *Distill) DistillState() DistillState {
+	st := DistillState{WindowStart: d.windowStart}
+	switch d.phase {
+	case phasePrepare:
+		st.Phase = "prepare"
+		st.Candidates = d.probeSet
+		st.VotesNeeded = 1 // one vote puts an object into S (Step 1.2)
+	case phaseRefine:
+		st.Phase = "refine"
+		st.Candidates = d.probeSet
+		st.VotesNeeded = int(math.Ceil(d.k2 / 4 * d.thresholdScale())) // Step 1.4: >= k2/4
+		if st.VotesNeeded < 1 {
+			st.VotesNeeded = 1
+		}
+	case phaseDistill:
+		st.Phase = "distill"
+		st.Candidates = d.candidates
+		ct := float64(len(d.candidates))
+		// Step 2.2: > n/(4c_t) (scaled under the A3 ablation).
+		st.VotesNeeded = int(math.Floor(float64(d.n)/(4*ct)*d.thresholdScale())) + 1
+	}
+	return st
+}
+
+// DistillState forwards to the inner DISTILL^HP of the current phase.
+func (g *AlphaGuess) DistillState() DistillState { return g.inner.DistillState() }
+
+// DistillState forwards to the inner DISTILL^HP of the current class.
+func (c *CostClasses) DistillState() DistillState { return c.inner.DistillState() }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/billboard"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// ThreePhase is the simplified illustrative algorithm of §1.2, stated for
+// m = n objects and ~√n dishonest players:
+//
+//	phase 1 (2 rounds): probe a random object from C₁ = all objects
+//	phase 2 (2 rounds): probe a random object from C₂ = {≥ θ₂ = 1 vote}
+//	phase 3 (≤3 rounds): probe the objects of C₃ = {≥ θ₃ = √n/2 votes}
+//
+// Candidate sets use cumulative vote counts "on the billboard at the start
+// of phase i". The run is one-shot: it succeeds with constant probability
+// (each honest player ends having probed a good object) and takes at most
+// 4 + |C₃| rounds. The experiment harness reports the success rate; the
+// full DISTILL handles the general case.
+type ThreePhase struct {
+	n, m  int
+	src   *rng.Source
+	board billboard.Reader
+
+	c2, c3  []int
+	trailer int // extra phase-3 rounds when the adversary inflates C₃
+}
+
+var _ sim.Protocol = (*ThreePhase)(nil)
+
+// NewThreePhase returns the §1.2 three-phase algorithm.
+func NewThreePhase() *ThreePhase { return &ThreePhase{} }
+
+// Name implements sim.Protocol.
+func (p *ThreePhase) Name() string { return "three-phase" }
+
+// Init implements sim.Protocol.
+func (p *ThreePhase) Init(setup sim.Setup) error {
+	p.n = setup.N
+	p.m = setup.Universe.M()
+	p.src = setup.Rng
+	p.board = setup.Board
+	p.c2, p.c3 = nil, nil
+	// Allow up to 3 phase-3 probes as in the paper; if the adversary pushed
+	// more than 3 objects over θ₃ we probe them all (still O(√n) at most,
+	// since θ₃ = √n/2 votes each from a (1-α)n ≈ √n budget allows ≤ 2).
+	p.trailer = 3
+	return nil
+}
+
+// PrescribedRounds implements sim.Protocol: the run is one-shot and its
+// length is fixed up-front (2 + 2 + trailer rounds); the engine judges
+// success from each player's best probed object.
+func (p *ThreePhase) PrescribedRounds() int { return 4 + p.trailer }
+
+// candidates returns the objects with at least threshold cumulative votes.
+func (p *ThreePhase) candidates(threshold float64) []int {
+	out := make([]int, 0)
+	for _, obj := range p.board.VotedObjects() {
+		if float64(p.board.VoteCount(obj)) >= threshold {
+			out = append(out, obj)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Probes implements sim.Protocol.
+func (p *ThreePhase) Probes(round int, active []int, dst []sim.Probe) []sim.Probe {
+	switch {
+	case round < 2: // phase 1: C₁ = all objects
+		for _, player := range active {
+			dst = append(dst, sim.Probe{Player: player, Object: p.src.Intn(p.m)})
+		}
+	case round < 4: // phase 2: C₂ = objects with ≥ 1 vote
+		if round == 2 {
+			p.c2 = p.candidates(1)
+		}
+		set := p.c2
+		if len(set) == 0 {
+			// Degenerate: nobody found anything in phase 1; keep exploring.
+			for _, player := range active {
+				dst = append(dst, sim.Probe{Player: player, Object: p.src.Intn(p.m)})
+			}
+			return dst
+		}
+		for _, player := range active {
+			dst = append(dst, sim.Probe{Player: player, Object: set[p.src.Intn(len(set))]})
+		}
+	default: // phase 3: probe the ≤3 (typically) survivors in order
+		if round == 4 {
+			theta3 := math.Sqrt(float64(p.n)) / 2
+			p.c3 = p.candidates(theta3)
+		}
+		if len(p.c3) == 0 {
+			return dst // nothing to probe; the one-shot run just ends
+		}
+		idx := round - 4
+		if idx >= len(p.c3) {
+			return dst
+		}
+		obj := p.c3[idx]
+		for _, player := range active {
+			dst = append(dst, sim.Probe{Player: player, Object: obj})
+		}
+	}
+	return dst
+}

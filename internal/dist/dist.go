@@ -1,0 +1,235 @@
+// Package dist orchestrates fully distributed runs: a billboard server plus
+// one TCP client per player, honest players driving their own core.Distill
+// instances (per-player, not the engine's shared-instance optimization) and
+// Byzantine players lying over the same wire protocol. This is the
+// deployment shape the paper describes — independent parties and a shared
+// billboard service — and doubles as an end-to-end proof that the protocol
+// code is engine-independent.
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// HonestResult is one honest player's outcome.
+type HonestResult struct {
+	Player   int
+	Probes   int
+	Rounds   int // round at which the player halted (or MaxRounds)
+	Found    bool
+	TimedOut bool
+}
+
+// RunHonestPlayer connects to the billboard server at addr and runs DISTILL
+// for one player until it probes a good object (local testing) or maxRounds
+// elapse. The player's randomness derives from seed alone.
+func RunHonestPlayer(addr string, player int, token string, params core.Params, seed uint64, maxRounds int) (*HonestResult, error) {
+	c, err := client.Dial(addr, player, token)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	cached := client.NewCached(c)
+	d := core.NewDistill(params)
+	if err := d.Init(sim.Setup{
+		N:        c.N(),
+		Alpha:    c.Alpha(),
+		Beta:     c.Beta(),
+		Universe: c,
+		Board:    cached, // per-round read cache over the RPC reader
+		Rng:      rng.New(seed).Split(uint64(player)),
+	}); err != nil {
+		return nil, fmt.Errorf("dist: player %d init: %w", player, err)
+	}
+
+	res := &HonestResult{Player: player}
+	var probeBuf []sim.Probe
+	for round := 0; round < maxRounds; round++ {
+		probeBuf = d.Probes(round, []int{player}, probeBuf[:0])
+		found := false
+		for _, pr := range probeBuf {
+			pres, err := c.Probe(pr.Object)
+			if err != nil {
+				return nil, fmt.Errorf("dist: player %d probe: %w", player, err)
+			}
+			res.Probes++
+			positive := c.LocalTesting() && pres.Good
+			if err := c.Post(pr.Object, pres.Value, positive); err != nil {
+				return nil, fmt.Errorf("dist: player %d post: %w", player, err)
+			}
+			if positive {
+				found = true
+			}
+		}
+		if _, err := c.Barrier(); err != nil {
+			return nil, fmt.Errorf("dist: player %d barrier: %w", player, err)
+		}
+		cached.Invalidate() // board state changed at the round boundary
+		if found {
+			res.Found = true
+			res.Rounds = round + 1
+			if err := c.Done(); err != nil {
+				return nil, fmt.Errorf("dist: player %d done: %w", player, err)
+			}
+			return res, nil
+		}
+	}
+	res.Rounds = maxRounds
+	res.TimedOut = true
+	_ = c.Done()
+	return res, nil
+}
+
+// RunByzantineSpam connects as a dishonest player that probes one bad
+// object, lies that it is good, and then idles through barriers until stop
+// closes (or the server hangs up).
+func RunByzantineSpam(addr string, player int, token string, stop <-chan struct{}) error {
+	c, err := client.Dial(addr, player, token)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// Pick a target: scan from a player-dependent offset for a bad object
+	// (Byzantine players know the world in the worst case; here they learn
+	// by probing, which is free to them in spirit — the engine's accounting
+	// only matters for honest costs).
+	target := -1
+	for i := 0; i < c.M(); i++ {
+		obj := (player*31 + i) % c.M()
+		pres, err := c.Probe(obj)
+		if err != nil {
+			return err
+		}
+		if !pres.Good {
+			target = obj
+			break
+		}
+	}
+	if target >= 0 {
+		if err := c.Post(target, 1, true); err != nil {
+			return err
+		}
+	}
+	for {
+		select {
+		case <-stop:
+			return c.Done()
+		default:
+		}
+		if _, err := c.Barrier(); err != nil {
+			// Server closed or we were kicked: either way we are finished.
+			return nil
+		}
+	}
+}
+
+// ClusterConfig describes a full distributed run on localhost.
+type ClusterConfig struct {
+	// Universe is the ground truth (required, local testing).
+	Universe *object.Universe
+	// Honest and Byzantine are player counts (honest >= 1).
+	Honest    int
+	Byzantine int
+	// Params parameterizes every honest player's DISTILL.
+	Params core.Params
+	// Seed drives all randomness (tokens, player streams).
+	Seed uint64
+	// MaxRounds bounds each honest player (default 4096).
+	MaxRounds int
+}
+
+// ClusterResult aggregates a distributed run.
+type ClusterResult struct {
+	Honest     []*HonestResult
+	Rounds     int // server round count at teardown
+	AllFound   bool
+	MeanProbes float64
+}
+
+// RunCluster starts a billboard server on a loopback port, runs all players
+// as concurrent TCP clients, and tears everything down.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
+	if cfg.Universe == nil {
+		return nil, fmt.Errorf("dist: Universe is required")
+	}
+	if cfg.Honest < 1 {
+		return nil, fmt.Errorf("dist: need at least one honest player")
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 4096
+	}
+	n := cfg.Honest + cfg.Byzantine
+	tokens := make([]string, n)
+	tokenRng := rng.New(cfg.Seed).Split(9999)
+	for i := range tokens {
+		tokens[i] = fmt.Sprintf("tok-%d-%016x", i, tokenRng.Uint64())
+	}
+	srv, err := server.New(server.Config{
+		Universe: cfg.Universe,
+		Tokens:   tokens,
+		Alpha:    float64(cfg.Honest) / float64(n),
+		Beta:     cfg.Universe.Beta(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.Start("")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var byzWG sync.WaitGroup
+	for b := 0; b < cfg.Byzantine; b++ {
+		player := cfg.Honest + b
+		byzWG.Add(1)
+		go func() {
+			defer byzWG.Done()
+			_ = RunByzantineSpam(addr, player, tokens[player], stop)
+		}()
+	}
+
+	results := make([]*HonestResult, cfg.Honest)
+	errs := make([]error, cfg.Honest)
+	var honestWG sync.WaitGroup
+	for p := 0; p < cfg.Honest; p++ {
+		honestWG.Add(1)
+		go func(p int) {
+			defer honestWG.Done()
+			results[p], errs[p] = RunHonestPlayer(addr, p, tokens[p], cfg.Params, cfg.Seed, cfg.MaxRounds)
+		}(p)
+	}
+	honestWG.Wait()
+	close(stop)
+	byzWG.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &ClusterResult{Honest: results, AllFound: true}
+	total := 0
+	for _, r := range results {
+		if !r.Found {
+			out.AllFound = false
+		}
+		total += r.Probes
+		if r.Rounds > out.Rounds {
+			out.Rounds = r.Rounds
+		}
+	}
+	out.MeanProbes = float64(total) / float64(len(results))
+	return out, nil
+}

@@ -1,0 +1,234 @@
+package expt
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Ablations returns the design-choice ablation studies A1…A5 called out in
+// DESIGN.md §6. They are separate from the paper-claim registry E1…E13:
+// each removes or distorts one mechanism of DISTILL and measures the
+// damage, justifying the design.
+func Ablations() []Experiment {
+	return []Experiment{a1(), a2(), a3(), a4(), a5()}
+}
+
+// AllWithAblations returns E1…E13 followed by the ablations.
+func AllWithAblations() []Experiment {
+	return append(All(), Ablations()...)
+}
+
+// a1: remove the advice half of PROBE&SEEKADVICE.
+func a1() Experiment {
+	return Experiment{
+		ID:    "A1",
+		Title: "Ablation: PROBE&SEEKADVICE without the advice half",
+		Claim: "Lemma 6's termination argument needs every second probe to follow a random player's vote; pure exploration must be slower once the candidate work is done.",
+		Run: func(o Options) (*stats.Table, error) {
+			const n = 1024
+			reps := o.reps(15)
+			tab := stats.NewTable("A1 DISTILL with vs without advice probes (n=m=1024, spam adversary)",
+				"alpha", "with advice", "explore only", "slowdown")
+			for i, alpha := range []float64{0.9, 0.5, 0.25} {
+				seed := o.seed(uint64(2100 + i))
+				point := func(disable bool) (sim.Aggregate, error) {
+					return run(runConfig{
+						n: n, m: n, good: 1, alpha: alpha, reps: reps,
+						seed: seed, workers: o.Workers,
+						protocol: func() sim.Protocol {
+							return core.NewDistill(core.Params{DisableAdvice: disable})
+						},
+						adversary: func() sim.Adversary { return adversary.SpamDistinct{} },
+					})
+				}
+				with, err := point(false)
+				if err != nil {
+					return nil, err
+				}
+				without, err := point(true)
+				if err != nil {
+					return nil, err
+				}
+				tab.AddRow(alpha, with.MeanIndividualProbes, without.MeanIndividualProbes,
+					without.MeanIndividualProbes/with.MeanIndividualProbes)
+			}
+			return tab, nil
+		},
+	}
+}
+
+// a2: lift the one-vote cap.
+func a2() Experiment {
+	return Experiment{
+		ID:    "A2",
+		Title: "Ablation: the one-vote rule",
+		Claim: "Each player having a single vote bounds Byzantine influence to (1-α)n votes total (Equation 1); lifting the cap lets a flooding adversary keep bad candidates alive indefinitely.",
+		Run: func(o Options) (*stats.Table, error) {
+			// The one-vote rule is what keeps the recommended pool S small
+			// when m >> n: spam can add at most (1-α)n bad objects to S.
+			// Lift the cap and a flooding adversary dilutes S toward the
+			// whole object space, destroying the concentration that makes
+			// Step 1.3 probes productive.
+			const n, m, good = 256, 4096, 4
+			const alpha = 0.5
+			reps := o.reps(10)
+			tab := stats.NewTable("A2 DISTILL vs flood-liar with growing vote caps (n=256, m=4096, α=0.5)",
+				"votes/player f", "mean |S|", "mean |C0|", "mean probes", "mean rounds")
+			for i, f := range []int{1, 4, 64, 1024} {
+				var sSizes, c0Sizes, probes, rounds []float64
+				for r := 0; r < reps; r++ {
+					seed := o.seed(uint64(2200+i*100) + uint64(r))
+					d := core.NewDistill(core.Params{})
+					u, err := planted(m, good, seed)
+					if err != nil {
+						return nil, err
+					}
+					engine, err := sim.NewEngine(sim.Config{
+						Universe: u, Protocol: d, Adversary: adversary.FloodLiar{},
+						N: n, Alpha: alpha, Seed: seed,
+						VotesPerPlayer: f, MaxRounds: 20000,
+					})
+					if err != nil {
+						return nil, err
+					}
+					res, err := engine.Run()
+					if err != nil {
+						return nil, err
+					}
+					s, c0, _ := d.PoolSizes()
+					for _, v := range s {
+						sSizes = append(sSizes, float64(v))
+					}
+					for _, v := range c0 {
+						c0Sizes = append(c0Sizes, float64(v))
+					}
+					probes = append(probes, res.MeanHonestProbes())
+					rounds = append(rounds, float64(res.Rounds))
+				}
+				c0Cell := any("never reached")
+				if len(c0Sizes) > 0 {
+					c0Cell = stats.Mean(c0Sizes)
+				}
+				tab.AddRow(f, stats.Mean(sSizes), c0Cell,
+					stats.Mean(probes), stats.Mean(rounds))
+			}
+			return tab, nil
+		},
+	}
+}
+
+// a3: scale the survival thresholds.
+func a3() Experiment {
+	return Experiment{
+		ID:    "A3",
+		Title: "Ablation: survival-threshold scale",
+		Claim: "The k2/4 and n/(4c_t) thresholds balance Lemma 8/10 (don't drop the good object: threshold ≤ half its expected votes) against Lemma 7 (don't admit cheap bad candidates).",
+		Run: func(o Options) (*stats.Table, error) {
+			const n = 1024
+			const alpha = 0.25
+			reps := o.reps(12)
+			// End-to-end cost is largely threshold-insensitive at m = n
+			// (Lemma 6's advice spread dominates termination); what the
+			// threshold governs is candidate-set *quality*: too strict and
+			// the good object misses C₀ (attempts restart, Lemma 8); too
+			// lax and bad candidates linger (iterations grow, Lemma 7).
+			tab := stats.NewTable("A3 DISTILL threshold scaling (n=m=1024, α=0.25, k1=0.5, k2=4, threshold-ride)",
+				"scale", "mean probes", "mean rounds", "mean attempts", "mean iters/attempt")
+			for i, scale := range []float64{0.125, 0.5, 1, 4, 16} {
+				var probes, rounds, attempts, iters []float64
+				for r := 0; r < reps; r++ {
+					seed := o.seed(uint64(2300+i*100) + uint64(r))
+					// Short prepare/refine (as in E13) so the candidate
+					// machinery engages before advice finishes the search.
+					d := core.NewDistill(core.Params{K1: 0.5, K2: 4, ThresholdScale: scale})
+					u, err := planted(n, 1, seed)
+					if err != nil {
+						return nil, err
+					}
+					engine, err := sim.NewEngine(sim.Config{
+						Universe: u, Protocol: d,
+						Adversary: adversary.NewThresholdRide(),
+						N:         n, Alpha: alpha, Seed: seed, MaxRounds: 8192,
+					})
+					if err != nil {
+						return nil, err
+					}
+					res, err := engine.Run()
+					if err != nil {
+						return nil, err
+					}
+					probes = append(probes, res.MeanHonestProbes())
+					rounds = append(rounds, float64(res.Rounds))
+					attempts = append(attempts, float64(d.Attempts()))
+					for _, c := range d.IterationCounts() {
+						iters = append(iters, float64(c))
+					}
+				}
+				tab.AddRow(scale, stats.Mean(probes), stats.Mean(rounds),
+					stats.Mean(attempts), stats.Mean(iters))
+			}
+			return tab, nil
+		},
+	}
+}
+
+// a4: per-window vote counts vs cumulative totals.
+func a4() Experiment {
+	return Experiment{
+		ID:    "A4",
+		Title: "Ablation: per-iteration ℓ_t windows vs cumulative vote counts",
+		Claim: "Counting votes per iteration charges each Byzantine vote against the budget exactly once (Equation 1); cumulative counting lets old votes keep bad candidates alive in every iteration.",
+		Run: func(o Options) (*stats.Table, error) {
+			// Short prepare/refine (as in E13) so the distillation loop is
+			// what finishes the search; the threshold-ride adversary's
+			// window votes are charged once under ℓ_t counting but keep
+			// counting forever under cumulative totals.
+			const n, m, good = 1024, 1024, 1
+			const alpha = 0.25
+			reps := o.reps(12)
+			tab := stats.NewTable("A4 window vs cumulative candidate filtering (n=m=1024, α=0.25, k1=0.5, k2=4, threshold-ride)",
+				"mode", "mean c_t", "mean iters/attempt", "mean probes", "mean rounds")
+			for _, cumulative := range []bool{false, true} {
+				var cts, iters, probes, rounds []float64
+				for r := 0; r < reps; r++ {
+					seed := o.seed(uint64(2400) + uint64(r))
+					d := core.NewDistill(core.Params{K1: 0.5, K2: 4, CumulativeCounts: cumulative})
+					u, err := planted(m, good, seed)
+					if err != nil {
+						return nil, err
+					}
+					engine, err := sim.NewEngine(sim.Config{
+						Universe: u, Protocol: d,
+						Adversary: adversary.NewThresholdRide(),
+						N:         n, Alpha: alpha, Seed: seed, MaxRounds: 20000,
+					})
+					if err != nil {
+						return nil, err
+					}
+					res, err := engine.Run()
+					if err != nil {
+						return nil, err
+					}
+					_, _, ct := d.PoolSizes()
+					for _, v := range ct {
+						cts = append(cts, float64(v))
+					}
+					for _, v := range d.IterationCounts() {
+						iters = append(iters, float64(v))
+					}
+					probes = append(probes, res.MeanHonestProbes())
+					rounds = append(rounds, float64(res.Rounds))
+				}
+				mode := "window (paper)"
+				if cumulative {
+					mode = "cumulative"
+				}
+				tab.AddRow(mode, stats.Mean(cts), stats.Mean(iters),
+					stats.Mean(probes), stats.Mean(rounds))
+			}
+			return tab, nil
+		},
+	}
+}

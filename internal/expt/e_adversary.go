@@ -1,0 +1,100 @@
+package expt
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// e6: Theorem 4 robustness — DISTILL against the full adversary suite.
+func e6() Experiment {
+	return Experiment{
+		ID:    "E6",
+		Title: "Adversary suite: DISTILL vs every Byzantine strategy",
+		Claim: "Thm 4 holds for any adaptive Byzantine adversary: the worst suite member must stay within the O(1/(αβn) + (1/α)·log n/Δ) shape.",
+		Run: func(o Options) (*stats.Table, error) {
+			const n = 1024
+			alphas := []float64{0.75, 0.5, 0.25}
+			reps := o.reps(12)
+			tab := stats.NewTable("E6 DISTILL mean probes by adversary (n=m=1024, β=1/n)",
+				append([]string{"alpha"}, append(adversary.Names(), "worst", "thm4 shape")...)...)
+			for i, alpha := range alphas {
+				row := make([]any, 0, len(adversary.Names())+3)
+				row = append(row, alpha)
+				worst := 0.0
+				for j, name := range adversary.Names() {
+					name := name
+					agg, err := run(runConfig{
+						n: n, m: n, good: 1, alpha: alpha, reps: reps,
+						seed: o.seed(uint64(600 + i*100 + j)), workers: o.Workers,
+						protocol:  func() sim.Protocol { return core.NewDistill(core.Params{}) },
+						adversary: func() sim.Adversary { return adversary.ByName(name) },
+					})
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, agg.MeanIndividualProbes)
+					if agg.MeanIndividualProbes > worst {
+						worst = agg.MeanIndividualProbes
+					}
+				}
+				row = append(row, worst, theorem4Prediction(alpha, 1.0/n, n))
+				tab.AddRow(row...)
+			}
+			return tab, nil
+		},
+	}
+}
+
+// e13: Lemma 7 — the number of while-loop iterations is O(log n / Δ).
+func e13() Experiment {
+	return Experiment{
+		ID:    "E13",
+		Title: "Lemma 7: distillation iterations per attempt",
+		Claim: "Lemma 7: each invocation of ATTEMPT contains O(log n / Δ) expected iterations of the while loop.",
+		Run: func(o Options) (*stats.Table, error) {
+			type point struct {
+				n     int
+				alpha float64
+			}
+			points := []point{
+				{256, 0.75}, {1024, 0.75}, {4096, 0.75},
+				{256, 0.25}, {1024, 0.25}, {4096, 0.25},
+				{1024, 0.0625}, {4096, 0.0625},
+			}
+			reps := o.reps(10)
+			tab := stats.NewTable("E13 while-loop iterations per attempt (threshold-ride adversary)",
+				"n", "alpha", "mean iters", "max iters", "logn/delta")
+			for i, pt := range points {
+				var iters []float64
+				for r := 0; r < reps; r++ {
+					seed := o.seed(uint64(1300+i*100) + uint64(r))
+					d := core.NewDistill(core.Params{K1: 0.5, K2: 4})
+					u, err := planted(pt.n, 1, seed)
+					if err != nil {
+						return nil, err
+					}
+					engine, err := sim.NewEngine(sim.Config{
+						Universe: u, Protocol: d,
+						Adversary: adversary.NewThresholdRide(),
+						N:         pt.n, Alpha: pt.alpha, Seed: seed, MaxRounds: 1 << 16,
+					})
+					if err != nil {
+						return nil, err
+					}
+					if _, err := engine.Run(); err != nil {
+						return nil, err
+					}
+					// IterationCounts includes the in-progress attempt.
+					for _, c := range d.IterationCounts() {
+						iters = append(iters, float64(c))
+					}
+				}
+				tab.AddRow(pt.n, pt.alpha, stats.Mean(iters), stats.Max(iters),
+					logN(pt.n)/delta(pt.alpha, pt.n))
+			}
+			return tab, nil
+		},
+	}
+}

@@ -1,0 +1,97 @@
+package expt
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// x6: churn — the "changing interests" setting of the prior work [1]. The
+// one-vote rule that powers Theorem 4 assumes a static good set: after the
+// good object moves, honest players have already spent their votes, so a
+// second search over the same billboard cannot distill (stale votes point
+// at the old, now-bad object and no fresh votes are admissible). The §4.1
+// f-vote extension buys exactly f-1 churn events of headroom.
+func x6() Experiment {
+	return Experiment{
+		ID:    "X6",
+		Title: "Churn: a moved good set against spent vote budgets",
+		Claim: "Beyond the paper: the one-vote discipline is churn-fragile — epoch 2 on the same billboard costs far more than on a fresh one, and f votes per player (§4.1) buy f−1 churn events of headroom.",
+		Run: func(o Options) (*stats.Table, error) {
+			const n = 512
+			const alpha = 0.75
+			reps := o.reps(10)
+			tab := stats.NewTable("X6 second-epoch cost after the good object moves (n=m=512, α=0.75)",
+				"votes/player f", "epoch-1 probes", "epoch-2 stale board", "epoch-2 fresh board", "stale/fresh")
+			for i, f := range []int{1, 2, 4} {
+				var e1, e2Stale, e2Fresh []float64
+				for r := 0; r < reps; r++ {
+					seed := o.seed(uint64(3600+i*100) + uint64(r))
+					u, err := planted(n, 1, seed)
+					if err != nil {
+						return nil, err
+					}
+					oldGood := u.GoodObjects()[0]
+
+					// Epoch 1: normal search, keep the board.
+					eng1, err := sim.NewEngine(sim.Config{
+						Universe: u, Protocol: core.NewDistill(core.Params{}),
+						N: n, Alpha: alpha, Seed: seed,
+						VotesPerPlayer: f, MaxRounds: 1 << 15,
+					})
+					if err != nil {
+						return nil, err
+					}
+					res1, err := eng1.Run()
+					if err != nil {
+						return nil, err
+					}
+					e1 = append(e1, res1.MeanHonestProbes())
+
+					// Interests change: the good object moves.
+					newGood := (oldGood + n/2) % n
+					if err := u.Churn([]int{newGood}); err != nil {
+						return nil, err
+					}
+
+					// Epoch 2a: same billboard (stale votes, spent budgets).
+					eng2, err := sim.NewEngine(sim.Config{
+						Universe: u, Protocol: core.NewDistill(core.Params{}),
+						N: n, Alpha: alpha, Seed: seed + 1,
+						Honest:    res1.Honest, // same population
+						Board:     eng1.Board(),
+						MaxRounds: 1 << 15,
+					})
+					if err != nil {
+						return nil, err
+					}
+					res2, err := eng2.Run()
+					if err != nil {
+						return nil, err
+					}
+					e2Stale = append(e2Stale, res2.MeanHonestProbes())
+
+					// Epoch 2b: fresh billboard (the control).
+					eng3, err := sim.NewEngine(sim.Config{
+						Universe: u, Protocol: core.NewDistill(core.Params{}),
+						N: n, Alpha: alpha, Seed: seed + 1,
+						Honest:         res1.Honest,
+						VotesPerPlayer: f,
+						MaxRounds:      1 << 15,
+					})
+					if err != nil {
+						return nil, err
+					}
+					res3, err := eng3.Run()
+					if err != nil {
+						return nil, err
+					}
+					e2Fresh = append(e2Fresh, res3.MeanHonestProbes())
+				}
+				stale, fresh := stats.Mean(e2Stale), stats.Mean(e2Fresh)
+				tab.AddRow(f, stats.Mean(e1), stale, fresh, stale/fresh)
+			}
+			return tab, nil
+		},
+	}
+}

@@ -1,0 +1,199 @@
+package expt
+
+import (
+	"math"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// e9: Theorem 12 — cost classes keep the total spend near the cheapest good
+// object's cost times m log n/(αn).
+func e9() Experiment {
+	return Experiment{
+		ID:    "E9",
+		Title: "Theorem 12: multiple costs via cost classes",
+		Claim: "Thm 12: each honest player finds a good object w.h.p. while paying only O(q₀·m·log n/(αn)), q₀ the cheapest good object's cost.",
+		Run: func(o Options) (*stats.Table, error) {
+			const n, m = 256, 512
+			const alpha = 0.75
+			reps := o.reps(10)
+			tab := stats.NewTable("E9 mean cost per player with cost classes (n=256, m=512)",
+				"cost model", "q0", "bound shape", "costclasses", "plain distill", "success")
+			type workload struct {
+				name     string
+				universe func(seed uint64) (*object.Universe, error)
+			}
+			workloads := []workload{
+				{"two-tier(1,64)", func(seed uint64) (*object.Universe, error) {
+					src := rng.New(seed)
+					values := make([]float64, m)
+					costs := make([]float64, m)
+					for i := range costs {
+						costs[i] = 64
+					}
+					for i := 0; i < m/4; i++ {
+						costs[i] = 1
+					}
+					values[src.Intn(m/4)] = 1     // cheap good object, q0 = 1
+					values[m/4+src.Intn(m/2)] = 1 // an expensive good one too
+					return object.NewUniverse(object.Config{
+						Values: values, Costs: costs, LocalTesting: true, Threshold: 0.5,
+					})
+				}},
+				{"pareto(1.3)", func(seed uint64) (*object.Universe, error) {
+					src := rng.New(seed)
+					costs := object.ParetoCosts(m, 1.3, src)
+					values := make([]float64, m)
+					for i := 0; i < 4; i++ {
+						values[src.Intn(m)] = 1
+					}
+					values[src.Intn(m)] = 1
+					return object.NewUniverse(object.Config{
+						Values: values, Costs: costs, LocalTesting: true, Threshold: 0.5,
+					})
+				}},
+			}
+			for i, w := range workloads {
+				seed := o.seed(uint64(900 + i))
+				// Measure q0 from a sample universe.
+				sample, err := w.universe(seed)
+				if err != nil {
+					return nil, err
+				}
+				q0 := sample.CheapestGoodCost()
+				bound := q0 * float64(m) * logN(n) / (alpha * float64(n))
+
+				classes, err := run(runConfig{
+					n: n, alpha: alpha, reps: reps, seed: seed, workers: o.Workers,
+					universe: w.universe,
+					protocol: func() sim.Protocol { return core.NewCostClasses(core.Params{}, 0) },
+				})
+				if err != nil {
+					return nil, err
+				}
+				plain, err := run(runConfig{
+					n: n, alpha: alpha, reps: reps, seed: seed, workers: o.Workers,
+					universe: w.universe,
+					protocol: func() sim.Protocol { return core.NewDistill(core.Params{}) },
+				})
+				if err != nil {
+					return nil, err
+				}
+				tab.AddRow(w.name, q0, bound,
+					classes.MeanIndividualCost, plain.MeanIndividualCost,
+					classes.SuccessRate)
+			}
+			return tab, nil
+		},
+	}
+}
+
+// e10: Theorem 13 — search without local testing.
+func e10() Experiment {
+	return Experiment{
+		ID:    "E10",
+		Title: "Theorem 13: search without local testing",
+		Claim: "Thm 13: without local testing, each honest player finds a top-β object with probability 1 − n^{−Ω(1)} in O(log n/(αβn) + log n/α) rounds.",
+		Run: func(o Options) (*stats.Table, error) {
+			const n, m = 512, 512
+			const alpha = 0.8
+			betas := []float64{1.0 / m, 0.01, 0.05, 0.1}
+			reps := o.reps(12)
+			tab := stats.NewTable("E10 no-local-testing success (n=m=512, α=0.8)",
+				"beta", "rounds", "success rate", "logn shape")
+			for i, beta := range betas {
+				beta := beta
+				agg, err := run(runConfig{
+					n: n, alpha: alpha, reps: reps,
+					seed: o.seed(uint64(1000 + i)), workers: o.Workers,
+					universe: func(seed uint64) (*object.Universe, error) {
+						return object.NewTopBeta(m, beta, rng.New(seed))
+					},
+					protocol:  func() sim.Protocol { return core.NewNoLocalTesting(core.Params{}, 0) },
+					adversary: func() sim.Adversary { return adversary.SpamDistinct{} },
+				})
+				if err != nil {
+					return nil, err
+				}
+				shape := logN(n)/(alpha*beta*float64(n)) + logN(n)/alpha
+				tab.AddRow(beta, agg.MeanRounds, agg.SuccessRate, shape)
+			}
+			return tab, nil
+		},
+	}
+}
+
+// e11: §4.1 — multiple and erroneous votes.
+func e11() Experiment {
+	return Experiment{
+		ID:    "E11",
+		Title: "§4.1: multiple votes and erroneous votes",
+		Claim: "§4.1: with up to f votes per player and erroneous honest votes, Theorem 4 is unchanged so long as f = o(1/(1−α)).",
+		Run: func(o Options) (*stats.Table, error) {
+			const n = 1024
+			const alpha = 0.75 // 1/(1-α) = 4
+			fs := []int{1, 2, 4, 8, 16}
+			reps := o.reps(12)
+			tab := stats.NewTable("E11 DISTILL with f votes/player, honest error rate 0.1 (n=m=1024, α=0.75)",
+				"f", "f·(1-alpha)", "mean probes", "mean rounds", "success")
+			for i, f := range fs {
+				f := f
+				agg, err := run(runConfig{
+					n: n, m: n, good: 1, alpha: alpha, reps: reps,
+					seed: o.seed(uint64(1100 + i)), workers: o.Workers,
+					votesPer: f, errorRate: 0.1,
+					protocol:  func() sim.Protocol { return core.NewDistill(core.Params{}) },
+					adversary: func() sim.Adversary { return &adversary.RandomLiar{Rate: 0.5} },
+				})
+				if err != nil {
+					return nil, err
+				}
+				tab.AddRow(f, float64(f)*(1-alpha),
+					agg.MeanIndividualProbes, agg.MeanRounds, agg.SuccessRate)
+			}
+			return tab, nil
+		},
+	}
+}
+
+// e12: the §1.2 three-phase illustration with √n dishonest players.
+func e12() Experiment {
+	return Experiment{
+		ID:    "E12",
+		Title: "§1.2 example: three-phase algorithm, √n dishonest",
+		Claim: "§1.2: with m=n and √n dishonest players, the three-phase algorithm finds the good object in O(1) rounds with constant probability.",
+		Run: func(o Options) (*stats.Table, error) {
+			ns := []int{256, 1024, 4096}
+			reps := o.reps(30)
+			tab := stats.NewTable("E12 three-phase success (m=n, √n dishonest, 7 prescribed rounds)",
+				"n", "dishonest", "success rate", "rounds")
+			for i, n := range ns {
+				n := n
+				dishonest := int(math.Sqrt(float64(n)))
+				agg, err := run(runConfig{
+					n: n, m: n, good: 1, reps: reps,
+					seed: o.seed(uint64(1200 + i)), workers: o.Workers,
+					honest: func(seed uint64) []int {
+						honest := make([]int, 0, n-dishonest)
+						for p := dishonest; p < n; p++ {
+							honest = append(honest, p)
+						}
+						return honest
+					},
+					protocol:  func() sim.Protocol { return core.NewThreePhase() },
+					adversary: func() sim.Adversary { return adversary.SpamDistinct{} },
+				})
+				if err != nil {
+					return nil, err
+				}
+				tab.AddRow(n, dishonest, agg.SuccessRate, agg.MeanRounds)
+			}
+			return tab, nil
+		},
+	}
+}

@@ -1,0 +1,108 @@
+package expt
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// e7: Theorem 11 — DISTILL^HP last-player termination O(log n / α) w.h.p.
+func e7() Experiment {
+	return Experiment{
+		ID:    "E7",
+		Title: "Theorem 11: DISTILL^HP last-player termination",
+		Claim: "Thm 11: DISTILL^HP terminates (all honest players) in O(log n/(αβn) + log n/α) rounds with probability 1 − n^{−Ω(1)}.",
+		Run: func(o Options) (*stats.Table, error) {
+			ns := []int{256, 1024, 4096}
+			const alpha = 0.5
+			reps := o.reps(20)
+			tab := stats.NewTable("E7 last-player round of DISTILL^HP (α=0.5, β=1/n)",
+				"n", "mean last", "p95 last", "max last", "logn/alpha", "frac > 8·logn/alpha")
+			for i, n := range ns {
+				rounds, err := lastRounds(runConfig{
+					n: n, m: n, good: 1, alpha: alpha, reps: reps,
+					seed: o.seed(uint64(700 + i)), workers: o.Workers,
+					protocol:  func() sim.Protocol { return core.NewDistillHP(core.Params{}) },
+					adversary: func() sim.Adversary { return adversary.SpamDistinct{} },
+				})
+				if err != nil {
+					return nil, err
+				}
+				ref := logN(n) / alpha
+				tail := 0
+				for _, r := range rounds {
+					if r > 8*ref {
+						tail++
+					}
+				}
+				tab.AddRow(n, stats.Mean(rounds), stats.Quantile(rounds, 0.95),
+					stats.Max(rounds), ref, float64(tail)/float64(len(rounds)))
+			}
+			return tab, nil
+		},
+	}
+}
+
+// e8: §5.1 — guessing α by halving costs at most a constant factor over
+// knowing it.
+func e8() Experiment {
+	return Experiment{
+		ID:    "E8",
+		Title: "§5.1: guessing α by halving",
+		Claim: "§5.1: running DISTILL^HP with α halved per phase terminates in O(log n/(α₀βn) + log n/α₀) rounds — at most ~2× the final phase — without knowing α₀.",
+		Run: func(o Options) (*stats.Table, error) {
+			const n = 1024
+			alphas := []float64{0.5, 0.25, 0.125, 0.0625}
+			reps := o.reps(10)
+			tab := stats.NewTable("E8 known-α DISTILL^HP vs AlphaGuess (n=m=1024)",
+				"true alpha", "known-α rounds", "alphaguess rounds", "overhead", "final phase i")
+			for i, alpha := range alphas {
+				seed := o.seed(uint64(800 + i))
+				known, err := run(runConfig{
+					n: n, m: n, good: 1, alpha: alpha, reps: reps,
+					seed: seed, workers: o.Workers,
+					protocol:  func() sim.Protocol { return core.NewDistillHP(core.Params{}) },
+					adversary: func() sim.Adversary { return adversary.SpamDistinct{} },
+				})
+				if err != nil {
+					return nil, err
+				}
+				// AlphaGuess runs serially so the final phase index can be
+				// read back from the protocol instance.
+				var rounds []float64
+				finalPhase := 0
+				for r := 0; r < reps; r++ {
+					g := core.NewAlphaGuess(core.Params{}, 0)
+					u, err := planted(n, 1, seed+uint64(r))
+					if err != nil {
+						return nil, err
+					}
+					engine, err := sim.NewEngine(sim.Config{
+						Universe: u, Protocol: g,
+						Adversary:    adversary.SpamDistinct{},
+						N:            n,
+						Alpha:        alpha,
+						AssumedAlpha: 1, // deliberately wrong; must be ignored
+						Seed:         seed + uint64(r), MaxRounds: 1 << 16,
+					})
+					if err != nil {
+						return nil, err
+					}
+					res, err := engine.Run()
+					if err != nil {
+						return nil, err
+					}
+					rounds = append(rounds, float64(res.Rounds))
+					if g.Phase() > finalPhase {
+						finalPhase = g.Phase()
+					}
+				}
+				guessRounds := stats.Mean(rounds)
+				tab.AddRow(alpha, known.MeanRounds, guessRounds,
+					guessRounds/known.MeanRounds, finalPhase)
+			}
+			return tab, nil
+		},
+	}
+}

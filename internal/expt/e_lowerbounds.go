@@ -1,0 +1,100 @@
+package expt
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// e4: Theorem 1 — the collective-work bound Ω(1/(αβn)), realized by the
+// full-cooperation oracle and respected by everything else.
+func e4() Experiment {
+	return Experiment{
+		ID:    "E4",
+		Title: "Theorem 1: collective-work lower bound Ω(1/(αβn))",
+		Claim: "Thm 1: any algorithm has an instance where the expected number of probes per player is Ω(1/(αβn)).",
+		Run: func(o Options) (*stats.Table, error) {
+			reps := o.reps(30)
+			tab := stats.NewTable("E4 measured probes vs the Ω(1/(αβn)) bound",
+				"n", "m", "beta", "alpha", "bound", "oracle", "distill")
+			cases := []struct {
+				n, m, good int
+				alpha      float64
+			}{
+				{16, 320, 4, 1},
+				{16, 1024, 4, 1},
+				{32, 1024, 4, 0.75},
+				{64, 4096, 16, 0.5},
+			}
+			for i, tc := range cases {
+				beta := float64(tc.good) / float64(tc.m)
+				bound := lowerbound.Theorem1Bound(tc.alpha, beta, tc.n, tc.m)
+				seed := o.seed(uint64(400 + i))
+				oracle, err := lowerbound.Theorem1Probes(func() sim.Protocol {
+					return baseline.NewOracleCoop()
+				}, tc.n, tc.m, tc.good, reps, tc.alpha, seed)
+				if err != nil {
+					return nil, err
+				}
+				distill, err := lowerbound.Theorem1Probes(func() sim.Protocol {
+					return core.NewDistill(core.Params{})
+				}, tc.n, tc.m, tc.good, reps, tc.alpha, seed+1)
+				if err != nil {
+					return nil, err
+				}
+				tab.AddRow(tc.n, tc.m, beta, tc.alpha, bound,
+					stats.Mean(oracle), stats.Mean(distill))
+			}
+			return tab, nil
+		},
+	}
+}
+
+// e5: Theorem 2 — the symmetry bound Ω(min(1/α, 1/β)) on the partition
+// instance distribution, evaluated for DISTILL and the async baseline.
+func e5() Experiment {
+	return Experiment{
+		ID:    "E5",
+		Title: "Theorem 2: symmetry lower bound Ω(min(1/α, 1/β))",
+		Claim: "Thm 2: on the partition distribution (player groups P_k endorsing object groups O_k) any algorithm pays expected Ω(min(1/α, 1/β)) probes.",
+		Run: func(o Options) (*stats.Table, error) {
+			reps := o.reps(6)
+			tab := stats.NewTable("E5 player-0 probes on the Theorem 2 distribution",
+				"1/alpha", "1/beta", "B/2 bound", "distill", "async[1]", "trivial")
+			cases := []lowerbound.Theorem2Config{
+				{N: 16, M: 16, Alpha: 0.25, Beta: 0.25},
+				{N: 32, M: 32, Alpha: 0.125, Beta: 0.125},
+				{N: 64, M: 64, Alpha: 0.0625, Beta: 0.0625},
+				{N: 64, M: 64, Alpha: 0.0625, Beta: 0.25},
+			}
+			for i, c := range cases {
+				seed := o.seed(uint64(500 + i))
+				measure := func(factory func() sim.Protocol) (float64, error) {
+					probes, err := c.Player0Probes(factory, reps, seed)
+					if err != nil {
+						return 0, err
+					}
+					return stats.Mean(probes), nil
+				}
+				distill, err := measure(func() sim.Protocol { return core.NewDistill(core.Params{}) })
+				if err != nil {
+					return nil, err
+				}
+				async, err := measure(func() sim.Protocol { return baseline.NewAsyncRoundRobin() })
+				if err != nil {
+					return nil, err
+				}
+				trivial, err := measure(func() sim.Protocol { return baseline.NewTrivialRandom() })
+				if err != nil {
+					return nil, err
+				}
+				tab.AddRow(1/c.Alpha, 1/c.Beta,
+					lowerbound.Theorem2Bound(c.Alpha, c.Beta),
+					distill, async, trivial)
+			}
+			return tab, nil
+		},
+	}
+}

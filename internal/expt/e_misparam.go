@@ -1,0 +1,84 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// a5: mis-parameterization — DISTILL's schedule is built from an ASSUMED α
+// (the paper concedes in §1.3 that requiring knowledge of α is a
+// limitation; §5.1's halving wrapper removes it). How wrong can the guess
+// be before the cost shape breaks?
+func a5() Experiment {
+	return Experiment{
+		ID:    "A5",
+		Title: "Ablation: mis-guessed α",
+		Claim: "§1.3/§5.1: DISTILL hardwires α. Underestimating it stretches every step by the assumed 1/α (pure overhead); overestimating shortens the vote-concentration windows below what Lemmas 8/10 need, costing attempts. The diagonal is optimal; AlphaGuess matches it without the knowledge.",
+		Run: func(o Options) (*stats.Table, error) {
+			const n = 1024
+			reps := o.reps(12)
+			trueAlphas := []float64{0.75, 0.25}
+			assumed := []float64{1.0, 0.75, 0.5, 0.25, 0.0625}
+			header := []string{"true α \\ assumed α"}
+			for _, a := range assumed {
+				header = append(header, trim(a))
+			}
+			header = append(header, "alphaguess")
+			tab := stats.NewTable("A5 DISTILL mean probes by assumed α (n=m=1024, spam adversary)", header...)
+			for i, trueAlpha := range trueAlphas {
+				row := []any{trim(trueAlpha)}
+				for j, guess := range assumed {
+					guess := guess
+					agg, err := run(runConfig{
+						n: n, m: n, good: 1, alpha: trueAlpha, reps: reps,
+						seed: o.seed(uint64(2500 + i*100 + j)), workers: o.Workers,
+						maxRounds:    1 << 15,
+						protocol:     func() sim.Protocol { return core.NewDistill(core.Params{}) },
+						adversary:    func() sim.Adversary { return adversary.SpamDistinct{} },
+						assumedAlpha: guess,
+					})
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, agg.MeanIndividualProbes)
+				}
+				guessAgg, err := run(runConfig{
+					n: n, m: n, good: 1, alpha: trueAlpha, reps: reps,
+					seed: o.seed(uint64(2500 + i*100 + 50)), workers: o.Workers,
+					maxRounds:    1 << 15,
+					protocol:     func() sim.Protocol { return core.NewAlphaGuess(core.Params{}, 0) },
+					adversary:    func() sim.Adversary { return adversary.SpamDistinct{} },
+					assumedAlpha: 1, // deliberately wrong; the wrapper ignores it
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, guessAgg.MeanIndividualProbes)
+				tab.AddRow(row...)
+			}
+			return tab, nil
+		},
+	}
+}
+
+// trim renders an α compactly.
+func trim(a float64) string {
+	switch a {
+	case 1:
+		return "1"
+	case 0.75:
+		return "3/4"
+	case 0.5:
+		return "1/2"
+	case 0.25:
+		return "1/4"
+	case 0.0625:
+		return "1/16"
+	default:
+		return fmt.Sprintf("%g", a)
+	}
+}

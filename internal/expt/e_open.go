@@ -1,0 +1,182 @@
+package expt
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/async"
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Extensions returns the experiments X1…X3 exploring the open problems of
+// the paper's §6 (and the §1.2 asynchronous-model motivation). They go
+// beyond the paper's claims, so they live outside the E registry.
+func Extensions() []Experiment {
+	return []Experiment{x1(), x2(), x3(), x4(), x5(), x6()}
+}
+
+// x1: the §1.2 motivation — in the asynchronous model of [1], the schedule
+// adversary controls individual cost; synchrony is what makes individual
+// bounds possible.
+func x1() Experiment {
+	return Experiment{
+		ID:    "X1",
+		Title: "Async schedules: why the paper moved to the synchronous model",
+		Claim: "§1.2: under the asynchronous model of [1], a schedule that runs a single player by itself forces that player to find a good object alone (Θ(1/β) probes), while fair schedules share the work.",
+		Run: func(o Options) (*stats.Table, error) {
+			const n, m, good = 16, 800, 4 // 1/β = 200
+			reps := o.reps(20)
+			tab := stats.NewTable("X1 victim's probes in the asynchronous model (n=16, 1/β=200)",
+				"strategy", "schedule", "victim probes", "population mean", "1/beta")
+			type cell struct {
+				strategy func() async.Strategy
+				schedule async.Schedule
+			}
+			cells := []cell{
+				{func() async.Strategy { return async.NewExploreFollow(n, m) }, async.RoundRobin{}},
+				{func() async.Strategy { return async.NewExploreFollow(n, m) }, async.UniformRandom{}},
+				{func() async.Strategy { return async.NewExploreFollow(n, m) }, async.Starve{Victim: 0}},
+				{func() async.Strategy { return async.NewSolo(m) }, async.Starve{Victim: 0}},
+			}
+			for i, c := range cells {
+				var victim, popMean []float64
+				var name string
+				for r := 0; r < reps; r++ {
+					seed := o.seed(uint64(3100+i*100) + uint64(r))
+					u, err := object.NewPlanted(object.Planted{M: m, Good: good}, rng.New(seed))
+					if err != nil {
+						return nil, err
+					}
+					strat := c.strategy()
+					name = strat.Name()
+					res, err := async.Run(async.Config{
+						Universe: u, Strategy: strat, Schedule: c.schedule,
+						N: n, Seed: seed,
+					})
+					if err != nil {
+						return nil, err
+					}
+					victim = append(victim, float64(res.Probes[0]))
+					popMean = append(popMean, stats.MeanInts(res.Probes))
+				}
+				tab.AddRow(name, c.schedule.Name(),
+					stats.Mean(victim), stats.Mean(popMean), float64(m)/float64(good))
+			}
+			return tab, nil
+		},
+	}
+}
+
+// x2: the §6 question "is slander useless?" — give DISTILL a
+// negative-report veto and measure both sides.
+func x2() Experiment {
+	return Experiment{
+		ID:    "X2",
+		Title: "§6: can bad recommendations be used? (negative-report veto)",
+		Claim: "§6 open problem: DISTILL ignores negative reports. A veto on objects with many negative reports prunes bad candidates when negatives are truthful — and hands Byzantine slanderers a weapon against the good object.",
+		Run: func(o Options) (*stats.Table, error) {
+			const n = 1024
+			const alpha = 0.5
+			reps := o.reps(12)
+			tab := stats.NewTable("X2 DISTILL with and without a negative-report veto (n=m=1024, α=0.5)",
+				"variant", "adversary", "mean probes", "mean rounds", "success")
+			type cell struct {
+				variant string
+				veto    int
+				adv     string
+			}
+			cells := []cell{
+				{"paper (ignore negatives)", 0, "spam-distinct"},
+				{"veto >= 3 negatives", 3, "spam-distinct"},
+				{"paper (ignore negatives)", 0, "slander"},
+				{"veto >= 3 negatives", 3, "slander"},
+			}
+			for i, c := range cells {
+				c := c
+				agg, err := run(runConfig{
+					n: n, m: n, good: 1, alpha: alpha, reps: reps,
+					seed: o.seed(uint64(3200 + i)), workers: o.Workers,
+					maxRounds: 20000,
+					protocol: func() sim.Protocol {
+						return core.NewDistill(core.Params{NegativeVeto: c.veto})
+					},
+					adversary: func() sim.Adversary { return adversary.ByName(c.adv) },
+				})
+				if err != nil {
+					return nil, err
+				}
+				tab.AddRow(c.variant, c.adv, agg.MeanIndividualProbes,
+					agg.MeanRounds, agg.SuccessRate)
+			}
+			return tab, nil
+		},
+	}
+}
+
+// x3: the §6 question "what is the effect of associating each object with
+// a player?" — sellers shill their own listings; an ownership-aware vote
+// rule neutralizes them.
+func x3() Experiment {
+	return Experiment{
+		ID:    "X3",
+		Title: "§6: objects owned by players (shilling and the own-vote rule)",
+		Claim: "§6 open problem: with objects owned by players, dishonest owners shill their own bad objects; discarding votes for the voter's own objects removes their entire vote budget.",
+		Run: func(o Options) (*stats.Table, error) {
+			const n = 1024
+			reps := o.reps(12)
+			owner := func(obj int) int { return obj % n }
+			tab := stats.NewTable("X3 owner-shill attack vs the own-vote admission rule (n=m=1024)",
+				"alpha", "no rule probes", "own-vote rule probes", "silent baseline")
+			for i, alpha := range []float64{0.75, 0.5, 0.25} {
+				seed := o.seed(uint64(3300 + i))
+				point := func(ownVoteRule, shill bool) (sim.Aggregate, error) {
+					var filter func(player, object int) bool
+					if ownVoteRule {
+						filter = func(player, object int) bool { return owner(object) != player }
+					}
+					results, err := sim.Replicator{
+						Reps:     reps,
+						Workers:  o.Workers,
+						BaseSeed: seed,
+						Build: func(s uint64) (*sim.Engine, error) {
+							u, err := planted(n, 1, s)
+							if err != nil {
+								return nil, err
+							}
+							cfg := sim.Config{
+								Universe: u, Protocol: core.NewDistill(core.Params{}),
+								N: n, Alpha: alpha, Seed: s, MaxRounds: 20000,
+								VoteFilter: filter,
+							}
+							if shill {
+								cfg.Adversary = adversary.NewOwnerShill(owner)
+							}
+							return sim.NewEngine(cfg)
+						},
+					}.Run()
+					if err != nil {
+						return sim.Aggregate{}, err
+					}
+					return sim.AggregateResults(results), nil
+				}
+				unprotected, err := point(false, true)
+				if err != nil {
+					return nil, err
+				}
+				protected, err := point(true, true)
+				if err != nil {
+					return nil, err
+				}
+				silent, err := point(false, false)
+				if err != nil {
+					return nil, err
+				}
+				tab.AddRow(alpha, unprotected.MeanIndividualProbes,
+					protected.MeanIndividualProbes, silent.MeanIndividualProbes)
+			}
+			return tab, nil
+		},
+	}
+}

@@ -1,0 +1,160 @@
+package expt
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trust"
+)
+
+// x4: §1.3 — popularity-style search hands control to the Byzantine
+// minority; DISTILL's one-vote + window discipline does not.
+func x4() Experiment {
+	return Experiment{
+		ID:    "X4",
+		Title: "§1.3: popularity-following vs DISTILL under vote manipulation",
+		Claim: "§1.3: \"popularity-style algorithms actually enhance the power of malicious users\" — a probe-the-most-voted-object strategy wastes Θ((1−α)n) probes on the adversary's stuffed ranking, while DISTILL stays on its Theorem 4 shape.",
+		Run: func(o Options) (*stats.Table, error) {
+			const n = 1024
+			reps := o.reps(12)
+			tab := stats.NewTable("X4 mean probes: popularity vs DISTILL (n=m=1024, spam adversary)",
+				"alpha", "popularity", "distill", "popularity/distill", "dishonest count")
+			for i, alpha := range []float64{0.9, 0.75, 0.5} {
+				seed := o.seed(uint64(3400 + i))
+				pop, err := run(runConfig{
+					n: n, m: n, good: 1, alpha: alpha, reps: reps,
+					seed: seed, workers: o.Workers, maxRounds: 1 << 15,
+					protocol:  func() sim.Protocol { return baseline.NewPopularity() },
+					adversary: func() sim.Adversary { return adversary.SpamDistinct{} },
+				})
+				if err != nil {
+					return nil, err
+				}
+				distill, err := run(runConfig{
+					n: n, m: n, good: 1, alpha: alpha, reps: reps,
+					seed: seed, workers: o.Workers, maxRounds: 1 << 15,
+					protocol:  func() sim.Protocol { return core.NewDistill(core.Params{}) },
+					adversary: func() sim.Adversary { return adversary.SpamDistinct{} },
+				})
+				if err != nil {
+					return nil, err
+				}
+				tab.AddRow(alpha, pop.MeanIndividualProbes, distill.MeanIndividualProbes,
+					pop.MeanIndividualProbes/distill.MeanIndividualProbes,
+					int(float64(n)*(1-alpha)))
+			}
+			return tab, nil
+		},
+	}
+}
+
+// x5: §1.3 — the EigenTrust critique: a malicious collective boosts its own
+// trust when trust is agreement-popularity without pre-trusted peers.
+func x5() Experiment {
+	return Experiment{
+		ID:    "X5",
+		Title: "§1.3: malicious collectives under EigenTrust-style reputation",
+		Claim: "§1.3 (quoting Kamvar et al.): without a-priori trusted peers, \"forming a malicious collective in fact heavily boosts the trust values of malicious nodes\" — and can steer the trust-weighted recommendation to a bad object.",
+		Run: func(o Options) (*stats.Table, error) {
+			const honest, dishonest, m, goodCount = 150, 50, 400, 15
+			n := honest + dishonest
+			reps := o.reps(10)
+			tab := stats.NewTable("X5 trust mass and top recommendation by liar strategy (150 honest, 50 liars)",
+				"liar strategy", "dishonest mean trust", "honest mean trust", "ratio", "top pick bad rate")
+			type scenario struct {
+				name string
+				lie  func(src *rng.Source, goodSet map[int]bool, emit func(p int, obj int, v float64))
+			}
+			scenarios := []scenario{
+				{"independent noise", func(src *rng.Source, goodSet map[int]bool, emit func(int, int, float64)) {
+					for p := honest; p < n; p++ {
+						for k := 0; k < 20; k++ {
+							emit(p, src.Intn(m), src.Float64())
+						}
+					}
+				}},
+				{"collective (same fakes)", func(src *rng.Source, goodSet map[int]bool, emit func(int, int, float64)) {
+					fakes := fakeObjects(goodSet, m, 20)
+					for p := honest; p < n; p++ {
+						for _, obj := range fakes {
+							emit(p, obj, 1)
+						}
+					}
+				}},
+				{"parasitic collective", func(src *rng.Source, goodSet map[int]bool, emit func(int, int, float64)) {
+					// Echo the truth on a visible slice of the catalog to
+					// siphon honest agreement, then push the same fakes.
+					fakes := fakeObjects(goodSet, m, 20)
+					for p := honest; p < n; p++ {
+						for obj := 0; obj < 40; obj++ {
+							v := 0.0
+							if goodSet[obj] {
+								v = 1
+							}
+							emit(p, obj, v)
+						}
+						for _, obj := range fakes {
+							emit(p, obj, 1)
+						}
+					}
+				}},
+			}
+			for i, sc := range scenarios {
+				var dMeans, hMeans, badPicks []float64
+				for r := 0; r < reps; r++ {
+					src := rng.New(o.seed(uint64(3500+i*100) + uint64(r)))
+					goodSet := map[int]bool{}
+					for len(goodSet) < goodCount {
+						goodSet[src.Intn(m)] = true
+					}
+					var reports []trust.Report
+					emit := func(p, obj int, v float64) {
+						reports = append(reports, trust.Report{Player: p, Object: obj, Value: v})
+					}
+					// Honest raters sample the catalog truthfully.
+					for p := 0; p < honest; p++ {
+						for k := 0; k < 20; k++ {
+							obj := src.Intn(m)
+							v := 0.0
+							if goodSet[obj] {
+								v = 1
+							}
+							emit(p, obj, v)
+						}
+					}
+					sc.lie(src, goodSet, emit)
+
+					scores, err := trust.Scores(reports, trust.Config{Players: n})
+					if err != nil {
+						return nil, err
+					}
+					d, h := trust.GroupMeans(scores, func(p int) bool { return p >= honest })
+					dMeans = append(dMeans, d)
+					hMeans = append(hMeans, h)
+					if obj, _, ok := trust.Recommend(reports, scores, 0.5); ok && !goodSet[obj] {
+						badPicks = append(badPicks, 1)
+					} else {
+						badPicks = append(badPicks, 0)
+					}
+				}
+				d, h := stats.Mean(dMeans), stats.Mean(hMeans)
+				tab.AddRow(sc.name, d, h, d/h, stats.Mean(badPicks))
+			}
+			return tab, nil
+		},
+	}
+}
+
+// fakeObjects returns count bad objects in increasing index order.
+func fakeObjects(goodSet map[int]bool, m, count int) []int {
+	out := make([]int, 0, count)
+	for obj := 0; obj < m && len(out) < count; obj++ {
+		if !goodSet[obj] {
+			out = append(out, obj)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package expt
+
+import (
+	"math"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// delta computes Δ = log2(1/(1-α) + log2 n) (Notation 3). For α = 1 the
+// first term is taken as n (no dishonest players at all), which saturates
+// the bound.
+func delta(alpha float64, n int) float64 {
+	inv := float64(n)
+	if alpha < 1 {
+		inv = 1 / (1 - alpha)
+	}
+	d := math.Log2(inv + math.Log2(float64(n)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// theorem4Prediction is the Theorem 4 shape 1/(αβn) + (1/α)·log2(n)/Δ
+// (no leading constant; it is a shape reference, not an absolute bound).
+func theorem4Prediction(alpha, beta float64, n int) float64 {
+	return 1/(alpha*beta*float64(n)) + math.Log2(float64(n))/(alpha*delta(alpha, n))
+}
+
+// e1: individual cost vs n at high α — DISTILL flat, async baseline grows
+// like log n, trivial grows like 1/β = n.
+func e1() Experiment {
+	return Experiment{
+		ID:    "E1",
+		Title: "Individual cost vs n (α=0.9, β=1/n, m=n)",
+		Claim: "§1.2/Cor.5: DISTILL has O(1) individual cost when most players are honest, vs Θ(log n) for the asynchronous algorithm of [1] and Θ(1/β)=Θ(n) for billboard-oblivious probing.",
+		Run: func(o Options) (*stats.Table, error) {
+			ns := []int{256, 512, 1024, 2048, 4096}
+			if o.scale() >= 1 {
+				ns = append(ns, 8192)
+			}
+			reps := o.reps(20)
+			tab := stats.NewTable("E1 individual probes vs n (mean over honest players)",
+				"n", "distill", "async[1]", "trivial", "distill p95")
+			for i, n := range ns {
+				seed := o.seed(uint64(100 + i))
+				point := func(proto func() sim.Protocol) (sim.Aggregate, error) {
+					return run(runConfig{
+						n: n, m: n, good: 1, alpha: 0.9, reps: reps,
+						seed: seed, workers: o.Workers, protocol: proto,
+						adversary: func() sim.Adversary { return adversary.SpamDistinct{} },
+					})
+				}
+				distill, err := point(func() sim.Protocol { return core.NewDistill(core.Params{}) })
+				if err != nil {
+					return nil, err
+				}
+				async, err := point(func() sim.Protocol { return baseline.NewAsyncRoundRobin() })
+				if err != nil {
+					return nil, err
+				}
+				trivial, err := point(func() sim.Protocol { return baseline.NewTrivialRandom() })
+				if err != nil {
+					return nil, err
+				}
+				tab.AddRow(n,
+					distill.MeanIndividualProbes,
+					async.MeanIndividualProbes,
+					trivial.MeanIndividualProbes,
+					stats.Quantile(distill.PerPlayerProbes, 0.95))
+			}
+			return tab, nil
+		},
+	}
+}
+
+// e2: individual cost vs α — the (1/α)·log n/Δ dependence of Theorem 4.
+func e2() Experiment {
+	return Experiment{
+		ID:    "E2",
+		Title: "Individual cost vs α (n=m=2048, β=1/n)",
+		Claim: "Thm 4: expected termination time O(1/(αβn) + (1/α)·log n/Δ) against an adaptive Byzantine adversary.",
+		Run: func(o Options) (*stats.Table, error) {
+			const n = 2048
+			alphas := []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+			reps := o.reps(15)
+			tab := stats.NewTable("E2 individual probes vs α",
+				"alpha", "distill", "async[1]", "thm4 shape", "ratio")
+			for i, alpha := range alphas {
+				seed := o.seed(uint64(200 + i))
+				distill, err := run(runConfig{
+					n: n, m: n, good: 1, alpha: alpha, reps: reps,
+					seed: seed, workers: o.Workers,
+					protocol:  func() sim.Protocol { return core.NewDistill(core.Params{}) },
+					adversary: func() sim.Adversary { return adversary.NewThresholdRide() },
+				})
+				if err != nil {
+					return nil, err
+				}
+				async, err := run(runConfig{
+					n: n, m: n, good: 1, alpha: alpha, reps: reps,
+					seed: seed, workers: o.Workers,
+					protocol:  func() sim.Protocol { return baseline.NewAsyncRoundRobin() },
+					adversary: func() sim.Adversary { return adversary.NewThresholdRide() },
+				})
+				if err != nil {
+					return nil, err
+				}
+				pred := theorem4Prediction(alpha, 1/float64(n), n)
+				tab.AddRow(alpha,
+					distill.MeanIndividualProbes,
+					async.MeanIndividualProbes,
+					pred,
+					distill.MeanIndividualProbes/pred)
+			}
+			return tab, nil
+		},
+	}
+}
+
+// e3: Corollary 5 — α = 1 - n^{-ε} gives cost O(1/ε), independent of n.
+func e3() Experiment {
+	return Experiment{
+		ID:    "E3",
+		Title: "Corollary 5: cost O(1/ε) when α = 1 − n^{−ε}",
+		Claim: "Cor. 5: if m=n and α ≥ 1 − 1/n^ε then the expected termination time is O(1/ε), independent of n.",
+		Run: func(o Options) (*stats.Table, error) {
+			ns := []int{1024, 4096}
+			if o.scale() >= 1 {
+				ns = append(ns, 16384)
+			}
+			epsilons := []float64{0.25, 0.5, 0.75, 1.0}
+			reps := o.reps(15)
+			tab := stats.NewTable("E3 mean probes for α = 1 − n^{−ε}",
+				"epsilon", "n", "alpha", "distill probes", "1/eps")
+			for i, eps := range epsilons {
+				for j, n := range ns {
+					alpha := 1 - math.Pow(float64(n), -eps)
+					dishonest := int(math.Pow(float64(n), 1-eps))
+					seed := o.seed(uint64(300 + i*10 + j))
+					agg, err := run(runConfig{
+						n: n, m: n, good: 1, alpha: alpha, reps: reps,
+						seed: seed, workers: o.Workers,
+						protocol:  func() sim.Protocol { return core.NewDistill(core.Params{}) },
+						adversary: func() sim.Adversary { return adversary.SpamDistinct{} },
+					})
+					if err != nil {
+						return nil, err
+					}
+					_ = dishonest
+					tab.AddRow(eps, n, alpha, agg.MeanIndividualProbes, 1/eps)
+				}
+			}
+			return tab, nil
+		},
+	}
+}

@@ -1,0 +1,89 @@
+// Package expt defines the reproduction experiments E1…E13, one per
+// quantitative claim of the paper (see DESIGN.md §5 for the index). Each
+// experiment knows its workload, runs its replications, and renders the
+// table the claim predicts the shape of. The cmd/experiments binary and the
+// root bench suite both drive this registry.
+package expt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Options tune how heavy an experiment run is.
+type Options struct {
+	// Scale multiplies replication counts and caps sweep sizes; 1 is the
+	// full EXPERIMENTS.md configuration, smaller values run faster.
+	// 0 defaults to 1.
+	Scale float64
+	// BaseSeed offsets all random seeds (default 0 means seed family 1).
+	BaseSeed uint64
+	// Workers bounds replication parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+// reps scales a replication count, with a floor of 3.
+func (o Options) reps(full int) int {
+	r := int(float64(full) * o.scale())
+	if r < 3 {
+		r = 3
+	}
+	return r
+}
+
+func (o Options) seed(offset uint64) uint64 {
+	base := o.BaseSeed
+	if base == 0 {
+		base = 1
+	}
+	return base*1_000_003 + offset
+}
+
+// Experiment is one reproducible claim.
+type Experiment struct {
+	// ID is the experiment identifier (E1…E13).
+	ID string
+	// Title is a short human-readable name.
+	Title string
+	// Claim quotes the paper statement being reproduced.
+	Claim string
+	// Run executes the experiment and renders its table.
+	Run func(o Options) (*stats.Table, error)
+}
+
+// All returns the experiments in index order.
+func All() []Experiment {
+	return []Experiment{
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(),
+		e8(), e9(), e10(), e11(), e12(), e13(),
+	}
+}
+
+// Everything returns the paper experiments E1…E13, the ablations A1…A5,
+// and the open-problem extensions X1…X6, in that order.
+func Everything() []Experiment {
+	return append(AllWithAblations(), Extensions()...)
+}
+
+// ByID returns the experiment, ablation, or extension with the given ID
+// (case-sensitive), or an error listing the valid IDs.
+func ByID(id string) (Experiment, error) {
+	var ids []string
+	for _, e := range Everything() {
+		if e.ID == id {
+			return e, nil
+		}
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("expt: unknown experiment %q (valid: %v)", id, ids)
+}

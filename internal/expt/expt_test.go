@@ -1,0 +1,114 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %q incompletely defined", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for i := 1; i <= 13; i++ {
+		id := "E" + itoa(i)
+		if !seen[id] {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i >= 10 {
+		return string(rune('0'+i/10)) + string(rune('0'+i%10))
+	}
+	return string(rune('0' + i))
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"E3", "A2", "X1"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.ID != id {
+			t.Fatalf("got %q, want %q", e.ID, id)
+		}
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestAblationAndExtensionRegistries(t *testing.T) {
+	if got := len(Ablations()); got != 5 {
+		t.Fatalf("ablations = %d, want 5", got)
+	}
+	if got := len(Extensions()); got != 6 {
+		t.Fatalf("extensions = %d, want 6", got)
+	}
+	if got := len(Everything()); got != 24 {
+		t.Fatalf("everything = %d, want 24", got)
+	}
+	seen := map[string]bool{}
+	for _, e := range Everything() {
+		if e.ID == "" || e.Run == nil || seen[e.ID] {
+			t.Fatalf("bad or duplicate experiment %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	if (Options{}).reps(20) != 20 {
+		t.Fatal("default scale should keep reps")
+	}
+	if (Options{Scale: 0.1}).reps(20) != 3 {
+		t.Fatal("reps floor of 3 violated")
+	}
+	if (Options{Scale: 0.5}).reps(20) != 10 {
+		t.Fatal("half scale should halve reps")
+	}
+	a := Options{}.seed(5)
+	b := Options{BaseSeed: 2}.seed(5)
+	if a == b {
+		t.Fatal("base seed has no effect")
+	}
+}
+
+// TestEveryExperimentRunsAtTinyScale is the integration smoke test for the
+// whole harness: every experiment, ablation, and extension must produce a
+// non-empty table without errors at the smallest scale.
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	for _, e := range Everything() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tab, err := e.Run(Options{Scale: 0.15, Workers: 2})
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if tab.NumRows() == 0 {
+				t.Fatalf("%s produced an empty table", e.ID)
+			}
+			out := tab.String()
+			if !strings.Contains(out, "##") {
+				t.Fatalf("%s table has no title:\n%s", e.ID, out)
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}

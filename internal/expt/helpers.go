@@ -1,0 +1,131 @@
+package expt
+
+import (
+	"math"
+
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// planted builds a standard planted universe.
+func planted(m, good int, seed uint64) (*object.Universe, error) {
+	return object.NewPlanted(object.Planted{M: m, Good: good}, rng.New(seed))
+}
+
+// logN returns log2(n) floored at 1.
+func logN(n int) float64 {
+	l := math.Log2(float64(n))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// runConfig describes one aggregate measurement point.
+type runConfig struct {
+	n, m, good   int
+	alpha        float64
+	assumedAlpha float64
+	reps         int
+	seed         uint64
+	workers      int
+	maxRounds    int
+	votesPer     int
+	errorRate    float64
+	protocol     func() sim.Protocol
+	adversary    func() sim.Adversary // nil = silent
+	honest       func(seed uint64) []int
+	universe     func(seed uint64) (*object.Universe, error)
+}
+
+// run executes the replications for one measurement point.
+func run(c runConfig) (sim.Aggregate, error) {
+	if c.maxRounds == 0 {
+		c.maxRounds = 1 << 16
+	}
+	makeUniverse := c.universe
+	if makeUniverse == nil {
+		makeUniverse = func(seed uint64) (*object.Universe, error) {
+			return object.NewPlanted(object.Planted{M: c.m, Good: c.good}, rng.New(seed))
+		}
+	}
+	results, err := sim.Replicator{
+		Reps:     c.reps,
+		Workers:  c.workers,
+		BaseSeed: c.seed,
+		Build: func(seed uint64) (*sim.Engine, error) {
+			u, err := makeUniverse(seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.Config{
+				Universe:        u,
+				Protocol:        c.protocol(),
+				N:               c.n,
+				Alpha:           c.alpha,
+				AssumedAlpha:    c.assumedAlpha,
+				Seed:            seed,
+				MaxRounds:       c.maxRounds,
+				VotesPerPlayer:  c.votesPer,
+				HonestErrorRate: c.errorRate,
+			}
+			if c.adversary != nil {
+				cfg.Adversary = c.adversary()
+			}
+			if c.honest != nil {
+				cfg.Honest = c.honest(seed)
+			}
+			return sim.NewEngine(cfg)
+		},
+	}.Run()
+	if err != nil {
+		return sim.Aggregate{}, err
+	}
+	return sim.AggregateResults(results), nil
+}
+
+// lastRounds executes replications and returns the last-satisfied round of
+// each (for tail analysis, Theorem 11).
+func lastRounds(c runConfig) ([]float64, error) {
+	if c.maxRounds == 0 {
+		c.maxRounds = 1 << 16
+	}
+	makeUniverse := c.universe
+	if makeUniverse == nil {
+		makeUniverse = func(seed uint64) (*object.Universe, error) {
+			return object.NewPlanted(object.Planted{M: c.m, Good: c.good}, rng.New(seed))
+		}
+	}
+	results, err := sim.Replicator{
+		Reps:     c.reps,
+		Workers:  c.workers,
+		BaseSeed: c.seed,
+		Build: func(seed uint64) (*sim.Engine, error) {
+			u, err := makeUniverse(seed)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.Config{
+				Universe:  u,
+				Protocol:  c.protocol(),
+				N:         c.n,
+				Alpha:     c.alpha,
+				Seed:      seed,
+				MaxRounds: c.maxRounds,
+			}
+			if c.adversary != nil {
+				cfg.Adversary = c.adversary()
+			}
+			return sim.NewEngine(cfg)
+		},
+	}.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(results))
+	for _, res := range results {
+		out = append(out, float64(res.LastSatisfiedRound()))
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package expt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/lowerbound"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Shape checks: the EXPERIMENTS.md verdicts as executable assertions, run
+// at moderate scale so regressions in the algorithms (not just crashes)
+// fail CI. Each check mirrors one recorded claim.
+
+// TestShapeE5BoundRespected asserts the Theorem 2 bound empirically: on the
+// partition distribution every algorithm averages at least B/2 player-0
+// probes (with a 25% statistical slack at this scale).
+func TestShapeE5BoundRespected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := lowerbound.Theorem2Config{N: 32, M: 32, Alpha: 0.125, Beta: 0.125}
+	bound := lowerbound.Theorem2Bound(cfg.Alpha, cfg.Beta)
+	for _, tc := range []struct {
+		name    string
+		factory func() sim.Protocol
+	}{
+		{"distill", func() sim.Protocol { return core.NewDistill(core.Params{}) }},
+		{"async", func() sim.Protocol { return baseline.NewAsyncRoundRobin() }},
+		{"trivial", func() sim.Protocol { return baseline.NewTrivialRandom() }},
+	} {
+		probes, err := cfg.Player0Probes(tc.factory, 8, 4242)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mean := stats.Mean(probes); mean < 0.75*bound {
+			t.Fatalf("%s: mean %.2f below 0.75·bound %.2f — the hard instance is leaking information",
+				tc.name, mean, bound)
+		}
+	}
+}
+
+// TestShapeE8OverheadSmall asserts the §5.1 claim: guessing α costs at most
+// ~2x knowing it (allowing 2.5x for noise at this scale).
+func TestShapeE8OverheadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const n, reps = 512, 8
+	const alpha = 0.25
+	point := func(proto func() sim.Protocol, assumed float64) float64 {
+		agg, err := run(runConfig{
+			n: n, m: n, good: 1, alpha: alpha, reps: reps, seed: 777,
+			maxRounds: 1 << 15,
+			protocol:  proto,
+			adversary: func() sim.Adversary { return adversary.SpamDistinct{} },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = assumed
+		return agg.MeanRounds
+	}
+	known := point(func() sim.Protocol { return core.NewDistillHP(core.Params{}) }, alpha)
+	guessed := point(func() sim.Protocol { return core.NewAlphaGuess(core.Params{}, 0) }, 1)
+	if guessed > 2.5*known {
+		t.Fatalf("alpha-guessing overhead %.2fx exceeds the §5.1 bound (~2x)", guessed/known)
+	}
+}
+
+// TestShapeE13IterationsSublogarithmic asserts Lemma 7: mean while-loop
+// iterations stay within 2x of log n / Δ.
+func TestShapeE13IterationsSublogarithmic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const n = 1024
+	const alpha = 0.25
+	var iters []float64
+	for r := 0; r < 10; r++ {
+		d := core.NewDistill(core.Params{K1: 0.5, K2: 4})
+		u, err := planted(n, 1, uint64(900+r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine, err := sim.NewEngine(sim.Config{
+			Universe: u, Protocol: d, Adversary: adversary.NewThresholdRide(),
+			N: n, Alpha: alpha, Seed: uint64(900 + r), MaxRounds: 1 << 15,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := engine.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range d.IterationCounts() {
+			iters = append(iters, float64(c))
+		}
+	}
+	ref := math.Log2(n) / delta(alpha, n)
+	if mean := stats.Mean(iters); mean > 2*ref {
+		t.Fatalf("mean iterations %.2f exceed 2·(log n/Δ) = %.2f", mean, 2*ref)
+	}
+}
+
+// TestShapeA1AdviceMatters asserts the A1 ablation: removing advice slows
+// DISTILL by at least 30%.
+func TestShapeA1AdviceMatters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const n, reps = 512, 10
+	point := func(disable bool) float64 {
+		agg, err := run(runConfig{
+			n: n, m: n, good: 1, alpha: 0.5, reps: reps, seed: 888,
+			maxRounds: 1 << 15,
+			protocol: func() sim.Protocol {
+				return core.NewDistill(core.Params{DisableAdvice: disable})
+			},
+			adversary: func() sim.Adversary { return adversary.SpamDistinct{} },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg.MeanIndividualProbes
+	}
+	with, without := point(false), point(true)
+	if without < 1.3*with {
+		t.Fatalf("advice ablation slowdown only %.2fx; Lemma 6 mechanism not visible", without/with)
+	}
+}
+
+// TestShapeX4PopularityHerded asserts the §1.3 claim: popularity-following
+// costs at least 3x DISTILL under spam at α = 0.75.
+func TestShapeX4PopularityHerded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const n, reps = 512, 8
+	point := func(proto func() sim.Protocol) float64 {
+		agg, err := run(runConfig{
+			n: n, m: n, good: 1, alpha: 0.75, reps: reps, seed: 999,
+			maxRounds: 1 << 15,
+			protocol:  proto,
+			adversary: func() sim.Adversary { return adversary.SpamDistinct{} },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg.MeanIndividualProbes
+	}
+	pop := point(func() sim.Protocol { return baseline.NewPopularity() })
+	distill := point(func() sim.Protocol { return core.NewDistill(core.Params{}) })
+	if pop < 3*distill {
+		t.Fatalf("popularity (%.1f) should cost ≥3x DISTILL (%.1f) under spam", pop, distill)
+	}
+}

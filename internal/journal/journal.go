@@ -1,0 +1,207 @@
+// Package journal persists a billboard as an append-only log — the
+// durability counterpart of the model's "append only" guarantee (§2.1: no
+// message is ever erased). A Writer streams committed posts and round
+// markers to any io.Writer; Replay reconstructs the exact board state, so a
+// billboard server can recover from a crash without losing a single
+// identity-tagged, timestamped report.
+//
+// Format: length-prefixed frames (uvarint length + gob-encoded entry),
+// each frame self-contained. Self-contained frames make journals safely
+// appendable across process restarts (unlike a single gob stream, whose
+// type dictionary cannot be re-sent), and a torn tail loses at most the
+// final partial frame. Posts are grouped into rounds by marker frames; a
+// round without its marker was never visible to players (the synchrony
+// contract) and is discarded on rebuild.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/billboard"
+)
+
+// entryKind discriminates journal records.
+type entryKind uint8
+
+const (
+	kindPost entryKind = iota + 1
+	kindEndRound
+)
+
+// entry is one journal record.
+type entry struct {
+	Kind entryKind
+	Post billboard.Post // valid when Kind == kindPost
+}
+
+// maxFrame bounds a frame's declared size; anything larger is corruption.
+const maxFrame = 1 << 20
+
+// Writer appends billboard events to an underlying stream. Not safe for
+// concurrent use; callers serialize (the billboard server holds its lock
+// across Append/EndRound).
+type Writer struct {
+	w    io.Writer
+	buf  bytes.Buffer
+	lenb [binary.MaxVarintLen64]byte
+	err  error // first write error; subsequent calls fail fast
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+func (w *Writer) write(e entry) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.buf.Reset()
+	// A fresh encoder per frame keeps every frame self-contained, which is
+	// what makes append-after-recovery safe.
+	if err := gob.NewEncoder(&w.buf).Encode(e); err != nil {
+		w.err = fmt.Errorf("journal: %w", err)
+		return w.err
+	}
+	n := binary.PutUvarint(w.lenb[:], uint64(w.buf.Len()))
+	if _, err := w.w.Write(w.lenb[:n]); err != nil {
+		w.err = fmt.Errorf("journal: %w", err)
+		return w.err
+	}
+	if _, err := w.w.Write(w.buf.Bytes()); err != nil {
+		w.err = fmt.Errorf("journal: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// Append records one committed post.
+func (w *Writer) Append(post billboard.Post) error {
+	return w.write(entry{Kind: kindPost, Post: post})
+}
+
+// EndRound records a round boundary.
+func (w *Writer) EndRound() error {
+	return w.write(entry{Kind: kindEndRound})
+}
+
+// ErrTruncated marks a journal whose tail could not be decoded. State
+// rebuilt before the truncation point is still valid.
+var ErrTruncated = errors.New("journal: truncated or corrupt tail")
+
+// Replay reads a journal and invokes apply for each post and endRound at
+// each round boundary, stopping cleanly at EOF. A torn or corrupt tail is
+// reported as ErrTruncated after every complete preceding frame has been
+// applied.
+func Replay(r io.Reader, apply func(billboard.Post) error, endRound func() error) error {
+	br := bufio.NewReader(r)
+	for {
+		size, err := binary.ReadUvarint(br)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		if size == 0 || size > maxFrame {
+			return fmt.Errorf("%w: implausible frame size %d", ErrTruncated, size)
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		var e entry
+		if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(&e); err != nil {
+			return fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		switch e.Kind {
+		case kindPost:
+			if err := apply(e.Post); err != nil {
+				return err
+			}
+		case kindEndRound:
+			if err := endRound(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown entry kind %d", ErrTruncated, e.Kind)
+		}
+	}
+}
+
+// Apply replays a journal onto an existing board (e.g. one restored from a
+// billboard snapshot — the compaction story: snapshot + journal tail =
+// exact state). Posts of an unclosed final round are discarded, as in
+// Rebuild; ErrTruncated reports a torn tail with all complete entries
+// applied.
+func Apply(r io.Reader, board *billboard.Board) error {
+	var pending []billboard.Post
+	return Replay(r,
+		func(p billboard.Post) error {
+			pending = append(pending, p)
+			return nil
+		},
+		func() error {
+			for _, p := range pending {
+				if err := board.Post(billboard.Post{
+					Player:   p.Player,
+					Object:   p.Object,
+					Value:    p.Value,
+					Positive: p.Positive,
+				}); err != nil {
+					return err
+				}
+			}
+			pending = pending[:0]
+			board.EndRound()
+			return nil
+		},
+	)
+}
+
+// Rebuild replays a journal into a fresh board built from cfg. Posts whose
+// rounds were never closed by a round marker are discarded, matching the
+// synchrony contract (they were never visible). On ErrTruncated the board
+// reflects every complete entry before the corruption and the error is
+// returned alongside it so callers can decide whether to proceed.
+func Rebuild(r io.Reader, cfg billboard.Config) (*billboard.Board, error) {
+	board, err := billboard.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Buffer each round's posts and apply them only once the round marker
+	// arrives, so a truncated final round is discarded rather than leaking
+	// into the recovered board's next round.
+	var pending []billboard.Post
+	replayErr := Replay(r,
+		func(p billboard.Post) error {
+			pending = append(pending, p)
+			return nil
+		},
+		func() error {
+			for _, p := range pending {
+				if err := board.Post(billboard.Post{
+					Player:   p.Player,
+					Object:   p.Object,
+					Value:    p.Value,
+					Positive: p.Positive,
+				}); err != nil {
+					return err
+				}
+			}
+			pending = pending[:0]
+			board.EndRound()
+			return nil
+		},
+	)
+	if replayErr != nil && !errors.Is(replayErr, ErrTruncated) {
+		return nil, replayErr
+	}
+	return board, replayErr
+}

@@ -1,0 +1,233 @@
+// Package lowerbound implements the hard-instance constructions from the
+// proofs of Theorems 1 and 2 and harnesses that evaluate any protocol
+// against them.
+//
+// Theorem 1 (collective work): the expected number of probes of an
+// individual player is Ω(1/(αβn)) — even with full cooperation, αn honest
+// players drawing from an urn of m objects with βm good ones need
+// (m+1)/(βm+1) collective probes in expectation.
+//
+// Theorem 2 (symmetry): there is a distribution over instances — players
+// partitioned into 1/α groups, objects into 1/β groups, group P_k endorsing
+// exactly object group O_k, with the true instance choosing which k is real
+// — on which any algorithm pays Ω(min(1/α, 1/β)) expected probes, because
+// the first r_k - 1 rounds of the real instance are indistinguishable from
+// the null instance.
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Theorem1Bound returns the Ω(1/(αβn)) lower bound on expected individual
+// probes (in rounds; one probe per round): the expected collective work
+// (m+1)/(βm+1) divided by the at most αn honest probes per round.
+func Theorem1Bound(alpha, beta float64, n, m int) float64 {
+	return (float64(m) + 1) / ((beta*float64(m) + 1) * alpha * float64(n))
+}
+
+// Theorem2Bound returns the Ω(min(1/α, 1/β)) bound: B/2 where
+// B = min(1/α, 1/β).
+func Theorem2Bound(alpha, beta float64) float64 {
+	b := 1 / alpha
+	if 1/beta < b {
+		b = 1 / beta
+	}
+	return b / 2
+}
+
+// Theorem2Config describes the partition instance family.
+type Theorem2Config struct {
+	// N is the number of players beyond player 0 (the theorem's n); the
+	// simulation runs n+1 players. Required: alpha*N and beta*M integral.
+	N int
+	// M is the number of objects.
+	M int
+	// Alpha is the honest fraction: each player group has Alpha*N players.
+	Alpha float64
+	// Beta is the good fraction: each object group has Beta*M objects.
+	Beta float64
+}
+
+func (c Theorem2Config) validate() error {
+	if c.N <= 0 || c.M <= 0 {
+		return fmt.Errorf("lowerbound: N and M must be positive")
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 || c.Beta <= 0 || c.Beta > 1 {
+		return fmt.Errorf("lowerbound: alpha %v or beta %v outside (0, 1]", c.Alpha, c.Beta)
+	}
+	groupPlayers := c.Alpha * float64(c.N)
+	groupObjects := c.Beta * float64(c.M)
+	if groupPlayers != float64(int(groupPlayers)) || groupObjects != float64(int(groupObjects)) {
+		return fmt.Errorf("lowerbound: alpha*N (%v) and beta*M (%v) must be integers",
+			groupPlayers, groupObjects)
+	}
+	return nil
+}
+
+// B returns the number of equiprobable instances min(1/α, 1/β).
+func (c Theorem2Config) B() int {
+	pa := int(1 / c.Alpha)
+	pb := int(1 / c.Beta)
+	if pb < pa {
+		return pb
+	}
+	return pa
+}
+
+// Instance materializes instance I_k of the Theorem 2 distribution:
+// the universe whose good objects are exactly O_k, the honest player set
+// P_k ∪ {0}, and the fake good sets O_g for every other player group
+// (groups beyond B never report, exactly as in the proof).
+type Instance struct {
+	K        int
+	Universe *object.Universe
+	Honest   []int   // P_k ∪ {0} (player ids in the n+1-player simulation)
+	FakeGood [][]int // per dishonest group, its endorsed object set
+}
+
+// BuildInstance constructs I_k (1-based k in [1, B]).
+func (c Theorem2Config) BuildInstance(k int) (*Instance, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > c.B() {
+		return nil, fmt.Errorf("lowerbound: k %d outside [1, %d]", k, c.B())
+	}
+	groupPlayers := int(c.Alpha * float64(c.N))
+	groupObjects := int(c.Beta * float64(c.M))
+	numPlayerGroups := int(1 / c.Alpha)
+	b := c.B()
+
+	// Object group O_g = objects [(g-1)*groupObjects, g*groupObjects).
+	objectGroup := func(g int) []int {
+		out := make([]int, groupObjects)
+		for i := range out {
+			out[i] = (g-1)*groupObjects + i
+		}
+		return out
+	}
+
+	values := make([]float64, c.M)
+	for _, obj := range objectGroup(k) {
+		values[obj] = 1
+	}
+	u, err := object.NewUniverse(object.Config{
+		Values:       values,
+		LocalTesting: true,
+		Threshold:    0.5,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: %w", err)
+	}
+
+	// Player group P_g = players [1+(g-1)*groupPlayers, 1+g*groupPlayers);
+	// player 0 is always honest.
+	honest := []int{0}
+	for i := 0; i < groupPlayers; i++ {
+		honest = append(honest, 1+(k-1)*groupPlayers+i)
+	}
+
+	// Dishonest groups, in the order the simulation will hand dishonest
+	// players to the adversary (ascending player id): groups g != k, each
+	// endorsing O_g if g <= B and staying silent otherwise (empty set).
+	var fakeGood [][]int
+	for g := 1; g <= numPlayerGroups; g++ {
+		if g == k {
+			continue
+		}
+		if g <= b {
+			fakeGood = append(fakeGood, objectGroup(g))
+		} else {
+			fakeGood = append(fakeGood, nil)
+		}
+	}
+	return &Instance{K: k, Universe: u, Honest: honest, FakeGood: fakeGood}, nil
+}
+
+// EngineFor builds a simulation engine running the given protocol on
+// instance I_k, with every dishonest group executing the same protocol via
+// adversary.ProtocolMimic.
+//
+// Note one deliberate deviation from the proof's bookkeeping: the mimic
+// groups are assigned to dishonest players round-robin by id rather than in
+// contiguous blocks. The distribution of reports is identical because all
+// dishonest groups have equal sizes and run identical code.
+func (c Theorem2Config) EngineFor(inst *Instance, factory func() sim.Protocol, seed uint64) (*sim.Engine, error) {
+	adv := adversary.NewProtocolMimic(factory, inst.FakeGood)
+	return sim.NewEngine(sim.Config{
+		Universe:     inst.Universe,
+		Protocol:     factory(),
+		Adversary:    adv,
+		N:            c.N + 1,
+		Honest:       inst.Honest,
+		AssumedAlpha: c.Alpha,
+		AssumedBeta:  c.Beta,
+		Seed:         seed,
+		MaxRounds:    1 << 16,
+	})
+}
+
+// Player0Probes runs the protocol over every instance of the distribution
+// (reps replications each) and returns player 0's probe counts, one per
+// (instance, replication) pair. Yao's principle: the mean of this sample
+// lower-bounds what any algorithm can achieve, and the theorem predicts it
+// is at least B/2.
+func (c Theorem2Config) Player0Probes(factory func() sim.Protocol, reps int, baseSeed uint64) ([]float64, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	var out []float64
+	for k := 1; k <= c.B(); k++ {
+		inst, err := c.BuildInstance(k)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < reps; r++ {
+			seed := baseSeed + uint64(k*1000+r)
+			engine, err := c.EngineFor(inst, factory, seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := engine.Run()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, float64(res.Probes[0]))
+		}
+	}
+	return out, nil
+}
+
+// Theorem1Probes runs the protocol on random planted universes and returns
+// the mean individual probe count per replication, for comparison against
+// Theorem1Bound.
+func Theorem1Probes(factory func() sim.Protocol, n, m, good, reps int, alpha float64, baseSeed uint64) ([]float64, error) {
+	results, err := sim.Replicator{
+		Reps:     reps,
+		BaseSeed: baseSeed,
+		Build: func(seed uint64) (*sim.Engine, error) {
+			u, err := object.NewPlanted(object.Planted{M: m, Good: good}, rng.New(seed))
+			if err != nil {
+				return nil, err
+			}
+			return sim.NewEngine(sim.Config{
+				Universe: u, Protocol: factory(), N: n, Alpha: alpha,
+				Seed: seed, MaxRounds: 1 << 16,
+			})
+		},
+	}.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(results))
+	for _, res := range results {
+		out = append(out, res.MeanHonestProbes())
+	}
+	return out, nil
+}

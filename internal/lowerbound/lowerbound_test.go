@@ -1,0 +1,191 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestTheorem1Bound(t *testing.T) {
+	// m=100, β=0.1, α=1, n=10: (101)/(11·10) ≈ 0.918.
+	got := Theorem1Bound(1, 0.1, 10, 100)
+	want := 101.0 / 110.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+}
+
+func TestTheorem2Bound(t *testing.T) {
+	// B = min(1/α, 1/β); bound = B/2.
+	if got := Theorem2Bound(0.1, 0.5); got != 1 {
+		t.Fatalf("bound = %v, want min(10,2)/2 = 1", got)
+	}
+	if got := Theorem2Bound(0.125, 0.125); got != 4 {
+		t.Fatalf("bound = %v, want 4", got)
+	}
+}
+
+func TestTheorem2ConfigValidation(t *testing.T) {
+	cases := []Theorem2Config{
+		{N: 0, M: 10, Alpha: 0.5, Beta: 0.5},
+		{N: 10, M: 0, Alpha: 0.5, Beta: 0.5},
+		{N: 10, M: 10, Alpha: 0, Beta: 0.5},
+		{N: 10, M: 10, Alpha: 0.5, Beta: 1.5},
+		{N: 10, M: 10, Alpha: 0.26, Beta: 0.5}, // alpha*N not integral
+	}
+	for i, c := range cases {
+		if err := c.validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTheorem2B(t *testing.T) {
+	c := Theorem2Config{N: 100, M: 100, Alpha: 0.25, Beta: 0.1}
+	if c.B() != 4 {
+		t.Fatalf("B = %d, want 4", c.B())
+	}
+	c = Theorem2Config{N: 100, M: 100, Alpha: 0.5, Beta: 0.1}
+	if c.B() != 2 {
+		t.Fatalf("B = %d, want 2", c.B())
+	}
+}
+
+func TestBuildInstanceStructure(t *testing.T) {
+	c := Theorem2Config{N: 8, M: 8, Alpha: 0.25, Beta: 0.25}
+	if c.B() != 4 {
+		t.Fatalf("B = %d", c.B())
+	}
+	inst, err := c.BuildInstance(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Good objects are exactly O_2 = {2, 3}.
+	good := inst.Universe.GoodObjects()
+	if len(good) != 2 || good[0] != 2 || good[1] != 3 {
+		t.Fatalf("good = %v, want [2 3]", good)
+	}
+	// Honest = {0} ∪ P_2 = {0, 3, 4} (P_2 = players 3..4 with group size 2).
+	if len(inst.Honest) != 3 || inst.Honest[0] != 0 || inst.Honest[1] != 3 || inst.Honest[2] != 4 {
+		t.Fatalf("honest = %v", inst.Honest)
+	}
+	// Three dishonest groups (g = 1, 3, 4), each endorsing its O_g.
+	if len(inst.FakeGood) != 3 {
+		t.Fatalf("fake groups = %d", len(inst.FakeGood))
+	}
+	if inst.FakeGood[0][0] != 0 { // O_1 = {0, 1}
+		t.Fatalf("first fake group = %v", inst.FakeGood[0])
+	}
+}
+
+func TestBuildInstanceKRange(t *testing.T) {
+	c := Theorem2Config{N: 8, M: 8, Alpha: 0.25, Beta: 0.25}
+	if _, err := c.BuildInstance(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := c.BuildInstance(5); err == nil {
+		t.Fatal("k > B accepted")
+	}
+}
+
+func TestBuildInstanceSilentGroupsBeyondB(t *testing.T) {
+	// B limited by beta: 1/α = 4 player groups but only 1/β = 2 object
+	// groups; groups 3 and 4 must stay silent (nil fake set).
+	c := Theorem2Config{N: 8, M: 8, Alpha: 0.25, Beta: 0.5}
+	inst, err := c.BuildInstance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	silent := 0
+	for _, fake := range inst.FakeGood {
+		if len(fake) == 0 {
+			silent++
+		}
+	}
+	if silent != 2 {
+		t.Fatalf("silent groups = %d, want 2", silent)
+	}
+}
+
+func TestTheorem2HoldsForDistill(t *testing.T) {
+	// 1/α = 8 groups of 4 players; 1/β = 8 object groups of 4: B = 8,
+	// bound = 4 probes. DISTILL (like any algorithm) must pay at least
+	// roughly the bound on average over the distribution.
+	c := Theorem2Config{N: 32, M: 32, Alpha: 0.125, Beta: 0.125}
+	probes, err := c.Player0Probes(func() sim.Protocol {
+		return core.NewDistill(core.Params{})
+	}, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) != c.B()*4 {
+		t.Fatalf("sample size %d", len(probes))
+	}
+	mean := stats.Mean(probes)
+	bound := Theorem2Bound(c.Alpha, c.Beta)
+	t.Logf("DISTILL on Theorem 2 distribution: mean %.2f probes, bound %.2f", mean, bound)
+	// Allow statistical slack: the theorem says Ω(B/2); we check the mean
+	// is at least half the stated bound.
+	if mean < bound/2 {
+		t.Fatalf("mean probes %.2f below half the lower bound %.2f — the instance is not hard enough (construction bug)",
+			mean, bound)
+	}
+}
+
+func TestTheorem2HoldsForAsyncBaseline(t *testing.T) {
+	c := Theorem2Config{N: 32, M: 32, Alpha: 0.125, Beta: 0.125}
+	probes, err := c.Player0Probes(func() sim.Protocol {
+		return baseline.NewAsyncRoundRobin()
+	}, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.Mean(probes)
+	bound := Theorem2Bound(c.Alpha, c.Beta)
+	t.Logf("async baseline on Theorem 2 distribution: mean %.2f probes, bound %.2f", mean, bound)
+	if mean < bound/2 {
+		t.Fatalf("mean probes %.2f below half the bound %.2f", mean, bound)
+	}
+}
+
+func TestTheorem1OracleNearBound(t *testing.T) {
+	// The full-cooperation oracle realizes the collective-work bound up to
+	// a small constant: mean probes ≈ Theorem1Bound (in rounds ≈ probes).
+	const n, m, good = 16, 320, 4
+	alpha := 1.0
+	probes, err := Theorem1Probes(func() sim.Protocol {
+		return baseline.NewOracleCoop()
+	}, n, m, good, 40, alpha, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.Mean(probes)
+	bound := Theorem1Bound(alpha, float64(good)/float64(m), n, m)
+	t.Logf("oracle: mean %.2f probes, Theorem 1 bound %.2f", mean, bound)
+	if mean < bound/2 {
+		t.Fatalf("oracle mean %.2f beat the information-theoretic bound %.2f", mean, bound)
+	}
+	if mean > 6*bound+3 {
+		t.Fatalf("oracle mean %.2f is far above the bound %.2f; it should nearly realize it", mean, bound)
+	}
+}
+
+func TestTheorem1DistillAboveBound(t *testing.T) {
+	const n, m, good = 16, 320, 4
+	alpha := 0.75
+	probes, err := Theorem1Probes(func() sim.Protocol {
+		return core.NewDistill(core.Params{})
+	}, n, m, good, 20, alpha, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.Mean(probes)
+	bound := Theorem1Bound(alpha, float64(good)/float64(m), n, m)
+	if mean < bound/2 {
+		t.Fatalf("DISTILL mean %.2f below the collective-work bound %.2f", mean, bound)
+	}
+}

@@ -1,0 +1,89 @@
+package object
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// UnitCosts returns m costs of 1, the unit cost model of §4.
+func UnitCosts(m int) []float64 {
+	costs := make([]float64, m)
+	for i := range costs {
+		costs[i] = 1
+	}
+	return costs
+}
+
+// ParetoCosts returns m costs drawn from a Pareto(shape) distribution with
+// minimum 1, the heavy-tailed price model used for the §5.2 experiments.
+func ParetoCosts(m int, shape float64, src *rng.Source) []float64 {
+	costs := make([]float64, m)
+	for i := range costs {
+		costs[i] = src.Pareto(1, shape)
+	}
+	return costs
+}
+
+// TwoTierCosts returns m costs where a fraction cheapFrac cost 1 and the
+// rest cost expensive. Used to plant universes where the cheapest good
+// object is far below the typical price.
+func TwoTierCosts(m int, cheapFrac, expensive float64, src *rng.Source) []float64 {
+	costs := make([]float64, m)
+	for i := range costs {
+		if src.Bernoulli(cheapFrac) {
+			costs[i] = 1
+		} else {
+			costs[i] = expensive
+		}
+	}
+	return costs
+}
+
+// CostClass holds one class of the §5.2 cost aggregation: all objects whose
+// cost lies in [2^Index, 2^(Index+1)).
+type CostClass struct {
+	Index   int   // class exponent i
+	Objects []int // object indices in increasing order
+}
+
+// Lower returns the inclusive lower cost bound 2^Index of the class.
+func (c CostClass) Lower() float64 { return math.Pow(2, float64(c.Index)) }
+
+// Upper returns the exclusive upper cost bound 2^(Index+1) of the class.
+func (c CostClass) Upper() float64 { return math.Pow(2, float64(c.Index+1)) }
+
+// CostClasses partitions the universe's objects into cost classes
+// [2^i, 2^(i+1)), i >= 0, in increasing class order, per §5.2 of the paper.
+// All costs must be >= 1 (the paper assumes the minimal cost is 1 w.l.o.g.).
+// Empty classes are omitted.
+func CostClasses(u *Universe) ([]CostClass, error) {
+	byIndex := make(map[int][]int)
+	maxIdx := 0
+	for i := 0; i < u.M(); i++ {
+		c := u.Cost(i)
+		if c < 1 {
+			return nil, fmt.Errorf("object: cost class model requires costs >= 1, object %d costs %v", i, c)
+		}
+		idx := int(math.Floor(math.Log2(c)))
+		// Guard against floating point: ensure c is inside [2^idx, 2^(idx+1)).
+		for c < math.Pow(2, float64(idx)) {
+			idx--
+		}
+		for c >= math.Pow(2, float64(idx+1)) {
+			idx++
+		}
+		byIndex[idx] = append(byIndex[idx], i)
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	out := make([]CostClass, 0, len(byIndex))
+	for i := 0; i <= maxIdx; i++ {
+		if objs, ok := byIndex[i]; ok {
+			out = append(out, CostClass{Index: i, Objects: objs})
+		}
+	}
+	return out, nil
+}

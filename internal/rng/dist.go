@@ -1,0 +1,135 @@
+package rng
+
+import "math"
+
+// ExpFloat64 returns an exponentially distributed float64 with the given
+// rate (mean 1/rate). It panics if rate <= 0.
+func (s *Source) ExpFloat64(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: ExpFloat64 with rate <= 0")
+	}
+	// 1-Float64() is in (0, 1], so the log is finite.
+	return -math.Log(1-s.Float64()) / rate
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Marsaglia polar method.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(q)/q)
+	}
+}
+
+// Pareto returns a Pareto(shape)-distributed float64 with minimum xm. The
+// mean is finite only for shape > 1. It panics if xm <= 0 or shape <= 0.
+func (s *Source) Pareto(xm, shape float64) float64 {
+	if xm <= 0 || shape <= 0 {
+		panic("rng: Pareto with non-positive parameter")
+	}
+	return xm / math.Pow(1-s.Float64(), 1/shape)
+}
+
+// Geometric returns the number of failures before the first success in
+// independent Bernoulli(p) trials (support {0, 1, 2, ...}). It panics if
+// p <= 0 or p > 1.
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric with p out of (0, 1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := 1 - s.Float64() // in (0, 1]
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Binomial returns a Binomial(n, p)-distributed int. For small n it sums
+// Bernoulli trials; for large n it uses the BG (geometric skip) method when
+// p is small and trial summation otherwise. Exact in distribution either way.
+func (s *Source) Binomial(n int, p float64) int {
+	if n < 0 {
+		panic("rng: Binomial with n < 0")
+	}
+	if p <= 0 || n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - s.Binomial(n, 1-p)
+	}
+	// Geometric skip: expected work O(np), good for the sparse draws the
+	// simulator makes (p is typically 1/m or a vote probability).
+	if p < 0.125 {
+		count := 0
+		i := s.Geometric(p)
+		for i < n {
+			count++
+			i += 1 + s.Geometric(p)
+		}
+		return count
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		if s.Float64() < p {
+			count++
+		}
+	}
+	return count
+}
+
+// Zipf draws from a Zipf distribution over {0, ..., n-1} with exponent
+// alpha > 0: P(k) proportional to 1/(k+1)^alpha. The cumulative weights are
+// computed lazily per call; callers that draw many values should use
+// NewZipf instead.
+func (s *Source) Zipf(n int, alpha float64) int {
+	z := NewZipf(n, alpha)
+	return z.Draw(s)
+}
+
+// Zipfian is a precomputed Zipf sampler over {0, ..., n-1}.
+type Zipfian struct {
+	cum []float64 // cumulative probabilities, cum[n-1] == 1
+}
+
+// NewZipf precomputes a Zipf sampler with exponent alpha over n ranks.
+// It panics if n <= 0 or alpha <= 0.
+func NewZipf(n int, alpha float64) *Zipfian {
+	if n <= 0 || alpha <= 0 {
+		panic("rng: NewZipf with non-positive parameter")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), alpha)
+		cum[k] = total
+	}
+	for k := range cum {
+		cum[k] /= total
+	}
+	cum[n-1] = 1
+	return &Zipfian{cum: cum}
+}
+
+// Draw samples a rank from the precomputed distribution.
+func (z *Zipfian) Draw(s *Source) int {
+	u := s.Float64()
+	// Binary search for the first cum[k] > u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,385 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitIndependentOfConsumption(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := 0; i < 57; i++ {
+		a.Uint64() // consume some of a only
+	}
+	ca := a.Split(3)
+	cb := b.Split(3)
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatal("Split child depends on parent consumption")
+		}
+	}
+}
+
+func TestSplitLabelsDiffer(t *testing.T) {
+	s := New(7)
+	a := s.Split(0)
+	b := s.Split(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split labels 0 and 1 produced %d identical draws", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := New(99)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnUniformChiSquare(t *testing.T) {
+	s := New(2024)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; p=0.001 critical value is 27.88.
+	if chi2 > 27.88 {
+		t.Fatalf("chi-square %.2f exceeds 27.88; counts %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	s := New(6)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	mean := float64(hits) / draws
+	if math.Abs(mean-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical mean %.4f", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	s := New(12)
+	const n, draws = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Perm(n)[0]]++
+	}
+	expected := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Fatalf("Perm first element %d appeared %d times, expected ~%.0f", v, c, expected)
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	s := New(13)
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		k := int(kRaw) % (n + 1)
+		out := s.Sample(n, k)
+		if len(out) != k {
+			return false
+		}
+		seen := make(map[int]struct{}, k)
+		for _, v := range out {
+			if v < 0 || v >= n {
+				return false
+			}
+			if _, dup := seen[v]; dup {
+				return false
+			}
+			seen[v] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleFullRange(t *testing.T) {
+	s := New(14)
+	out := s.Sample(10, 10)
+	seen := make([]bool, 10)
+	for _, v := range out {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("Sample(10,10) missing %d", i)
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	s := New(15)
+	xs := []int{1, 2, 2, 3, 5, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset sum: %d != %d", got, sum)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(16)
+	const draws = 200000
+	total := 0.0
+	for i := 0; i < draws; i++ {
+		v := s.ExpFloat64(2)
+		if v < 0 {
+			t.Fatalf("ExpFloat64 returned negative %v", v)
+		}
+		total += v
+	}
+	mean := total / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("ExpFloat64(2) empirical mean %.4f, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(17)
+	const draws = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %.4f, want ~1", variance)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	s := New(18)
+	for i := 0; i < 10000; i++ {
+		if v := s.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto(2, 1.5) below minimum: %v", v)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(19)
+	const p, draws = 0.25, 200000
+	total := 0
+	for i := 0; i < draws; i++ {
+		total += s.Geometric(p)
+	}
+	mean := float64(total) / draws
+	want := (1 - p) / p // mean of failures-before-success
+	if math.Abs(mean-want) > 0.05 {
+		t.Fatalf("Geometric(%.2f) empirical mean %.4f, want ~%.4f", p, mean, want)
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	s := New(20)
+	for i := 0; i < 100; i++ {
+		if v := s.Geometric(1); v != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestBinomialMatchesMean(t *testing.T) {
+	s := New(21)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{100, 0.01},  // sparse path
+		{1000, 0.02}, // sparse path
+		{50, 0.4},    // dense path
+		{64, 0.9},    // complement path
+	}
+	for _, tc := range cases {
+		const draws = 20000
+		total := 0
+		for i := 0; i < draws; i++ {
+			v := s.Binomial(tc.n, tc.p)
+			if v < 0 || v > tc.n {
+				t.Fatalf("Binomial(%d,%v) out of range: %d", tc.n, tc.p, v)
+			}
+			total += v
+		}
+		mean := float64(total) / draws
+		want := float64(tc.n) * tc.p
+		sd := math.Sqrt(float64(tc.n) * tc.p * (1 - tc.p))
+		if math.Abs(mean-want) > 5*sd/math.Sqrt(draws)+0.05 {
+			t.Fatalf("Binomial(%d,%v) empirical mean %.3f, want ~%.3f", tc.n, tc.p, mean, want)
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	s := New(22)
+	if v := s.Binomial(0, 0.5); v != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", v)
+	}
+	if v := s.Binomial(10, 0); v != 0 {
+		t.Fatalf("Binomial(10, 0) = %d", v)
+	}
+	if v := s.Binomial(10, 1); v != 10 {
+		t.Fatalf("Binomial(10, 1) = %d", v)
+	}
+}
+
+func TestZipfRangeAndMonotone(t *testing.T) {
+	s := New(23)
+	z := NewZipf(100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		k := z.Draw(s)
+		if k < 0 || k >= 100 {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// Rank 0 should dominate rank 10 which should dominate rank 90.
+	if !(counts[0] > counts[10] && counts[10] > counts[90]) {
+		t.Fatalf("Zipf counts not decreasing: c0=%d c10=%d c90=%d",
+			counts[0], counts[10], counts[90])
+	}
+}
+
+func TestChoice(t *testing.T) {
+	s := New(24)
+	xs := []int{3, 1, 4}
+	for i := 0; i < 100; i++ {
+		v := s.Choice(xs)
+		if v != 3 && v != 1 && v != 4 {
+			t.Fatalf("Choice returned %d not in slice", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Intn(1000)
+	}
+}

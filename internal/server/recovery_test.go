@@ -1,0 +1,266 @@
+package server_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/journal"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/server"
+)
+
+// TestCrashRecovery journals a few rounds, "crashes" the server, and brings
+// up a replacement from the journal: the billboard state and round counter
+// must survive.
+func TestCrashRecovery(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 16, Good: 1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := []string{"tok", "tok"}
+	var log bytes.Buffer
+
+	srv1, err := server.New(server.Config{
+		Universe: u, Tokens: tokens, Alpha: 1, Beta: u.Beta(),
+		Journal: journal.NewWriter(&log),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr1, err := srv1.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c0, err := client.Dial(addr1, 0, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := client.Dial(addr1, 1, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := -1
+	for i := 0; i < u.M(); i++ {
+		if !u.IsGood(i) {
+			bad = i
+			break
+		}
+	}
+	if err := c0.Post(bad, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	barrierBoth := func(a, b *client.Client) {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		for _, c := range []*client.Client{a, b} {
+			go func(c *client.Client) { defer wg.Done(); _, _ = c.Barrier() }(c)
+		}
+		wg.Wait()
+	}
+	barrierBoth(c0, c1) // round 0 commits (journaled)
+	if err := c1.Post(bad, 0.5, false); err != nil {
+		t.Fatal(err)
+	}
+	barrierBoth(c0, c1) // round 1 commits
+	c0.Close()
+	c1.Close()
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" happened; bring up a replacement from the journal.
+	srv2, err := server.New(server.Config{
+		Universe: u, Tokens: tokens, Alpha: 1, Beta: u.Beta(),
+		Recover: bytes.NewReader(log.Bytes()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := srv2.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	if srv2.Round() != 2 {
+		t.Fatalf("recovered round = %d, want 2", srv2.Round())
+	}
+	c, err := client.Dial(addr2, 0, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.VoteCount(bad); got != 1 {
+		t.Fatalf("recovered vote count = %d, want 1", got)
+	}
+	votes := c.Votes(0)
+	if len(votes) != 1 || votes[0].Object != bad || votes[0].Round != 0 {
+		t.Fatalf("recovered votes = %+v", votes)
+	}
+	if got := c.NegativeCount(bad); got != 1 {
+		t.Fatalf("recovered negative count = %d, want 1", got)
+	}
+	// The one-vote rule still binds across the crash: player 0 cannot vote
+	// again on the recovered board.
+	if err := c.Post(bad+1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := client.Dial(addr2, 1, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	barrierBoth(c, c2)
+	if got := len(c.Votes(0)); got != 1 {
+		t.Fatalf("vote cap forgotten after recovery: %d votes", got)
+	}
+}
+
+func TestRecoverFromGarbageRejected(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 8, Good: 1}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage that fails on the very first gob frame is ErrTruncated-
+	// tolerated (empty prefix); the server comes up with a fresh board.
+	srv, err := server.New(server.Config{
+		Universe: u, Tokens: []string{"t"},
+		Recover: bytes.NewReader([]byte("not a journal")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Round() != 0 {
+		t.Fatalf("round = %d", srv.Round())
+	}
+}
+
+// TestCompactionCycle exercises the full compaction story: run rounds with
+// a journal, Compact, truncate the journal, run more rounds into a new
+// journal, crash, and recover from snapshot + tail.
+func TestCompactionCycle(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 16, Good: 1}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := -1
+	for i := 0; i < u.M(); i++ {
+		if !u.IsGood(i) {
+			bad = i
+			break
+		}
+	}
+	tokens := []string{"tok", "tok"}
+	var log1 bytes.Buffer
+	srv1, err := server.New(server.Config{
+		Universe: u, Tokens: tokens, Alpha: 1, Beta: u.Beta(),
+		Journal: journal.NewWriter(&log1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv1.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := client.Dial(addr, 0, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := client.Dial(addr, 1, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		for _, c := range []*client.Client{c0, c1} {
+			go func(c *client.Client) { defer wg.Done(); _, _ = c.Barrier() }(c)
+		}
+		wg.Wait()
+	}
+	if err := c0.Post(bad, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	both() // round 0 committed
+
+	// Compact: snapshot the state, "truncate" by starting a fresh journal.
+	snapshot, err := srv1.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-compaction journal is no longer needed; simulate truncation by
+	// dropping log1 and switching... (the server keeps writing to log1 in
+	// this simple test; the tail we replay is everything AFTER the
+	// snapshot, which we approximate by a second server run below).
+	c0.Close()
+	c1.Close()
+	srv1.Close()
+
+	// Second life: recover from snapshot only, run one more round with a
+	// fresh journal.
+	var log2 bytes.Buffer
+	srv2, err := server.New(server.Config{
+		Universe: u, Tokens: tokens, Alpha: 1, Beta: u.Beta(),
+		RecoverSnapshot: snapshot,
+		Journal:         journal.NewWriter(&log2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := srv2.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err = client.Dial(addr2, 0, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err = client.Dial(addr2, 1, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.Round() != 1 {
+		t.Fatalf("post-snapshot round = %d, want 1", srv2.Round())
+	}
+	if err := c1.Post(bad, 0.4, false); err != nil {
+		t.Fatal(err)
+	}
+	both() // round 1 committed into log2
+	c0.Close()
+	c1.Close()
+	srv2.Close()
+
+	// Third life: snapshot + journal tail = exact state.
+	srv3, err := server.New(server.Config{
+		Universe: u, Tokens: tokens, Alpha: 1, Beta: u.Beta(),
+		RecoverSnapshot: snapshot,
+		Recover:         bytes.NewReader(log2.Bytes()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr3, err := srv3.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv3.Close()
+	if srv3.Round() != 2 {
+		t.Fatalf("recovered round = %d, want 2", srv3.Round())
+	}
+	c, err := client.Dial(addr3, 0, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.VoteCount(bad) != 1 {
+		t.Fatal("vote lost across compaction")
+	}
+	if c.NegativeCount(bad) != 1 {
+		t.Fatal("negative report from the journal tail lost")
+	}
+}

@@ -1,0 +1,447 @@
+// Package server implements the shared billboard as a network service: the
+// system component the paper assumes ("the system maintains a shared
+// billboard", §1). Players connect over TCP, authenticate with a bearer
+// token bound to their player id (the §2.1 reliable identity tagging),
+// probe objects, post reports, read votes, and synchronize rounds through a
+// barrier — the timestamp-based simulation of synchrony that §1.2 sketches.
+//
+// The server owns the ground truth (the object universe): a probe request
+// reveals an object's value only to the prober and charges its cost, so
+// honest clients remain value-blind exactly as in the in-process engine.
+// Byzantine clients may post whatever they like — the billboard's vote
+// discipline (one vote per player, identity-tagged) is enforced here, not
+// trusted to clients.
+package server
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/billboard"
+	"repro/internal/journal"
+	"repro/internal/object"
+	"repro/internal/wire"
+)
+
+// Config describes a billboard service instance.
+type Config struct {
+	// Universe is the ground truth (required).
+	Universe *object.Universe
+	// Tokens holds the bearer token for each player id; len(Tokens) is the
+	// number of players N (required, non-empty).
+	Tokens []string
+	// Alpha and Beta are the assumed parameters advertised to clients at
+	// Hello (what the protocol should be initialized with).
+	Alpha, Beta float64
+	// VotesPerPlayer is the vote cap f (default 1).
+	VotesPerPlayer int
+	// Expected is the number of players that must register before round 0
+	// can complete; 0 means all N.
+	Expected int
+	// Journal, when non-nil, receives every accepted post and a marker per
+	// committed round, so the billboard can be rebuilt after a crash (see
+	// internal/journal). Accounting stats (probes, costs) are observability
+	// only and are not journaled.
+	Journal *journal.Writer
+	// Recover, when non-nil, replays a journal to restore the billboard
+	// (and round counter) before serving. A truncated tail is tolerated:
+	// the uncommitted final round is discarded per the synchrony contract.
+	Recover io.Reader
+	// RecoverSnapshot, when non-nil, restores the billboard from a Compact
+	// snapshot first; Recover (if also set) then replays the journal tail
+	// written after that snapshot. Snapshot + tail = exact state, which is
+	// how a long-running service truncates its journal.
+	RecoverSnapshot []byte
+}
+
+// Server is a running billboard service. Construct with New, then Start.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	board      *billboard.Board
+	round      int
+	registered map[int]bool
+	active     map[int]bool
+	arrived    map[int]bool
+	probes     []int
+	cost       []float64
+	satisfied  []bool
+	closed     bool
+
+	wg sync.WaitGroup
+}
+
+// New validates cfg and builds a server (not yet listening).
+func New(cfg Config) (*Server, error) {
+	if cfg.Universe == nil {
+		return nil, fmt.Errorf("server: Config.Universe is required")
+	}
+	if len(cfg.Tokens) == 0 {
+		return nil, fmt.Errorf("server: Config.Tokens must name at least one player")
+	}
+	if cfg.Expected == 0 {
+		cfg.Expected = len(cfg.Tokens)
+	}
+	if cfg.Expected < 1 || cfg.Expected > len(cfg.Tokens) {
+		return nil, fmt.Errorf("server: Expected %d outside [1, %d]", cfg.Expected, len(cfg.Tokens))
+	}
+	mode := billboard.FirstPositive
+	if !cfg.Universe.LocalTesting() {
+		mode = billboard.BestValue
+	}
+	boardCfg := billboard.Config{
+		Players:        len(cfg.Tokens),
+		Objects:        cfg.Universe.M(),
+		Mode:           mode,
+		VotesPerPlayer: cfg.VotesPerPlayer,
+	}
+	var board *billboard.Board
+	var err error
+	switch {
+	case cfg.RecoverSnapshot != nil:
+		board, err = billboard.Restore(cfg.RecoverSnapshot, nil)
+		if err != nil {
+			return nil, fmt.Errorf("server: recover snapshot: %w", err)
+		}
+		if cfg.Recover != nil {
+			if err := journal.Apply(cfg.Recover, board); err != nil && !errors.Is(err, journal.ErrTruncated) {
+				return nil, fmt.Errorf("server: recover tail: %w", err)
+			}
+		}
+	case cfg.Recover != nil:
+		board, err = journal.Rebuild(cfg.Recover, boardCfg)
+		if err != nil && !errors.Is(err, journal.ErrTruncated) {
+			return nil, fmt.Errorf("server: recover: %w", err)
+		}
+	default:
+		board, err = billboard.New(boardCfg)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:        cfg,
+		round:      board.Round(), // continues from a recovered journal
+		board:      board,
+		registered: make(map[int]bool),
+		active:     make(map[int]bool),
+		arrived:    make(map[int]bool),
+		probes:     make([]int, len(cfg.Tokens)),
+		cost:       make([]float64, len(cfg.Tokens)),
+		satisfied:  make([]bool, len(cfg.Tokens)),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Start listens on addr ("127.0.0.1:0" picks a free port) and serves
+// connections until Close. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener, wakes blocked barrier waiters, and waits for
+// connection handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Round returns the current round number.
+func (s *Server) Round() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
+}
+
+// Compact serializes the billboard's committed state. The caller may then
+// truncate the journal and start a new one: RecoverSnapshot + the new
+// journal reproduce the exact state. It fails if a round is in flight
+// (uncommitted posts); retry after the next barrier.
+func (s *Server) Compact() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.board.Snapshot()
+}
+
+// Stats returns per-player probe counts, costs, and satisfaction as
+// observed by the server, plus the current round.
+func (s *Server) Stats() (probes []int, cost []float64, satisfied []bool, round int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.probes...),
+		append([]float64(nil), s.cost...),
+		append([]bool(nil), s.satisfied...),
+		s.round
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// handle serves one connection: a Hello followed by any number of requests.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	player := -1
+	defer func() {
+		// A dropped connection must not wedge the barrier: auto-Done.
+		if player >= 0 {
+			s.mu.Lock()
+			s.leaveLocked(player)
+			s.mu.Unlock()
+		}
+	}()
+
+	for {
+		var req wire.Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp wire.Response
+		if player < 0 && req.Type != wire.ReqHello {
+			resp.Err = "not authenticated: send hello first"
+		} else {
+			switch req.Type {
+			case wire.ReqHello:
+				resp = s.hello(&req)
+				if resp.Err == "" {
+					player = req.Player
+				}
+			case wire.ReqProbe:
+				resp = s.probe(player, req.Object)
+			case wire.ReqPost:
+				resp = s.post(player, &req)
+			case wire.ReqVotes:
+				resp = s.votes(req.OfPlayer)
+			case wire.ReqVotedObjects:
+				resp = s.votedObjects()
+			case wire.ReqVoteCount:
+				resp = s.voteCount(req.Object)
+			case wire.ReqNegCount:
+				resp = s.negCount(req.Object)
+			case wire.ReqWindow:
+				resp = s.window(req.From, req.To)
+			case wire.ReqBarrier:
+				resp = s.barrier(player)
+			case wire.ReqDone:
+				s.mu.Lock()
+				s.leaveLocked(player)
+				s.mu.Unlock()
+			default:
+				resp.Err = fmt.Sprintf("unknown request type %v", req.Type)
+			}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) hello(req *wire.Request) wire.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Version != wire.Version {
+		return wire.Response{Err: fmt.Sprintf("protocol version %d, server speaks %d",
+			req.Version, wire.Version)}
+	}
+	p := req.Player
+	if p < 0 || p >= len(s.cfg.Tokens) {
+		return wire.Response{Err: fmt.Sprintf("player %d out of range", p)}
+	}
+	if s.cfg.Tokens[p] != req.Token {
+		return wire.Response{Err: "bad token"}
+	}
+	if s.registered[p] {
+		return wire.Response{Err: fmt.Sprintf("player %d already registered", p)}
+	}
+	s.registered[p] = true
+	s.active[p] = true
+	u := s.cfg.Universe
+	costs := make([]float64, u.M())
+	for i := range costs {
+		costs[i] = u.Cost(i)
+	}
+	s.advanceLocked() // registration may complete a waiting barrier
+	return wire.Response{
+		N:            len(s.cfg.Tokens),
+		M:            u.M(),
+		LocalTesting: u.LocalTesting(),
+		Alpha:        s.cfg.Alpha,
+		Beta:         s.cfg.Beta,
+		Costs:        costs,
+		Round:        s.round,
+	}
+}
+
+func (s *Server) probe(player, obj int) wire.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := s.cfg.Universe
+	if obj < 0 || obj >= u.M() {
+		return wire.Response{Err: fmt.Sprintf("object %d out of range", obj)}
+	}
+	s.probes[player]++
+	s.cost[player] += u.Cost(obj)
+	good := u.LocalTesting() && u.IsGood(obj)
+	if good {
+		s.satisfied[player] = true
+	}
+	return wire.Response{Value: u.Value(obj), Good: good, Cost: u.Cost(obj), Round: s.round}
+}
+
+func (s *Server) post(player int, req *wire.Request) wire.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	post := billboard.Post{
+		Player:   player, // authenticated identity, not client-claimed
+		Object:   req.Object,
+		Value:    req.Value,
+		Positive: req.Positive,
+	}
+	if err := s.board.Post(post); err != nil {
+		return wire.Response{Err: err.Error()}
+	}
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Append(post); err != nil {
+			return wire.Response{Err: fmt.Sprintf("journal: %v", err)}
+		}
+	}
+	return wire.Response{Round: s.round}
+}
+
+func (s *Server) votes(ofPlayer int) wire.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ofPlayer < 0 || ofPlayer >= len(s.cfg.Tokens) {
+		return wire.Response{Err: fmt.Sprintf("player %d out of range", ofPlayer)}
+	}
+	votes := s.board.Votes(ofPlayer)
+	msgs := make([]wire.VoteMsg, len(votes))
+	for i, v := range votes {
+		msgs[i] = wire.VoteMsg{Player: v.Player, Object: v.Object, Round: v.Round, Value: v.Value}
+	}
+	return wire.Response{Votes: msgs, Round: s.round}
+}
+
+func (s *Server) votedObjects() wire.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return wire.Response{Objects: s.board.VotedObjects(), Round: s.round}
+}
+
+func (s *Server) voteCount(obj int) wire.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj < 0 || obj >= s.cfg.Universe.M() {
+		return wire.Response{Err: fmt.Sprintf("object %d out of range", obj)}
+	}
+	return wire.Response{Count: s.board.VoteCount(obj), Round: s.round}
+}
+
+func (s *Server) negCount(obj int) wire.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj < 0 || obj >= s.cfg.Universe.M() {
+		return wire.Response{Err: fmt.Sprintf("object %d out of range", obj)}
+	}
+	return wire.Response{Count: s.board.NegativeCount(obj), Round: s.round}
+}
+
+func (s *Server) window(from, to int) wire.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return wire.Response{Counts: s.board.CountVotesInWindow(from, to), Round: s.round}
+}
+
+// barrier marks the player as arrived and blocks until the round advances
+// (or the server closes).
+func (s *Server) barrier(player int) wire.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.active[player] {
+		return wire.Response{Err: "player is done; no barrier"}
+	}
+	if s.arrived[player] {
+		return wire.Response{Err: "double barrier in one round"}
+	}
+	s.arrived[player] = true
+	target := s.round + 1
+	s.advanceLocked()
+	for s.round < target && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed && s.round < target {
+		return wire.Response{Err: "server closed"}
+	}
+	return wire.Response{Round: s.round}
+}
+
+// leaveLocked deregisters a player from future barriers and re-checks the
+// advance condition (its arrival is no longer required).
+func (s *Server) leaveLocked(player int) {
+	if !s.active[player] {
+		return
+	}
+	delete(s.active, player)
+	delete(s.arrived, player)
+	s.advanceLocked()
+}
+
+// advanceLocked commits the round when everyone expected has registered and
+// every active player has arrived.
+func (s *Server) advanceLocked() {
+	if len(s.registered) < s.cfg.Expected {
+		return
+	}
+	if len(s.active) == 0 || len(s.arrived) < len(s.active) {
+		return
+	}
+	s.board.EndRound()
+	s.round++
+	if s.cfg.Journal != nil {
+		// A marker failure is logged into the error path on the next post;
+		// the in-memory board stays authoritative for this process.
+		_ = s.cfg.Journal.EndRound()
+	}
+	for p := range s.arrived {
+		delete(s.arrived, p)
+	}
+	s.cond.Broadcast()
+}

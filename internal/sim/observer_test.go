@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/rng"
+)
+
+func TestObserverSeesEveryRound(t *testing.T) {
+	u, err := object.NewUniverse(object.Config{
+		Values:       []float64{0, 0, 1},
+		LocalTesting: true,
+		Threshold:    0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []RoundStats
+	e, err := NewEngine(Config{
+		Universe: u,
+		Protocol: &fixedProtocol{schedule: []int{0, 1, 2}},
+		N:        4, Alpha: 1, Seed: 1,
+		Observer: func(s RoundStats) { snaps = append(snaps, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != res.Rounds {
+		t.Fatalf("observer saw %d rounds, run had %d", len(snaps), res.Rounds)
+	}
+	for i, s := range snaps {
+		if s.Round != i {
+			t.Fatalf("snapshot %d has round %d", i, s.Round)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.SatisfiedHonest != 4 || last.ActiveHonest != 0 {
+		t.Fatalf("final snapshot: %+v", last)
+	}
+	if last.GoodVotes != 4 {
+		t.Fatalf("good votes = %d, want 4", last.GoodVotes)
+	}
+	// First round: everyone probed object 0 (bad), nobody satisfied.
+	if snaps[0].SatisfiedHonest != 0 || snaps[0].ProbesThisRound != 4 {
+		t.Fatalf("first snapshot: %+v", snaps[0])
+	}
+}
+
+func TestObserverSatisfiedMonotone(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 64, Good: 2}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	e, err := NewEngine(Config{
+		Universe: u, Protocol: &randomProtocol{}, N: 32, Alpha: 1, Seed: 9,
+		Observer: func(s RoundStats) {
+			if s.SatisfiedHonest < prev {
+				t.Fatalf("satisfied decreased: %d -> %d", prev, s.SatisfiedHonest)
+			}
+			prev = s.SatisfiedHonest
+			if s.ActiveHonest+s.SatisfiedHonest != 32 {
+				t.Fatalf("active+satisfied != honest: %+v", s)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVoteFilterInstalledOnBoard(t *testing.T) {
+	u, err := object.NewUniverse(object.Config{
+		Values:       []float64{1, 0},
+		LocalTesting: true,
+		Threshold:    0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filter that rejects every vote: even the honest vote for the good
+	// object must be inadmissible (the player still halts — satisfaction
+	// is about probing, not voting).
+	e, err := NewEngine(Config{
+		Universe: u, Protocol: &fixedProtocol{schedule: []int{0}},
+		N: 2, Alpha: 1, Seed: 1,
+		VoteFilter: func(player, objectID int) bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHonestSatisfied() {
+		t.Fatal("players should still halt on probing good objects")
+	}
+	if e.Board().TotalVotes() != 0 {
+		t.Fatalf("filter bypassed: %d votes", e.Board().TotalVotes())
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Replicator runs independent replications of a simulation in parallel and
+// collects the results in replication order. Each replication gets its own
+// engine (and typically its own universe) built from a distinct seed, so
+// replications share no mutable state.
+type Replicator struct {
+	// Reps is the number of replications (required, > 0).
+	Reps int
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// BaseSeed seeds replication i with BaseSeed + i.
+	BaseSeed uint64
+	// Build constructs the engine for one replication.
+	Build func(seed uint64) (*Engine, error)
+}
+
+// Run executes all replications and returns their results in order. The
+// first error encountered is returned (remaining work is still drained).
+func (r Replicator) Run() ([]*Result, error) {
+	if r.Reps <= 0 {
+		return nil, fmt.Errorf("sim: Replicator.Reps must be > 0, got %d", r.Reps)
+	}
+	if r.Build == nil {
+		return nil, fmt.Errorf("sim: Replicator.Build is required")
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > r.Reps {
+		workers = r.Reps
+	}
+
+	results := make([]*Result, r.Reps)
+	errs := make([]error, r.Reps)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				engine, err := r.Build(r.BaseSeed + uint64(i))
+				if err != nil {
+					errs[i] = fmt.Errorf("sim: replication %d build: %w", i, err)
+					continue
+				}
+				res, err := engine.Run()
+				if err != nil {
+					errs[i] = fmt.Errorf("sim: replication %d run: %w", i, err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := 0; i < r.Reps; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Aggregate holds cross-replication aggregates of the headline metrics.
+type Aggregate struct {
+	Reps int
+	// MeanIndividualProbes averages, over replications, the mean honest
+	// individual probe count.
+	MeanIndividualProbes float64
+	// MeanIndividualCost averages the mean honest probing cost.
+	MeanIndividualCost float64
+	// MeanRounds averages the total round count.
+	MeanRounds float64
+	// MeanLastRound averages the last honest satisfaction round (only over
+	// replications where someone halted).
+	MeanLastRound float64
+	// MaxLastRound is the worst last-satisfaction round observed.
+	MaxLastRound int
+	// SuccessRate averages the per-replication honest success fraction.
+	SuccessRate float64
+	// TimedOut counts replications that hit MaxRounds.
+	TimedOut int
+	// PerPlayerProbes concatenates honest per-player probe counts across
+	// replications (for distribution plots).
+	PerPlayerProbes []float64
+}
+
+// Aggregate computes cross-replication aggregates.
+func AggregateResults(results []*Result) Aggregate {
+	agg := Aggregate{Reps: len(results)}
+	if len(results) == 0 {
+		return agg
+	}
+	lastCount := 0
+	for _, res := range results {
+		agg.MeanIndividualProbes += res.MeanHonestProbes()
+		costs := res.HonestCosts()
+		total := 0.0
+		for _, c := range costs {
+			total += c
+		}
+		if len(costs) > 0 {
+			agg.MeanIndividualCost += total / float64(len(costs))
+		}
+		agg.MeanRounds += float64(res.Rounds)
+		if last := res.LastSatisfiedRound(); last >= 0 {
+			agg.MeanLastRound += float64(last)
+			lastCount++
+			if last > agg.MaxLastRound {
+				agg.MaxLastRound = last
+			}
+		}
+		agg.SuccessRate += res.SuccessFraction()
+		if res.TimedOut {
+			agg.TimedOut++
+		}
+		agg.PerPlayerProbes = append(agg.PerPlayerProbes, res.HonestProbes()...)
+	}
+	n := float64(len(results))
+	agg.MeanIndividualProbes /= n
+	agg.MeanIndividualCost /= n
+	agg.MeanRounds /= n
+	if lastCount > 0 {
+		agg.MeanLastRound /= float64(lastCount)
+	}
+	agg.SuccessRate /= n
+	return agg
+}

@@ -1,0 +1,82 @@
+package sim
+
+// HonestProbes returns the probe counts of the honest players, the paper's
+// individual cost under unit costs.
+func (r *Result) HonestProbes() []float64 {
+	out := make([]float64, 0, len(r.Honest))
+	for _, p := range r.Honest {
+		out = append(out, float64(r.Probes[p]))
+	}
+	return out
+}
+
+// HonestCosts returns the total probing cost paid by each honest player.
+func (r *Result) HonestCosts() []float64 {
+	out := make([]float64, 0, len(r.Honest))
+	for _, p := range r.Honest {
+		out = append(out, r.Cost[p])
+	}
+	return out
+}
+
+// HonestSatisfiedRounds returns, for each honest player that halted, the
+// round at which it did (its termination time).
+func (r *Result) HonestSatisfiedRounds() []float64 {
+	out := make([]float64, 0, len(r.Honest))
+	for _, p := range r.Honest {
+		if r.SatisfiedRound[p] >= 0 {
+			out = append(out, float64(r.SatisfiedRound[p]))
+		}
+	}
+	return out
+}
+
+// AllHonestSatisfied reports whether every honest player halted (local
+// testing) or ended with a good best object (prescribed rounds).
+func (r *Result) AllHonestSatisfied() bool {
+	for _, p := range r.Honest {
+		if !r.Success[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// SuccessFraction returns the fraction of honest players that succeeded.
+func (r *Result) SuccessFraction() float64 {
+	if len(r.Honest) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, p := range r.Honest {
+		if r.Success[p] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(r.Honest))
+}
+
+// LastSatisfiedRound returns the largest satisfaction round among honest
+// players, or -1 if none halted. This is the "last player" time of §5.
+func (r *Result) LastSatisfiedRound() int {
+	last := -1
+	for _, p := range r.Honest {
+		if r.SatisfiedRound[p] > last {
+			last = r.SatisfiedRound[p]
+		}
+	}
+	return last
+}
+
+// MeanHonestProbes returns the mean individual cost over honest players.
+func (r *Result) MeanHonestProbes() float64 {
+	probes := r.HonestProbes()
+	if len(probes) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range probes {
+		total += v
+	}
+	return total / float64(len(probes))
+}

@@ -1,0 +1,482 @@
+// Package sim implements the synchronous execution model of §2.1: an
+// execution proceeds in rounds; in each round every active honest player
+// reads the (committed) billboard, optionally probes one object, and posts
+// the result; Byzantine players may post arbitrary reports. Posts become
+// visible at the end of the round.
+//
+// The engine owns the ground truth (the object universe) and performs all
+// probes itself, so honest protocols can only choose *which* object to
+// probe — they cannot peek at hidden values. Honesty of the reports is also
+// enforced here: every honest probe is posted truthfully (modulo the
+// optional erroneous-vote noise of §4.1).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/billboard"
+	"repro/internal/object"
+	"repro/internal/rng"
+)
+
+// PublicUniverse is the honest player's view of the object collection:
+// object count and public costs, but no values.
+type PublicUniverse interface {
+	M() int
+	Cost(i int) float64
+	LocalTesting() bool
+}
+
+var _ PublicUniverse = (*object.Universe)(nil)
+
+// Probe is a request by a player to probe an object this round.
+type Probe struct {
+	Player int
+	Object int
+}
+
+// Setup is what a Protocol receives before round 0.
+type Setup struct {
+	N        int            // total number of players
+	Alpha    float64        // the honest fraction the protocol ASSUMES (its α parameter)
+	Beta     float64        // the good-object fraction the protocol assumes
+	Universe PublicUniverse // public object data (costs, m)
+	Board    billboard.Reader
+	Rng      *rng.Source // the protocol's private random stream
+}
+
+// Protocol is an honest search strategy executed in lockstep by all honest
+// players. The engine calls Probes exactly once per round with strictly
+// increasing round numbers starting at the board's current round (0 for a
+// fresh board), so protocols may keep internal schedule state. Implementations read shared state from the board given at
+// Init (committed state only — the same view every player has).
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Init prepares the protocol for a run.
+	Init(setup Setup) error
+	// Probes appends this round's probe choices for the active players to
+	// dst and returns it. A player absent from the result makes no probe
+	// this round (e.g. sought advice from a player with no vote).
+	Probes(round int, active []int, dst []Probe) []Probe
+	// PrescribedRounds returns r > 0 if the protocol runs for exactly r
+	// rounds with no local-testing halting (§5.3); 0 means players halt
+	// individually upon probing a good object.
+	PrescribedRounds() int
+}
+
+// AdvContext is the adversary's view when taking its turn: full knowledge
+// of the world, the committed board, this round's in-flight honest posts
+// (via Board.Pending — the adaptive power of §2.3), and the identities of
+// everyone.
+type AdvContext struct {
+	Round     int
+	Board     *billboard.Board
+	Universe  *object.Universe
+	Dishonest []int
+	Honest    []int
+	Satisfied []bool // indexed by player; true if that honest player halted
+	Protocol  Protocol
+	// AssumedAlpha and AssumedBeta are the parameters the honest protocol
+	// was initialized with; mimicking adversaries need them to stay
+	// schedule-identical with the honest players.
+	AssumedAlpha float64
+	AssumedBeta  float64
+	// VotesCap is the per-player vote budget f the billboard enforces.
+	VotesCap int
+	Rng      *rng.Source
+}
+
+// Adversary controls the dishonest players. Act is called once per round,
+// after honest probes are buffered; it posts through ctx.Board.Post. The
+// billboard enforces identity tagging and vote caps, so an adversary cannot
+// spoof players or exceed the vote budget — exactly the §2.1 guarantees.
+type Adversary interface {
+	Name() string
+	Act(ctx *AdvContext)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Universe *object.Universe
+	Protocol Protocol
+	// Adversary is optional; nil means dishonest players stay silent.
+	Adversary Adversary
+	// N is the total number of players (required, > 0).
+	N int
+	// Honest explicitly lists honest player ids. If nil, a uniformly random
+	// subset of size max(1, round(Alpha*N)) is chosen.
+	Honest []int
+	// Alpha is the true honest fraction used when Honest is nil, and the
+	// default value passed to the protocol as its assumed α.
+	Alpha float64
+	// AssumedAlpha overrides the α given to the protocol (e.g. to study a
+	// mis-parameterized DISTILL). 0 means use Alpha.
+	AssumedAlpha float64
+	// AssumedBeta is the β given to the protocol. 0 means use the
+	// universe's realized good fraction.
+	AssumedBeta float64
+	// Seed determines the entire run.
+	Seed uint64
+	// MaxRounds is a safety cap; 0 means the default of 1 << 20.
+	MaxRounds int
+	// VotesPerPlayer is the vote cap f (default 1).
+	VotesPerPlayer int
+	// HonestErrorRate is the §4.1 erroneous-vote probability: after probing
+	// a bad object, an honest player mistakenly reports it positive with
+	// this probability, but never spends its last vote slot on an error.
+	HonestErrorRate float64
+	// KeepLog retains the full post log on the board.
+	KeepLog bool
+	// VoteFilter, when non-nil, is installed as the billboard's
+	// vote-admission rule (see billboard.Config.VoteFilter). Used by the
+	// §6 object-ownership extension.
+	VoteFilter func(player, object int) bool
+	// Observer, when non-nil, is called after every committed round with a
+	// snapshot of the run's dynamics (for tracing/plotting).
+	Observer func(RoundStats)
+	// Board, when non-nil, reuses an existing billboard instead of creating
+	// a fresh one — the "after effects" mechanism of §5.1 (spent votes and
+	// stale recommendations persist across phases) and the substrate of the
+	// X6 churn study. Its player/object dimensions must match the run; the
+	// engine continues from its current round number, and VotesPerPlayer /
+	// KeepLog / VoteFilter settings of this Config are ignored in favor of
+	// the board's own.
+	Board *billboard.Board
+}
+
+// RoundStats is the per-round snapshot delivered to Config.Observer.
+type RoundStats struct {
+	// Round is the round that just committed.
+	Round int
+	// ActiveHonest is the number of honest players still searching at the
+	// END of the round.
+	ActiveHonest int
+	// SatisfiedHonest is the number of honest players that have halted.
+	SatisfiedHonest int
+	// ProbesThisRound is the number of honest probes made this round.
+	ProbesThisRound int
+	// TotalVotes is the number of committed votes on the board.
+	TotalVotes int
+	// VotedObjects is the number of distinct objects holding votes.
+	VotedObjects int
+	// GoodVotes is the number of committed votes on good objects (visible
+	// to the harness, not to players).
+	GoodVotes int
+}
+
+// Result collects the outcome of a run.
+type Result struct {
+	Protocol  string
+	Adversary string
+	N         int
+	M         int
+	Alpha     float64 // true honest fraction
+	Rounds    int     // rounds executed
+	TimedOut  bool    // hit MaxRounds before finishing
+
+	Honest []int // honest player ids
+
+	// SatisfiedRound[p] is the round at which player p probed a good object
+	// and halted (-1 if never). Only meaningful for honest players in
+	// local-testing mode.
+	SatisfiedRound []int
+	// Probes[p] counts the probes player p made (honest players only; the
+	// individual cost of the paper under unit costs).
+	Probes []int
+	// Cost[p] is the total probing cost paid by player p.
+	Cost []float64
+	// Success[p] reports, for prescribed-round protocols, whether honest
+	// player p's best probed object was good; in local-testing mode it is
+	// simply "p halted".
+	Success []bool
+	// BestObject[p] is honest player p's highest-value probed object
+	// (-1 if p never probed).
+	BestObject []int
+}
+
+// Engine runs one simulation. Construct with NewEngine.
+type Engine struct {
+	cfg       Config
+	universe  *object.Universe
+	board     *billboard.Board
+	master    *rng.Source
+	advRng    *rng.Source
+	honest    []int
+	honestSet []bool
+	dishonest []int
+}
+
+// NewEngine validates cfg and prepares a run.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Universe == nil {
+		return nil, fmt.Errorf("sim: Config.Universe is required")
+	}
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("sim: Config.Protocol is required")
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("sim: N must be > 0, got %d", cfg.N)
+	}
+	if cfg.Honest == nil && (cfg.Alpha <= 0 || cfg.Alpha > 1) {
+		return nil, fmt.Errorf("sim: Alpha %v outside (0, 1] with no explicit honest set", cfg.Alpha)
+	}
+	if cfg.HonestErrorRate < 0 || cfg.HonestErrorRate >= 1 {
+		return nil, fmt.Errorf("sim: HonestErrorRate %v outside [0, 1)", cfg.HonestErrorRate)
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 1 << 20
+	}
+	master := rng.New(cfg.Seed)
+
+	e := &Engine{
+		cfg:      cfg,
+		universe: cfg.Universe,
+		master:   master,
+		advRng:   master.Split(2),
+	}
+
+	if cfg.Honest != nil {
+		e.honest = append([]int(nil), cfg.Honest...)
+	} else {
+		k := int(cfg.Alpha*float64(cfg.N) + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > cfg.N {
+			k = cfg.N
+		}
+		e.honest = master.Split(3).Sample(cfg.N, k)
+	}
+	if len(e.honest) == 0 {
+		return nil, fmt.Errorf("sim: need at least one honest player")
+	}
+	e.honestSet = make([]bool, cfg.N)
+	for _, p := range e.honest {
+		if p < 0 || p >= cfg.N {
+			return nil, fmt.Errorf("sim: honest player %d out of range [0, %d)", p, cfg.N)
+		}
+		if e.honestSet[p] {
+			return nil, fmt.Errorf("sim: duplicate honest player %d", p)
+		}
+		e.honestSet[p] = true
+	}
+	for p := 0; p < cfg.N; p++ {
+		if !e.honestSet[p] {
+			e.dishonest = append(e.dishonest, p)
+		}
+	}
+
+	if cfg.Board != nil {
+		e.board = cfg.Board
+		return e, nil
+	}
+	mode := billboard.FirstPositive
+	if !cfg.Universe.LocalTesting() {
+		mode = billboard.BestValue
+	}
+	board, err := billboard.New(billboard.Config{
+		Players:        cfg.N,
+		Objects:        cfg.Universe.M(),
+		Mode:           mode,
+		VotesPerPlayer: cfg.VotesPerPlayer,
+		KeepLog:        cfg.KeepLog,
+		VoteFilter:     cfg.VoteFilter,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	e.board = board
+	return e, nil
+}
+
+// Honest returns the honest player ids of this run (sorted ascending).
+func (e *Engine) Honest() []int { return append([]int(nil), e.honest...) }
+
+// Board exposes the board (for tests and post-hoc inspection).
+func (e *Engine) Board() *billboard.Board { return e.board }
+
+// Run executes the simulation to completion and returns the result.
+func (e *Engine) Run() (*Result, error) {
+	cfg := e.cfg
+	n, m := cfg.N, e.universe.M()
+
+	assumedAlpha := cfg.AssumedAlpha
+	if assumedAlpha == 0 {
+		assumedAlpha = cfg.Alpha
+	}
+	if assumedAlpha == 0 { // explicit honest set and no assumption given
+		assumedAlpha = float64(len(e.honest)) / float64(n)
+	}
+	assumedBeta := cfg.AssumedBeta
+	if assumedBeta == 0 {
+		assumedBeta = e.universe.Beta()
+	}
+
+	if err := cfg.Protocol.Init(Setup{
+		N:        n,
+		Alpha:    assumedAlpha,
+		Beta:     assumedBeta,
+		Universe: e.universe,
+		Board:    e.board,
+		Rng:      e.master.Split(1),
+	}); err != nil {
+		return nil, fmt.Errorf("sim: protocol init: %w", err)
+	}
+
+	res := &Result{
+		Protocol:       cfg.Protocol.Name(),
+		N:              n,
+		M:              m,
+		Alpha:          float64(len(e.honest)) / float64(n),
+		Honest:         e.Honest(),
+		SatisfiedRound: make([]int, n),
+		Probes:         make([]int, n),
+		Cost:           make([]float64, n),
+		Success:        make([]bool, n),
+		BestObject:     make([]int, n),
+	}
+	if cfg.Adversary != nil {
+		res.Adversary = cfg.Adversary.Name()
+	}
+	for p := range res.SatisfiedRound {
+		res.SatisfiedRound[p] = -1
+		res.BestObject[p] = -1
+	}
+	bestValue := make([]float64, n)
+
+	votesCap := cfg.VotesPerPlayer
+	if votesCap == 0 {
+		votesCap = 1
+	}
+	errCount := make([]int, n)
+	errRng := e.master.Split(4)
+
+	localTesting := e.universe.LocalTesting()
+	prescribed := cfg.Protocol.PrescribedRounds()
+
+	active := append([]int(nil), e.honest...)
+	satisfied := make([]bool, n)
+	probeBuf := make([]Probe, 0, len(active))
+	advCtx := &AdvContext{
+		Board:        e.board,
+		Universe:     e.universe,
+		Dishonest:    e.dishonest,
+		Honest:       e.honest,
+		Satisfied:    satisfied,
+		Protocol:     cfg.Protocol,
+		AssumedAlpha: assumedAlpha,
+		AssumedBeta:  assumedBeta,
+		VotesCap:     votesCap,
+		Rng:          e.advRng,
+	}
+
+	// Rounds are board-aligned so that a reused board's timestamps and the
+	// protocol's window arithmetic agree; for a fresh board start is 0.
+	start := e.board.Round()
+	round := start
+	for {
+		if prescribed > 0 {
+			if round-start >= prescribed {
+				break
+			}
+		} else if len(active) == 0 {
+			break
+		}
+		if round-start >= cfg.MaxRounds {
+			res.TimedOut = true
+			break
+		}
+
+		probeBuf = cfg.Protocol.Probes(round, active, probeBuf[:0])
+		newlySatisfied := false
+		for _, pr := range probeBuf {
+			p, obj := pr.Player, pr.Object
+			if p < 0 || p >= n || !e.honestSet[p] || satisfied[p] {
+				return nil, fmt.Errorf("sim: protocol %q probed for invalid player %d at round %d",
+					cfg.Protocol.Name(), p, round)
+			}
+			if obj < 0 || obj >= m {
+				return nil, fmt.Errorf("sim: protocol %q probe of object %d out of range at round %d",
+					cfg.Protocol.Name(), obj, round)
+			}
+			value := e.universe.Value(obj)
+			res.Probes[p]++
+			res.Cost[p] += e.universe.Cost(obj)
+			if res.BestObject[p] == -1 || value > bestValue[p] {
+				res.BestObject[p] = obj
+				bestValue[p] = value
+			}
+
+			good := e.universe.IsGood(obj)
+			positive := localTesting && good
+			if localTesting && !good && cfg.HonestErrorRate > 0 &&
+				errCount[p] < votesCap-1 && errRng.Bernoulli(cfg.HonestErrorRate) {
+				// §4.1: an erroneous positive vote, never spending the last
+				// vote slot (so one slot always remains for the truth).
+				positive = true
+				errCount[p]++
+			}
+			if err := e.board.Post(billboard.Post{
+				Player:   p,
+				Object:   obj,
+				Value:    value,
+				Positive: positive,
+			}); err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+			if localTesting && good && prescribed == 0 {
+				satisfied[p] = true
+				res.SatisfiedRound[p] = round
+				res.Success[p] = true
+				newlySatisfied = true
+			}
+		}
+
+		if cfg.Adversary != nil {
+			advCtx.Round = round
+			cfg.Adversary.Act(advCtx)
+		}
+		e.board.EndRound()
+
+		if cfg.Observer != nil {
+			stats := RoundStats{
+				Round:           round,
+				ProbesThisRound: len(probeBuf),
+				TotalVotes:      e.board.TotalVotes(),
+				VotedObjects:    e.board.NumVotedObjects(),
+			}
+			for _, p := range e.honest {
+				if satisfied[p] {
+					stats.SatisfiedHonest++
+				}
+			}
+			stats.ActiveHonest = len(e.honest) - stats.SatisfiedHonest
+			for _, obj := range e.universe.GoodObjects() {
+				stats.GoodVotes += e.board.VoteCount(obj)
+			}
+			cfg.Observer(stats)
+		}
+
+		if newlySatisfied {
+			keep := active[:0]
+			for _, p := range active {
+				if !satisfied[p] {
+					keep = append(keep, p)
+				}
+			}
+			active = keep
+		}
+		round++
+	}
+	res.Rounds = round - start
+
+	if prescribed > 0 {
+		for _, p := range e.honest {
+			if res.BestObject[p] >= 0 && e.universe.IsGood(res.BestObject[p]) {
+				res.Success[p] = true
+			}
+		}
+	}
+	return res, nil
+}

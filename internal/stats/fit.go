@@ -1,0 +1,90 @@
+package stats
+
+import "math"
+
+// LinearFit holds the result of an ordinary least-squares line fit
+// y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+}
+
+// FitLinear fits y = a*x + b by least squares. It panics if the inputs have
+// different lengths or fewer than two points, or if all x are identical.
+func FitLinear(x, y []float64) LinearFit {
+	if len(x) != len(y) {
+		panic("stats: FitLinear with mismatched lengths")
+	}
+	n := len(x)
+	if n < 2 {
+		panic("stats: FitLinear needs at least two points")
+	}
+	mx, my := Mean(x), Mean(y)
+	sxx, sxy, syy := 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: FitLinear with constant x")
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1 // y constant and perfectly explained by the flat line
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit
+}
+
+// FitLogX fits y = a*log2(x) + b. Useful for checking "grows like log n"
+// shapes. It panics if any x is <= 0.
+func FitLogX(x, y []float64) LinearFit {
+	lx := make([]float64, len(x))
+	for i, v := range x {
+		if v <= 0 {
+			panic("stats: FitLogX with non-positive x")
+		}
+		lx[i] = math.Log2(v)
+	}
+	return FitLinear(lx, y)
+}
+
+// FitPower fits y = c * x^p by regressing log y on log x, returning
+// (p, c, r2 of the log-log fit). Points with non-positive x or y are
+// rejected with a panic, since they cannot appear on a power law.
+func FitPower(x, y []float64) (p, c, r2 float64) {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			panic("stats: FitPower with non-positive data")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	fit := FitLinear(lx, ly)
+	return fit.Slope, math.Exp(fit.Intercept), fit.R2
+}
+
+// GrowthRatio returns y[last]/y[first]; a cheap scale-free check of how much
+// a series grows over a sweep. Returns +Inf when y[first] == 0 and
+// y[last] > 0, and 1 when both are 0.
+func GrowthRatio(y []float64) float64 {
+	if len(y) == 0 {
+		return 1
+	}
+	first, last := y[0], y[len(y)-1]
+	switch {
+	case first == 0 && last == 0:
+		return 1
+	case first == 0:
+		return math.Inf(1)
+	default:
+		return last / first
+	}
+}

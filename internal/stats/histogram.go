@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram accumulates values into equal-width bins over [lo, hi).
+// Values outside the range are clamped into the first/last bin so that tail
+// mass remains visible. The zero value is unusable; construct with
+// NewHistogram.
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+// It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: NewHistogram with bins <= 0")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram with hi <= lo")
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.counts)
+	idx := int(math.Floor((x - h.lo) / (h.hi - h.lo) * float64(bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bins {
+		idx = bins - 1
+	}
+	h.counts[idx]++
+	h.total++
+}
+
+// AddAll records each observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// TailFraction returns the fraction of observations at or above x.
+func (h *Histogram) TailFraction(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	bins := len(h.counts)
+	start := int(math.Ceil((x - h.lo) / (h.hi - h.lo) * float64(bins)))
+	if start < 0 {
+		start = 0
+	}
+	count := 0
+	for i := start; i < bins; i++ {
+		count += h.counts[i]
+	}
+	return float64(count) / float64(h.total)
+}
+
+// String renders an ASCII bar chart, one line per bin, scaled to maxWidth
+// 50 characters.
+func (h *Histogram) String() string {
+	const maxWidth = 50
+	peak := 0
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	for i, c := range h.counts {
+		bar := 0
+		if peak > 0 {
+			bar = c * maxWidth / peak
+		}
+		fmt.Fprintf(&b, "[%8.2f, %8.2f) %6d %s\n",
+			h.lo+float64(i)*width, h.lo+float64(i+1)*width, c,
+			strings.Repeat("#", bar))
+	}
+	return b.String()
+}

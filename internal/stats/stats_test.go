@@ -1,0 +1,361 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	// Sample variance with n-1 denominator: sum sq dev = 32, /7.
+	if v := Variance(xs); !almost(v, 32.0/7, 1e-12) {
+		t.Fatalf("variance = %v, want %v", v, 32.0/7)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Stddev(nil) != 0 {
+		t.Fatal("empty sample should yield zeros")
+	}
+	if Variance([]float64{7}) != 0 {
+		t.Fatal("singleton variance should be 0")
+	}
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("Summarize(nil).N = %d", s.N)
+	}
+	s = Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Median != 3 || s.Min != 3 || s.Max != 3 {
+		t.Fatalf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {1.0 / 3, 2},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); !almost(got, tc.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileUnsortedInput(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	if got := Quantile(xs, 0.5); got != 5 {
+		t.Fatalf("median of unsorted = %v, want 5", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 9 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1Raw, q2Raw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+		}
+		q1 := float64(q1Raw) / 255
+		q2 := float64(q2Raw) / 255
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(raw, q1) <= Quantile(raw, q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeOrderInvariant(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = float64(i)
+			}
+			// Clamp magnitudes so partial sums cannot overflow in one
+			// summation order but not another.
+			raw[i] = math.Mod(raw[i], 1e9)
+		}
+		a := Summarize(raw)
+		shuffled := append([]float64(nil), raw...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(shuffled)))
+		b := Summarize(shuffled)
+		return almost(a.Mean, b.Mean, 1e-9*math.Max(1, math.Abs(a.Mean))) &&
+			a.Min == b.Min && a.Max == b.Max &&
+			almost(a.Median, b.Median, 1e-9*math.Max(1, math.Abs(a.Median)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty min/max should be 0")
+	}
+}
+
+func TestMeanIntsAndFloats(t *testing.T) {
+	if m := MeanInts([]int{1, 2, 3}); m != 2 {
+		t.Fatalf("MeanInts = %v", m)
+	}
+	fs := Floats([]int{1, 2})
+	if len(fs) != 2 || fs[0] != 1 || fs[1] != 2 {
+		t.Fatalf("Floats = %v", fs)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	small := []float64{1, 2, 3, 4, 5}
+	big := make([]float64, 0, 500)
+	for i := 0; i < 100; i++ {
+		big = append(big, small...)
+	}
+	if CI95(big) >= CI95(small) {
+		t.Fatal("CI should shrink as n grows")
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("CI of singleton should be 0")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit := FitLinear(x, y)
+	if !almost(fit.Slope, 2, 1e-12) || !almost(fit.Intercept, 3, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almost(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLinearNoise(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9} // roughly y = 2x
+	fit := FitLinear(x, y)
+	if fit.Slope < 1.8 || fit.Slope > 2.2 {
+		t.Fatalf("slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestFitLinearConstantY(t *testing.T) {
+	fit := FitLinear([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if fit.Slope != 0 || fit.Intercept != 4 || fit.R2 != 1 {
+		t.Fatalf("constant-y fit = %+v", fit)
+	}
+}
+
+func TestFitLinearPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { FitLinear([]float64{1}, []float64{1, 2}) },
+		func() { FitLinear([]float64{1}, []float64{1}) },
+		func() { FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFitLogX(t *testing.T) {
+	// y = 3*log2(x) + 1
+	x := []float64{2, 4, 8, 16, 32}
+	y := []float64{4, 7, 10, 13, 16}
+	fit := FitLogX(x, y)
+	if !almost(fit.Slope, 3, 1e-9) || !almost(fit.Intercept, 1, 1e-9) {
+		t.Fatalf("log fit = %+v", fit)
+	}
+}
+
+func TestFitPower(t *testing.T) {
+	// y = 5 * x^1.5
+	x := []float64{1, 2, 4, 8, 16}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 5 * math.Pow(v, 1.5)
+	}
+	p, c, r2 := FitPower(x, y)
+	if !almost(p, 1.5, 1e-9) || !almost(c, 5, 1e-6) || !almost(r2, 1, 1e-9) {
+		t.Fatalf("power fit p=%v c=%v r2=%v", p, c, r2)
+	}
+}
+
+func TestGrowthRatio(t *testing.T) {
+	if g := GrowthRatio([]float64{2, 3, 8}); g != 4 {
+		t.Fatalf("GrowthRatio = %v", g)
+	}
+	if g := GrowthRatio([]float64{0, 0}); g != 1 {
+		t.Fatalf("GrowthRatio both-zero = %v", g)
+	}
+	if g := GrowthRatio([]float64{0, 5}); !math.IsInf(g, 1) {
+		t.Fatalf("GrowthRatio from zero = %v", g)
+	}
+	if g := GrowthRatio(nil); g != 1 {
+		t.Fatalf("GrowthRatio empty = %v", g)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "n", "cost")
+	tab.AddRow(128, 3.14159)
+	tab.AddRow(256, "n/a")
+	out := tab.String()
+	if !strings.Contains(out, "## demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Fatalf("float not rounded to 3 decimals:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("missing string cell:\n%s", out)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	if tab.Title() != "demo" {
+		t.Fatalf("Title = %q", tab.Title())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("x,y", `say "hi"`)
+	csv := tab.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestHistogramBinningAndClamp(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{-1, 0, 1.9, 2, 9.9, 10, 100})
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	// Bin 0 covers [0,2): values -1 (clamped), 0, 1.9.
+	if h.Count(0) != 3 {
+		t.Fatalf("bin0 = %d", h.Count(0))
+	}
+	// Bin 4 covers [8,10): values 9.9, 10 (clamped), 100 (clamped).
+	if h.Count(4) != 3 {
+		t.Fatalf("bin4 = %d", h.Count(4))
+	}
+	if h.Count(1) != 1 { // the value 2
+		t.Fatalf("bin1 = %d", h.Count(1))
+	}
+	if h.Bins() != 5 {
+		t.Fatalf("bins = %d", h.Bins())
+	}
+}
+
+func TestHistogramTailFraction(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.AddAll([]float64{1, 2, 3, 8, 9})
+	if tf := h.TailFraction(8); !almost(tf, 0.4, 1e-12) {
+		t.Fatalf("tail(8) = %v", tf)
+	}
+	if tf := h.TailFraction(0); tf != 1 {
+		t.Fatalf("tail(0) = %v", tf)
+	}
+	if tf := NewHistogram(0, 1, 2).TailFraction(0); tf != 0 {
+		t.Fatalf("empty tail = %v", tf)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	h.AddAll([]float64{1, 1, 3})
+	out := h.String()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars rendered:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatalf("want 2 lines:\n%s", out)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	out := s.String()
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "mean=2.000") {
+		t.Fatalf("summary string: %s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow(1, "x|y")
+	md := tab.Markdown()
+	want := "| a | b |\n|---|---|\n| 1 | x\\|y |\n"
+	if md != want {
+		t.Fatalf("Markdown = %q, want %q", md, want)
+	}
+}

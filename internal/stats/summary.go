@@ -1,0 +1,181 @@
+// Package stats provides the statistical summaries, fits, and table
+// rendering used by the experiment harness.
+//
+// Everything operates on plain float64 slices so that simulation code can
+// stay decoupled from presentation. Quantiles use the type-7 (linear
+// interpolation) estimator, matching R's default and numpy's default.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P90    float64
+	P95    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. A nil or empty sample yields a zero
+// Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:      len(sorted),
+		Mean:   Mean(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P25:    quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.50),
+		P75:    quantileSorted(sorted, 0.75),
+		P90:    quantileSorted(sorted, 0.90),
+		P95:    quantileSorted(sorted, 0.95),
+		P99:    quantileSorted(sorted, 0.99),
+	}
+	s.Stddev = Stddev(sorted)
+	return s
+}
+
+// String renders the summary in a single human-readable line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f p95=%.3f max=%.3f",
+		s.N, s.Mean, s.Stddev, s.Min, s.Median, s.P95, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator),
+// or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	total := 0.0
+	for _, x := range xs {
+		d := x - m
+		total += d * d
+	}
+	return total / float64(n-1)
+}
+
+// Stddev returns the unbiased sample standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Quantile returns the q-quantile of xs for q in [0, 1], using linear
+// interpolation between order statistics. It panics on an empty sample or
+// q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile with q outside [0, 1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Max returns the maximum of xs, or 0 for an empty sample.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty sample.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MeanInts converts and averages an int sample.
+func MeanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return float64(total) / float64(len(xs))
+}
+
+// Floats converts an int slice to float64 for use with the other helpers.
+func Floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// CI95 returns the half-width of an approximate 95% confidence interval for
+// the mean of xs (normal approximation, 1.96 standard errors). Returns 0
+// when len(xs) < 2.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * Stddev(xs) / math.Sqrt(float64(n))
+}

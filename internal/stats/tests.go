@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// mean of xs at the given confidence level (e.g. 0.95), using the supplied
+// deterministic random source and resample count. It panics on an empty
+// sample, confidence outside (0, 1), or resamples < 1.
+func BootstrapCI(xs []float64, confidence float64, resamples int, src *rng.Source) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: BootstrapCI of empty sample")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		panic("stats: BootstrapCI confidence outside (0, 1)")
+	}
+	if resamples < 1 {
+		panic("stats: BootstrapCI needs at least one resample")
+	}
+	means := make([]float64, resamples)
+	n := len(xs)
+	for r := range means {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			total += xs[src.Intn(n)]
+		}
+		means[r] = total / float64(n)
+	}
+	sort.Float64s(means)
+	tail := (1 - confidence) / 2
+	return quantileSorted(means, tail), quantileSorted(means, 1-tail)
+}
+
+// MannWhitney performs a two-sided Mann-Whitney U test (rank-sum) on two
+// independent samples, using the normal approximation with tie correction
+// and continuity correction. It returns the U statistic for xs and an
+// approximate two-sided p-value. Suitable for the sample sizes the
+// experiment harness produces (n >= ~8 per side). It panics if either
+// sample is empty.
+func MannWhitney(xs, ys []float64) (u float64, pValue float64) {
+	n1, n2 := len(xs), len(ys)
+	if n1 == 0 || n2 == 0 {
+		panic("stats: MannWhitney with empty sample")
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range xs {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range ys {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign midranks, accumulating the tie correction term Σ(t³−t).
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.first {
+			r1 += ranks[i]
+		}
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	u = r1 - fn1*(fn1+1)/2
+
+	mean := fn1 * fn2 / 2
+	nTot := fn1 + fn2
+	variance := fn1 * fn2 / 12 * ((nTot + 1) - tieTerm/(nTot*(nTot-1)))
+	if variance <= 0 {
+		// All observations identical: no evidence of difference.
+		return u, 1
+	}
+	z := math.Abs(u-mean) - 0.5 // continuity correction
+	if z < 0 {
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	pValue = 2 * normalUpperTail(z)
+	if pValue > 1 {
+		pValue = 1
+	}
+	return u, pValue
+}
+
+// normalUpperTail returns P(Z > z) for a standard normal Z, via the
+// complementary error function.
+func normalUpperTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// SignificantlyLess reports whether xs is stochastically smaller than ys at
+// the given significance level, combining a one-sided Mann-Whitney test
+// (derived from the two-sided p-value and the direction of the U statistic)
+// with a mean comparison. Used by experiments to assert "algorithm A beats
+// algorithm B" rigorously.
+func SignificantlyLess(xs, ys []float64, level float64) bool {
+	if Mean(xs) >= Mean(ys) {
+		return false
+	}
+	u, p2 := MannWhitney(xs, ys)
+	// Direction: small U means xs ranks below ys.
+	fn1, fn2 := float64(len(xs)), float64(len(ys))
+	if u >= fn1*fn2/2 {
+		return false
+	}
+	return p2/2 < level
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBootstrapCIContainsMean(t *testing.T) {
+	src := rng.New(1)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + src.NormFloat64()
+	}
+	lo, hi := BootstrapCI(xs, 0.95, 2000, src)
+	if lo >= hi {
+		t.Fatalf("degenerate interval [%v, %v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("interval [%v, %v] misses the true mean 10", lo, hi)
+	}
+	// Width should be roughly 2·1.96/sqrt(200) ≈ 0.28.
+	if width := hi - lo; width < 0.1 || width > 0.6 {
+		t.Fatalf("implausible width %v", width)
+	}
+}
+
+func TestBootstrapCIShrinksWithN(t *testing.T) {
+	src := rng.New(2)
+	small := make([]float64, 20)
+	big := make([]float64, 500)
+	for i := range small {
+		small[i] = src.NormFloat64()
+	}
+	for i := range big {
+		big[i] = src.NormFloat64()
+	}
+	lo1, hi1 := BootstrapCI(small, 0.95, 1000, src)
+	lo2, hi2 := BootstrapCI(big, 0.95, 1000, src)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatalf("CI did not shrink: small %v, big %v", hi1-lo1, hi2-lo2)
+	}
+}
+
+func TestBootstrapCIPanics(t *testing.T) {
+	src := rng.New(3)
+	for _, f := range []func(){
+		func() { BootstrapCI(nil, 0.95, 100, src) },
+		func() { BootstrapCI([]float64{1}, 0, 100, src) },
+		func() { BootstrapCI([]float64{1}, 1, 100, src) },
+		func() { BootstrapCI([]float64{1}, 0.95, 0, src) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	lo1, hi1 := BootstrapCI(xs, 0.9, 500, rng.New(9))
+	lo2, hi2 := BootstrapCI(xs, 0.9, 500, rng.New(9))
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("bootstrap not deterministic for a fixed source")
+	}
+}
+
+func TestMannWhitneyClearSeparation(t *testing.T) {
+	src := rng.New(4)
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i] = src.NormFloat64()
+		ys[i] = 3 + src.NormFloat64()
+	}
+	_, p := MannWhitney(xs, ys)
+	if p > 1e-6 {
+		t.Fatalf("clear separation not detected: p = %v", p)
+	}
+	if !SignificantlyLess(xs, ys, 0.01) {
+		t.Fatal("SignificantlyLess missed a 3-sigma separation")
+	}
+	if SignificantlyLess(ys, xs, 0.01) {
+		t.Fatal("direction reversed")
+	}
+}
+
+func TestMannWhitneySameDistribution(t *testing.T) {
+	// Under the null, p-values should rarely be tiny. Run a few trials and
+	// require that none dips below 0.001 (probability of failure ~0.005).
+	src := rng.New(5)
+	for trial := 0; trial < 5; trial++ {
+		xs := make([]float64, 50)
+		ys := make([]float64, 50)
+		for i := range xs {
+			xs[i] = src.NormFloat64()
+			ys[i] = src.NormFloat64()
+		}
+		if _, p := MannWhitney(xs, ys); p < 0.001 {
+			t.Fatalf("trial %d: null rejected with p = %v", trial, p)
+		}
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	xs := []float64{5, 5, 5}
+	ys := []float64{5, 5, 5, 5}
+	_, p := MannWhitney(xs, ys)
+	if p != 1 {
+		t.Fatalf("identical samples should give p = 1, got %v", p)
+	}
+	if SignificantlyLess(xs, ys, 0.05) {
+		t.Fatal("identical samples called significant")
+	}
+}
+
+func TestMannWhitneyUStatisticKnown(t *testing.T) {
+	// Hand-computed: xs = {1,2}, ys = {3,4}: all ys above, U = 0.
+	u, _ := MannWhitney([]float64{1, 2}, []float64{3, 4})
+	if u != 0 {
+		t.Fatalf("U = %v, want 0", u)
+	}
+	// Reversed: U = n1*n2 = 4.
+	u, _ = MannWhitney([]float64{3, 4}, []float64{1, 2})
+	if u != 4 {
+		t.Fatalf("U = %v, want 4", u)
+	}
+}
+
+func TestMannWhitneyPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MannWhitney(nil, []float64{1})
+}
+
+func TestNormalUpperTail(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.96, 0.025},
+		{3, 0.00135},
+	}
+	for _, tc := range cases {
+		if got := normalUpperTail(tc.z); math.Abs(got-tc.want) > 0.001 {
+			t.Fatalf("tail(%v) = %v, want ~%v", tc.z, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package trust implements an EigenTrust-style reputation computation —
+// global trust scores obtained by power iteration over a pairwise
+// rating-agreement graph — so that the paper's §1.3 critique can be
+// reproduced quantitatively. The paper quotes Kamvar et al.: without
+// a-priori trusted peers, "forming a malicious collective in fact heavily
+// boosts the trust values of malicious nodes"; experiment X5 measures
+// exactly that boost, and its absence when the same liars act
+// independently.
+//
+// The model is deliberately the vulnerable one: peer i's local trust in
+// peer j is how often j's ratings agree with i's (no grounding in i's own
+// probes), local trust is row-normalized, and global trust is the
+// stationary vector of the aggregated matrix with uniform damping — i.e.
+// agreement-popularity, the "popularity-style algorithm" of §1.3.
+package trust
+
+import (
+	"fmt"
+	"math"
+)
+
+// Report is one rating: player says object has the given value.
+type Report struct {
+	Player int
+	Object int
+	Value  float64
+}
+
+// Config tunes the computation.
+type Config struct {
+	// Players is the number of peers n (required).
+	Players int
+	// AgreeTolerance is the max |v_i - v_j| treated as agreement
+	// (default 0.1).
+	AgreeTolerance float64
+	// Damping mixes the uniform distribution into each step (default 0.15),
+	// guaranteeing convergence on disconnected graphs.
+	Damping float64
+	// Iterations of power iteration (default 30).
+	Iterations int
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Players <= 0 {
+		return fmt.Errorf("trust: Players must be > 0, got %d", c.Players)
+	}
+	if c.AgreeTolerance == 0 {
+		c.AgreeTolerance = 0.1
+	}
+	if c.AgreeTolerance < 0 {
+		return fmt.Errorf("trust: negative AgreeTolerance")
+	}
+	if c.Damping == 0 {
+		c.Damping = 0.15
+	}
+	if c.Damping < 0 || c.Damping >= 1 {
+		return fmt.Errorf("trust: Damping %v outside [0, 1)", c.Damping)
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 30
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("trust: Iterations must be >= 1")
+	}
+	return nil
+}
+
+// Scores computes global trust per player from the reports. The returned
+// vector sums to 1. Players with no ratings in common with anyone receive
+// only the damping mass.
+func Scores(reports []Report, cfg Config) ([]float64, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	n := cfg.Players
+	// Index ratings per object.
+	type rating struct {
+		player int
+		value  float64
+	}
+	byObject := make(map[int][]rating)
+	for _, r := range reports {
+		if r.Player < 0 || r.Player >= n {
+			return nil, fmt.Errorf("trust: report by out-of-range player %d", r.Player)
+		}
+		byObject[r.Object] = append(byObject[r.Object], rating{r.Player, r.Value})
+	}
+
+	// Pairwise agreement counts over shared objects.
+	agree := make([]map[int]float64, n)
+	for i := range agree {
+		agree[i] = make(map[int]float64)
+	}
+	for _, ratings := range byObject {
+		for a := 0; a < len(ratings); a++ {
+			for b := a + 1; b < len(ratings); b++ {
+				ra, rb := ratings[a], ratings[b]
+				if ra.player == rb.player {
+					continue
+				}
+				if math.Abs(ra.value-rb.value) <= cfg.AgreeTolerance {
+					agree[ra.player][rb.player]++
+					agree[rb.player][ra.player]++
+				}
+			}
+		}
+	}
+
+	// Row-normalize into local trust and power-iterate t ← (1-d)·C^T t + d/n.
+	rowSum := make([]float64, n)
+	for i := range agree {
+		for _, w := range agree[i] {
+			rowSum[i] += w
+		}
+	}
+	t := make([]float64, n)
+	next := make([]float64, n)
+	for i := range t {
+		t[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for j := range next {
+			next[j] = cfg.Damping / float64(n)
+		}
+		for i := range agree {
+			if rowSum[i] == 0 {
+				// Peers with no agreements spread their mass uniformly.
+				share := (1 - cfg.Damping) * t[i] / float64(n)
+				for j := range next {
+					next[j] += share
+				}
+				continue
+			}
+			for j, w := range agree[i] {
+				next[j] += (1 - cfg.Damping) * t[i] * w / rowSum[i]
+			}
+		}
+		t, next = next, t
+	}
+	return t, nil
+}
+
+// Recommend ranks objects by trust-weighted positive ratings (a rating
+// counts as positive when its value is at least threshold) and returns the
+// top object and its score. It returns ok = false when nothing was rated
+// positively.
+func Recommend(reports []Report, scores []float64, threshold float64) (object int, score float64, ok bool) {
+	weights := make(map[int]float64)
+	for _, r := range reports {
+		if r.Value >= threshold && r.Player >= 0 && r.Player < len(scores) {
+			weights[r.Object] += scores[r.Player]
+		}
+	}
+	best, bestScore := -1, 0.0
+	for obj, w := range weights {
+		if best == -1 || w > bestScore || (w == bestScore && obj < best) {
+			best, bestScore = obj, w
+		}
+	}
+	if best == -1 {
+		return 0, 0, false
+	}
+	return best, bestScore, true
+}
+
+// GroupMeans averages the scores over a partition of the players: it
+// returns the mean score of players for which inGroup is true and false
+// respectively. Used to compare honest vs Byzantine trust mass.
+func GroupMeans(scores []float64, inGroup func(player int) bool) (group, rest float64) {
+	gTotal, gCount, rTotal, rCount := 0.0, 0, 0.0, 0
+	for p, s := range scores {
+		if inGroup(p) {
+			gTotal += s
+			gCount++
+		} else {
+			rTotal += s
+			rCount++
+		}
+	}
+	if gCount > 0 {
+		group = gTotal / float64(gCount)
+	}
+	if rCount > 0 {
+		rest = rTotal / float64(rCount)
+	}
+	return group, rest
+}

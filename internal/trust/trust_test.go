@@ -1,0 +1,188 @@
+package trust
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Players: 0},
+		{Players: 2, AgreeTolerance: -1},
+		{Players: 2, Damping: 1},
+		{Players: 2, Damping: -0.5},
+		{Players: 2, Iterations: -3},
+	}
+	for i, cfg := range cases {
+		if _, err := Scores(nil, cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	if _, err := Scores([]Report{{Player: 9, Object: 0, Value: 1}}, Config{Players: 2}); err == nil {
+		t.Fatal("out-of-range reporter accepted")
+	}
+}
+
+func TestScoresSumToOne(t *testing.T) {
+	reports := []Report{
+		{0, 1, 1}, {1, 1, 1}, {2, 1, 0},
+		{0, 2, 0.5}, {2, 2, 0.5},
+	}
+	scores, err := Scores(reports, Config{Players: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, s := range scores {
+		if s < 0 {
+			t.Fatalf("negative trust %v", s)
+		}
+		total += s
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("scores sum to %v", total)
+	}
+}
+
+func TestNoReportsUniform(t *testing.T) {
+	scores, err := Scores(nil, Config{Players: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if math.Abs(s-0.2) > 1e-9 {
+			t.Fatalf("no-data trust should be uniform: %v", scores)
+		}
+	}
+}
+
+func TestAgreementClusterDominates(t *testing.T) {
+	// Players 0-3 agree densely on many objects; player 4 disagrees with
+	// everyone. The cluster must hold almost all trust.
+	var reports []Report
+	for obj := 0; obj < 10; obj++ {
+		for p := 0; p < 4; p++ {
+			reports = append(reports, Report{p, obj, 1})
+		}
+		reports = append(reports, Report{4, obj, 0})
+	}
+	scores, err := Scores(reports, Config{Players: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		if scores[p] < 3*scores[4] {
+			t.Fatalf("cluster member %d (%v) not dominating outsider (%v)", p, scores[p], scores[4])
+		}
+	}
+}
+
+// TestMaliciousCollectiveBoost is the §1.3 claim in miniature: the same 40
+// liars earn far more trust as a coordinated collective (dense mutual
+// agreement) than as independent liars.
+func TestMaliciousCollectiveBoost(t *testing.T) {
+	const honest, dishonest, m = 120, 40, 300
+	n := honest + dishonest
+	src := rng.New(42)
+	good := map[int]bool{}
+	for len(good) < 15 {
+		good[src.Intn(m)] = true
+	}
+	truth := func(obj int) float64 {
+		if good[obj] {
+			return 1
+		}
+		return 0
+	}
+	honestReports := func(src *rng.Source) []Report {
+		var out []Report
+		for p := 0; p < honest; p++ {
+			for k := 0; k < 20; k++ {
+				obj := src.Intn(m)
+				out = append(out, Report{p, obj, truth(obj)})
+			}
+		}
+		return out
+	}
+
+	meanTrust := func(reports []Report) (dishonestMean, honestMean float64) {
+		scores, err := Scores(reports, Config{Players: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return GroupMeans(scores, func(p int) bool { return p >= honest })
+	}
+
+	// Scenario A: independent liars rating random objects with random noise.
+	srcA := rng.New(1)
+	reportsA := honestReports(srcA)
+	for p := honest; p < n; p++ {
+		for k := 0; k < 20; k++ {
+			reportsA = append(reportsA, Report{p, srcA.Intn(m), srcA.Float64()})
+		}
+	}
+	indepDishonest, indepHonest := meanTrust(reportsA)
+
+	// Scenario B: a coordinated collective rating the SAME bad objects with
+	// the SAME fake values.
+	srcB := rng.New(1)
+	reportsB := honestReports(srcB)
+	fakeSet := make([]int, 0, 20)
+	for obj := 0; len(fakeSet) < 20; obj++ {
+		if !good[obj] {
+			fakeSet = append(fakeSet, obj)
+		}
+	}
+	for p := honest; p < n; p++ {
+		for _, obj := range fakeSet {
+			reportsB = append(reportsB, Report{p, obj, 1})
+		}
+	}
+	collDishonest, collHonest := meanTrust(reportsB)
+
+	t.Logf("independent: dishonest %.5f vs honest %.5f", indepDishonest, indepHonest)
+	t.Logf("collective:  dishonest %.5f vs honest %.5f", collDishonest, collHonest)
+	if indepDishonest >= indepHonest {
+		t.Fatal("independent liars should NOT out-trust honest raters")
+	}
+	if collDishonest <= collHonest {
+		t.Fatal("the malicious collective should out-trust honest raters (the §1.3 boost)")
+	}
+	if collDishonest <= 2*indepDishonest {
+		t.Fatalf("collusion boost too small: %v vs %v", collDishonest, indepDishonest)
+	}
+}
+
+func TestRecommendFollowsTrustMass(t *testing.T) {
+	reports := []Report{
+		{0, 7, 1}, {1, 7, 1}, // two raters for object 7
+		{2, 3, 1}, // one for object 3
+	}
+	scores := []float64{0.4, 0.4, 0.2}
+	obj, score, ok := Recommend(reports, scores, 0.5)
+	if !ok || obj != 7 {
+		t.Fatalf("recommended %d (ok=%v), want 7", obj, ok)
+	}
+	if math.Abs(score-0.8) > 1e-9 {
+		t.Fatalf("score %v, want 0.8", score)
+	}
+	// A hijacked trust vector flips the recommendation.
+	scores = []float64{0.1, 0.1, 0.8}
+	obj, _, ok = Recommend(reports, scores, 0.5)
+	if !ok || obj != 3 {
+		t.Fatalf("recommended %d, want 3 under hijacked trust", obj)
+	}
+	if _, _, ok := Recommend(nil, scores, 0.5); ok {
+		t.Fatal("empty reports should not recommend")
+	}
+}
+
+func TestGroupMeans(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.3, 0.4}
+	g, r := GroupMeans(scores, func(p int) bool { return p < 2 })
+	if math.Abs(g-0.15) > 1e-12 || math.Abs(r-0.35) > 1e-12 {
+		t.Fatalf("group means %v %v", g, r)
+	}
+}

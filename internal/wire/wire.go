@@ -1,0 +1,145 @@
+// Package wire defines the client/server protocol of the networked
+// billboard service (internal/server, internal/client): gob-encoded
+// request/response pairs over a TCP stream, one in flight per connection.
+//
+// The protocol realizes the billboard guarantees of §2.1 —
+//
+//   - identity tagging: a connection authenticates once (Hello with a
+//     player id and token); every post is stamped server-side with that
+//     identity, so players cannot spoof each other;
+//   - timestamps: the server stamps posts with its round counter;
+//   - append-only: there is no delete or amend request;
+//
+// and the synchrony §1.2 says timestamps can simulate: a Barrier request
+// ends the caller's round and blocks until every active player has done the
+// same, at which point the server commits the round's posts.
+package wire
+
+import "fmt"
+
+// ReqType enumerates request kinds.
+type ReqType uint8
+
+// Request kinds.
+const (
+	// ReqHello authenticates the connection as a player.
+	ReqHello ReqType = iota + 1
+	// ReqProbe probes an object: the server reveals its value (and, with
+	// local testing, its goodness) and charges the cost.
+	ReqProbe
+	// ReqPost appends a report to the billboard (committed at round end).
+	ReqPost
+	// ReqVotes reads a player's current committed votes.
+	ReqVotes
+	// ReqVotedObjects reads the distinct objects holding votes.
+	ReqVotedObjects
+	// ReqVoteCount reads an object's current vote count.
+	ReqVoteCount
+	// ReqNegCount reads an object's negative-report count.
+	ReqNegCount
+	// ReqWindow counts vote events per object in a round window.
+	ReqWindow
+	// ReqBarrier ends the caller's round and blocks until it advances.
+	ReqBarrier
+	// ReqDone deregisters the caller (it halted).
+	ReqDone
+)
+
+// String returns the request kind name.
+func (t ReqType) String() string {
+	switch t {
+	case ReqHello:
+		return "hello"
+	case ReqProbe:
+		return "probe"
+	case ReqPost:
+		return "post"
+	case ReqVotes:
+		return "votes"
+	case ReqVotedObjects:
+		return "voted-objects"
+	case ReqVoteCount:
+		return "vote-count"
+	case ReqNegCount:
+		return "neg-count"
+	case ReqWindow:
+		return "window"
+	case ReqBarrier:
+		return "barrier"
+	case ReqDone:
+		return "done"
+	default:
+		return fmt.Sprintf("ReqType(%d)", uint8(t))
+	}
+}
+
+// Version is the wire protocol version. Hello carries it; the server
+// rejects mismatches so that incompatible binaries fail loudly at
+// connection time instead of corrupting a run.
+const Version = 1
+
+// Request is the client→server message.
+type Request struct {
+	Type ReqType
+
+	// Hello fields.
+	Player  int
+	Token   string
+	Version int
+
+	// Probe / Post / VoteCount / NegCount target.
+	Object int
+	// Post payload.
+	Value    float64
+	Positive bool
+
+	// Votes target.
+	OfPlayer int
+
+	// Window bounds [From, To).
+	From, To int
+}
+
+// VoteMsg mirrors billboard.Vote on the wire.
+type VoteMsg struct {
+	Player int
+	Object int
+	Round  int
+	Value  float64
+}
+
+// Response is the server→client message. Err is non-empty on failure; all
+// other fields are request-specific.
+type Response struct {
+	Err string
+
+	// Hello reply: run configuration.
+	N            int
+	M            int
+	LocalTesting bool
+	Alpha        float64 // the assumed α the protocol should use
+	Beta         float64 // the assumed β the protocol should use
+	Costs        []float64
+
+	// Probe reply.
+	Value float64
+	Good  bool
+	Cost  float64
+
+	// Reads.
+	Votes   []VoteMsg
+	Objects []int
+	Count   int
+	Counts  map[int]int
+
+	// Barrier / round info (also set on Hello: the current round).
+	Round int
+}
+
+// Error materializes the response error, if any.
+func (r *Response) Error() error {
+	if r.Err == "" {
+		return nil
+	}
+	return fmt.Errorf("billboard server: %s", r.Err)
+}

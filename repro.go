@@ -1,0 +1,261 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/billboard"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Re-exported model types. The library's packages live under internal/ so
+// their layout can evolve; the aliases below are the supported surface.
+type (
+	// Universe is the collection of objects being searched.
+	Universe = object.Universe
+	// UniverseConfig builds a Universe explicitly.
+	UniverseConfig = object.Config
+	// Planted describes the standard synthetic workload.
+	Planted = object.Planted
+	// Protocol is an honest search strategy run in lockstep.
+	Protocol = sim.Protocol
+	// Adversary controls the Byzantine players.
+	Adversary = sim.Adversary
+	// EngineConfig configures one synchronous simulation run.
+	EngineConfig = sim.Config
+	// Engine executes one run.
+	Engine = sim.Engine
+	// Result is the outcome of a run.
+	Result = sim.Result
+	// Aggregate summarizes replications.
+	Aggregate = sim.Aggregate
+	// Replicator runs independent replications in parallel.
+	Replicator = sim.Replicator
+	// DistillParams are the Figure 1 constants.
+	DistillParams = core.Params
+	// Experiment is one entry of the E1…E13 registry.
+	Experiment = expt.Experiment
+	// ExperimentOptions tune experiment heaviness.
+	ExperimentOptions = expt.Options
+	// Table is a rendered result table.
+	Table = stats.Table
+	// RNG is the deterministic random source used throughout.
+	RNG = rng.Source
+	// AdvContext is the view an Adversary receives each round; custom
+	// Byzantine strategies implement Adversary against it.
+	AdvContext = sim.AdvContext
+	// BillboardPost is one report on the billboard (what adversaries post).
+	BillboardPost = billboard.Post
+	// Board is the shared billboard (reachable from AdvContext).
+	Board = billboard.Board
+	// BoardReader is the read-only billboard view honest protocols consume.
+	BoardReader = billboard.Reader
+	// ProtocolSetup is what a custom Protocol receives at Init.
+	ProtocolSetup = sim.Setup
+	// ProtocolProbe is one probe choice emitted by a Protocol.
+	ProtocolProbe = sim.Probe
+)
+
+// NewRNG returns a deterministic random source for the given seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NewUniverse builds a universe from an explicit configuration.
+func NewUniverse(cfg UniverseConfig) (*Universe, error) { return object.NewUniverse(cfg) }
+
+// NewPlantedUniverse builds the standard planted local-testing workload.
+func NewPlantedUniverse(p Planted, src *RNG) (*Universe, error) {
+	return object.NewPlanted(p, src)
+}
+
+// NewTopBetaUniverse builds a no-local-testing universe whose top β
+// fraction of objects (by value) are good.
+func NewTopBetaUniverse(m int, beta float64, src *RNG) (*Universe, error) {
+	return object.NewTopBeta(m, beta, src)
+}
+
+// NewZipfUniverse builds a no-local-testing universe with heavy-tailed
+// (Zipf) values — a recommendation catalog where a few items are far better
+// than the rest. The top β fraction are good.
+func NewZipfUniverse(m int, beta, exponent float64, src *RNG) (*Universe, error) {
+	return object.NewZipfTopBeta(m, beta, exponent, src)
+}
+
+// Algorithm constructors (the paper's contribution and its variants).
+
+// NewDistill returns Algorithm DISTILL (Figure 1, Theorem 4).
+func NewDistill(params DistillParams) Protocol { return core.NewDistill(params) }
+
+// NewDistillHP returns DISTILL^HP with k1, k2 = Θ(log n) (Theorem 11).
+func NewDistillHP(params DistillParams) Protocol { return core.NewDistillHP(params) }
+
+// NewNoLocalTesting returns the §5.3 prescribed-rounds variant
+// (Theorem 13). factor scales the prescribed round count; 0 = default.
+func NewNoLocalTesting(params DistillParams, factor float64) Protocol {
+	return core.NewNoLocalTesting(params, factor)
+}
+
+// NewAlphaGuess returns the §5.1 halving wrapper for unknown α; k3 scales
+// the per-phase budget (0 = default).
+func NewAlphaGuess(params DistillParams, k3 float64) Protocol {
+	return core.NewAlphaGuess(params, k3)
+}
+
+// NewCostClasses returns the §5.2 wrapper for non-uniform costs
+// (Theorem 12); k3 scales the per-class budget (0 = default).
+func NewCostClasses(params DistillParams, k3 float64) Protocol {
+	return core.NewCostClasses(params, k3)
+}
+
+// NewThreePhase returns the illustrative §1.2 algorithm.
+func NewThreePhase() Protocol { return core.NewThreePhase() }
+
+// Baseline constructors (the comparison algorithms).
+
+// NewTrivialRandom returns the billboard-oblivious O(1/β) baseline.
+func NewTrivialRandom() Protocol { return baseline.NewTrivialRandom() }
+
+// NewAsyncRoundRobin returns the reconstruction of the prior asynchronous
+// algorithm [1] under a round-robin schedule.
+func NewAsyncRoundRobin() Protocol { return baseline.NewAsyncRoundRobin() }
+
+// NewOracleCoop returns the full-cooperation Theorem 1 reference.
+func NewOracleCoop() Protocol { return baseline.NewOracleCoop() }
+
+// Adversaries returns the names of the Byzantine strategy suite.
+func Adversaries() []string { return adversary.Names() }
+
+// NewAdversary returns a fresh instance of the named Byzantine strategy,
+// or an error listing the valid names.
+func NewAdversary(name string) (Adversary, error) {
+	if a := adversary.ByName(name); a != nil {
+		return a, nil
+	}
+	return nil, fmt.Errorf("repro: unknown adversary %q (valid: %v)", name, adversary.Names())
+}
+
+// NewEngine prepares one simulation run.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return sim.NewEngine(cfg) }
+
+// AggregateResults summarizes replication results.
+func AggregateResults(results []*Result) Aggregate { return sim.AggregateResults(results) }
+
+// Experiments returns the E1…E13 registry in index order.
+func Experiments() []Experiment { return expt.All() }
+
+// ExperimentAblations returns the design-choice ablation studies A1…A5.
+func ExperimentAblations() []Experiment { return expt.Ablations() }
+
+// ExperimentExtensions returns the extension studies X1…X6 (§1.3/§6 and beyond).
+func ExperimentExtensions() []Experiment { return expt.Extensions() }
+
+// ExperimentByID looks up one experiment (e.g. "E3").
+func ExperimentByID(id string) (Experiment, error) { return expt.ByID(id) }
+
+// SearchConfig is the high-level one-call entry point: build a planted
+// universe, pick an algorithm and adversary by name, and run.
+type SearchConfig struct {
+	// Players is the total number of players n (required).
+	Players int
+	// Objects is the number of objects m (required).
+	Objects int
+	// GoodObjects is the number of planted good objects (default 1).
+	GoodObjects int
+	// Alpha is the honest fraction (required, in (0, 1]).
+	Alpha float64
+	// Algorithm names the honest protocol: "distill" (default),
+	// "distill-hp", "distill-nlt", "distill-alphaguess",
+	// "distill-costclasses", "three-phase", "trivial-random",
+	// "async-round-robin", "oracle-coop".
+	Algorithm string
+	// Adversary names the Byzantine strategy (default "silent").
+	Adversary string
+	// Seed determines the run (default 1).
+	Seed uint64
+	// VotesPerPlayer is the §4.1 vote cap f (default 1).
+	VotesPerPlayer int
+	// HonestErrorRate is the §4.1 erroneous-vote probability.
+	HonestErrorRate float64
+	// MaxRounds caps the run (default 1<<20).
+	MaxRounds int
+}
+
+// NewProtocol returns a protocol instance by name with default parameters.
+func NewProtocol(name string) (Protocol, error) {
+	switch name {
+	case "", "distill":
+		return NewDistill(DistillParams{}), nil
+	case "distill-hp":
+		return NewDistillHP(DistillParams{}), nil
+	case "distill-nlt":
+		return NewNoLocalTesting(DistillParams{}, 0), nil
+	case "distill-alphaguess":
+		return NewAlphaGuess(DistillParams{}, 0), nil
+	case "distill-costclasses":
+		return NewCostClasses(DistillParams{}, 0), nil
+	case "three-phase":
+		return NewThreePhase(), nil
+	case "trivial-random":
+		return NewTrivialRandom(), nil
+	case "async-round-robin":
+		return NewAsyncRoundRobin(), nil
+	case "oracle-coop":
+		return NewOracleCoop(), nil
+	default:
+		return nil, fmt.Errorf("repro: unknown algorithm %q", name)
+	}
+}
+
+// ProtocolNames lists the algorithm names NewProtocol accepts.
+func ProtocolNames() []string {
+	return []string{
+		"distill", "distill-hp", "distill-nlt", "distill-alphaguess",
+		"distill-costclasses", "three-phase",
+		"trivial-random", "async-round-robin", "oracle-coop",
+	}
+}
+
+// Run executes one search described by cfg and returns the result.
+func Run(cfg SearchConfig) (*Result, error) {
+	if cfg.GoodObjects == 0 {
+		cfg.GoodObjects = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	proto, err := NewProtocol(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	var adv Adversary
+	if cfg.Adversary != "" && cfg.Adversary != "silent" {
+		adv, err = NewAdversary(cfg.Adversary)
+		if err != nil {
+			return nil, err
+		}
+	}
+	u, err := NewPlantedUniverse(Planted{M: cfg.Objects, Good: cfg.GoodObjects}, NewRNG(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	engine, err := NewEngine(EngineConfig{
+		Universe:        u,
+		Protocol:        proto,
+		Adversary:       adv,
+		N:               cfg.Players,
+		Alpha:           cfg.Alpha,
+		Seed:            cfg.Seed,
+		MaxRounds:       cfg.MaxRounds,
+		VotesPerPlayer:  cfg.VotesPerPlayer,
+		HonestErrorRate: cfg.HonestErrorRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return engine.Run()
+}

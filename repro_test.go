@@ -1,0 +1,119 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunQuickstart(t *testing.T) {
+	res, err := Run(SearchConfig{
+		Players: 256, Objects: 256, Alpha: 0.9,
+		Adversary: "spam-distinct", Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHonestSatisfied() {
+		t.Fatal("quickstart search did not finish")
+	}
+	if res.MeanHonestProbes() <= 0 {
+		t.Fatal("no probes recorded")
+	}
+}
+
+func TestRunEveryAlgorithm(t *testing.T) {
+	for _, name := range ProtocolNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(SearchConfig{
+				Players: 128, Objects: 128, Alpha: 0.75,
+				Algorithm: name, Seed: 7, MaxRounds: 1 << 16,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SuccessFraction() == 0 {
+				t.Fatalf("%s: nobody succeeded", name)
+			}
+		})
+	}
+}
+
+func TestRunEveryAdversary(t *testing.T) {
+	for _, name := range Adversaries() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(SearchConfig{
+				Players: 128, Objects: 128, Alpha: 0.6,
+				Adversary: name, Seed: 11, MaxRounds: 1 << 16,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.AllHonestSatisfied() {
+				t.Fatalf("%s defeated DISTILL", name)
+			}
+		})
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(SearchConfig{Players: 8, Objects: 8, Alpha: 0.5, Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := Run(SearchConfig{Players: 8, Objects: 8, Alpha: 0.5, Adversary: "nope"}); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+	if _, err := NewAdversary("nope"); err == nil || !strings.Contains(err.Error(), "valid") {
+		t.Fatal("NewAdversary error should list valid names")
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	if len(Experiments()) != 13 {
+		t.Fatalf("got %d experiments", len(Experiments()))
+	}
+	e, err := ExperimentByID("E12")
+	if err != nil || e.ID != "E12" {
+		t.Fatalf("ExperimentByID: %v %v", e.ID, err)
+	}
+}
+
+func TestDeterministicFacade(t *testing.T) {
+	run := func() float64 {
+		res, err := Run(SearchConfig{
+			Players: 64, Objects: 64, Alpha: 0.8, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanHonestProbes()
+	}
+	if run() != run() {
+		t.Fatal("facade runs are not deterministic")
+	}
+}
+
+func TestReplicatorThroughFacade(t *testing.T) {
+	results, err := Replicator{
+		Reps:     4,
+		BaseSeed: 3,
+		Build: func(seed uint64) (*Engine, error) {
+			u, err := NewPlantedUniverse(Planted{M: 64, Good: 1}, NewRNG(seed))
+			if err != nil {
+				return nil, err
+			}
+			return NewEngine(EngineConfig{
+				Universe: u, Protocol: NewDistill(DistillParams{}),
+				N: 64, Alpha: 1, Seed: seed,
+			})
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := AggregateResults(results)
+	if agg.SuccessRate != 1 {
+		t.Fatalf("success rate %v", agg.SuccessRate)
+	}
+}
