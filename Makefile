@@ -1,0 +1,26 @@
+# Developer entry points. `make check` is the gate for networking changes:
+# vet plus the race detector over the concurrent packages (server, client,
+# dist — including the chaos tests).
+
+GO ?= go
+
+.PHONY: build test check fuzz bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check: build
+	$(GO) vet ./...
+	$(GO) test -race ./internal/server/... ./internal/client/... ./internal/dist/...
+
+# Short fuzz passes over the byte-level decoders (wire frames, journal).
+fuzz:
+	$(GO) test ./internal/wire -run xxx -fuzz FuzzDecodeRequest -fuzztime 30s
+	$(GO) test ./internal/wire -run xxx -fuzz FuzzDecodeResponse -fuzztime 30s
+	$(GO) test ./internal/journal -run xxx -fuzz FuzzReplay -fuzztime 30s
+
+bench:
+	$(GO) test ./internal/server -bench . -benchtime 1x

@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 
 	"repro/internal/journal"
@@ -38,6 +39,8 @@ func run(args []string, out io.Writer) error {
 		alpha       = fs.Float64("alpha", 0.75, "advertised assumed honest fraction")
 		seed        = fs.Uint64("seed", 1, "universe/token seed")
 		journalPath = fs.String("journal", "", "append the billboard journal to this file (and recover from it if it exists)")
+		grace       = fs.Duration("session-grace", 0, "how long a disconnected player's session stays resumable (0: a disconnect deregisters the player immediately)")
+		deadline    = fs.Duration("barrier-deadline", 0, "how long a round barrier waits for stragglers before force-Done'ing them (0: wait forever)")
 		once        = fs.Bool("print-and-exit", false, "print config and exit (for tests)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -53,8 +56,18 @@ func run(args []string, out io.Writer) error {
 	for i := range tokens {
 		tokens[i] = fmt.Sprintf("tok-%d-%016x", i, src.Uint64())
 	}
+	// Operational events (session resume, lease expiry, force-done) go to
+	// out; the mutex keeps concurrent connection handlers from interleaving.
+	var logMu sync.Mutex
+	logf := func(format string, args ...any) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		fmt.Fprintf(out, format+"\n", args...)
+	}
 	cfg := server.Config{
 		Universe: u, Tokens: tokens, Alpha: *alpha, Beta: u.Beta(),
+		SessionGrace: *grace, BarrierDeadline: *deadline,
+		Logf: logf,
 	}
 	if *journalPath != "" {
 		if prior, err := os.ReadFile(*journalPath); err == nil && len(prior) > 0 {
@@ -81,6 +94,14 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "billboard server listening on %s\n", bound)
 	fmt.Fprintf(out, "players %d, objects %d (%d good), advertised alpha %.3f\n",
 		*n, *m, *good, *alpha)
+	if *grace > 0 || *deadline > 0 {
+		fmt.Fprintf(out, "session grace %v, barrier deadline %v\n", *grace, *deadline)
+	}
+	if fd := srv.ForceDone(); len(fd) > 0 {
+		for p, r := range fd {
+			fmt.Fprintf(out, "recovered force-done: player %d (round %d) may not rejoin\n", p, r)
+		}
+	}
 	for i, tok := range tokens {
 		fmt.Fprintf(out, "player %3d token %s\n", i, tok)
 	}

@@ -32,3 +32,21 @@ func TestBadFlags(t *testing.T) {
 		t.Fatal("bad address accepted")
 	}
 }
+
+func TestFaultToleranceFlags(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-n", "2", "-m", "16",
+		"-session-grace", "5s", "-barrier-deadline", "250ms",
+		"-print-and-exit",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "session grace 5s, barrier deadline 250ms") {
+		t.Fatalf("fault-tolerance config line missing:\n%s", out.String())
+	}
+	if err := run([]string{"-session-grace", "banana", "-print-and-exit"}, &out); err == nil {
+		t.Fatal("unparseable duration accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/async"
 	"repro/internal/client"
 	"repro/internal/dist"
+	"repro/internal/faultnet"
 	"repro/internal/journal"
 	"repro/internal/server"
 	"repro/internal/trust"
@@ -67,9 +68,19 @@ func NewBillboardServer(cfg BillboardServerConfig) (*BillboardServer, error) {
 	return server.New(cfg)
 }
 
+// ClientOptions tunes a billboard client's fault tolerance: reconnect
+// retries, backoff, per-call deadlines, and the transport dialer.
+type ClientOptions = client.Options
+
 // DialBillboard connects and authenticates to a billboard server.
 func DialBillboard(addr string, player int, token string) (*BillboardClient, error) {
 	return client.Dial(addr, player, token)
+}
+
+// DialBillboardOptions is DialBillboard with explicit fault-tolerance
+// options (retries, backoff, deadlines, custom dialer).
+func DialBillboardOptions(addr string, player int, token string, opt ClientOptions) (*BillboardClient, error) {
+	return client.DialOptions(addr, player, token, opt)
 }
 
 // NewCachedReader wraps a client with a per-round read cache; call
@@ -88,6 +99,21 @@ type (
 // a concurrent TCP client.
 func RunDistributedCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	return dist.RunCluster(cfg)
+}
+
+// Deterministic transport fault injection (chaos testing).
+type (
+	// FaultConfig sets seed-derived per-operation fault probabilities
+	// (drops, delays, torn writes, one-way partitions).
+	FaultConfig = faultnet.Config
+	// FaultInjector wraps dialers and listeners with fault injection.
+	FaultInjector = faultnet.Injector
+)
+
+// NewFaultInjector validates cfg and builds a fault injector; plug its
+// Dialer into ClientOptions.Dialer or ClusterConfig.Fault for chaos runs.
+func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) {
+	return faultnet.New(cfg)
 }
 
 // Durable journal for the append-only billboard.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 )
 
 // snapshotState is the serialized form of a Board's committed state.
@@ -49,6 +50,50 @@ func (b *Board) Snapshot() ([]byte, error) {
 		return nil, fmt.Errorf("billboard: snapshot: %w", err)
 	}
 	return buf.Bytes(), nil
+}
+
+// Digest returns a canonical serialization of the committed state: two
+// boards holding the same votes, negative counts, and vote events produce
+// byte-identical digests regardless of the order in which posts arrived
+// within rounds. (Snapshot, by contrast, preserves arrival order, which
+// varies with client interleaving in a networked run.) Uncommitted pending
+// posts are excluded, as in Snapshot. The chaos tests in internal/dist use
+// this to assert a faulty run converged to exactly the fault-free state.
+func (b *Board) Digest() []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "round %d mode %d f %d\n", b.round, b.cfg.Mode, b.cfg.VotesPerPlayer)
+	for p, votes := range b.votesByPlayer {
+		sorted := append([]Vote(nil), votes...)
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].Round != sorted[j].Round {
+				return sorted[i].Round < sorted[j].Round
+			}
+			return sorted[i].Object < sorted[j].Object
+		})
+		for _, v := range sorted {
+			fmt.Fprintf(&buf, "vote p%d o%d r%d v%g\n", p, v.Object, v.Round, v.Value)
+		}
+	}
+	for obj, n := range b.negCount {
+		if n != 0 {
+			fmt.Fprintf(&buf, "neg o%d %d\n", obj, n)
+		}
+	}
+	events := append([]VoteEvent(nil), b.events...)
+	sort.Slice(events, func(i, j int) bool {
+		a, c := events[i], events[j]
+		if a.Round != c.Round {
+			return a.Round < c.Round
+		}
+		if a.Player != c.Player {
+			return a.Player < c.Player
+		}
+		return a.Object < c.Object
+	})
+	for _, e := range events {
+		fmt.Fprintf(&buf, "event p%d o%d r%d\n", e.Player, e.Object, e.Round)
+	}
+	return buf.Bytes()
 }
 
 // Restore rebuilds a board from a Snapshot. The VoteFilter (a function,

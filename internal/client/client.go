@@ -3,26 +3,120 @@
 // sim.PublicUniverse against the remote server, so the very same protocol
 // code (core.Distill and friends) that runs in the in-process engine drives
 // a distributed player over TCP.
+//
+// The transport is fault tolerant beneath that surface: every call carries
+// a session id and sequence number (wire protocol v2), and on a transport
+// failure the client reconnects, resumes its session, and retries the
+// in-flight request with exponential backoff and jitter, bounded by
+// Options.Retries and per-call deadlines. The server deduplicates on the
+// sequence number, so a retry never re-executes a request whose response
+// was lost — in particular, a retried Probe is never charged twice.
 package client
 
 import (
-	"encoding/gob"
+	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/billboard"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
+// Options tunes the client's fault tolerance. The zero value gives sane
+// defaults, preserving the original Dial signature's behavior plus
+// automatic reconnect.
+type Options struct {
+	// Dialer overrides the transport dial (default net.Dial "tcp") — the
+	// hook internal/faultnet uses for deterministic fault injection.
+	Dialer func(addr string) (net.Conn, error)
+	// Retries is how many times a failed call is retried (reconnecting and
+	// resuming the session first) before the error is reported. Default 8.
+	// Negative disables retries.
+	Retries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// retries; actual waits are fully jittered — uniform in (0, step].
+	// Defaults 5ms and 500ms.
+	BackoffBase, BackoffMax time.Duration
+	// CallTimeout bounds one attempt of a non-barrier call (connect,
+	// probe, post, reads). Default 30s; negative disables the deadline.
+	CallTimeout time.Duration
+	// BarrierTimeout bounds one attempt of a Barrier call. Barriers block
+	// legitimately while other players finish their rounds, so the default
+	// is 0 (no deadline); set it when fault injection can swallow a
+	// barrier request (the retry resumes the session and re-arrives
+	// idempotently).
+	BarrierTimeout time.Duration
+	// Seed drives the backoff jitter (default: derived from the player id).
+	Seed uint64
+}
+
+func (o Options) withDefaults(player int) Options {
+	if o.Dialer == nil {
+		o.Dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if o.Retries == 0 {
+		o.Retries = 8
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 5 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 500 * time.Millisecond
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 30 * time.Second
+	}
+	if o.CallTimeout < 0 {
+		o.CallTimeout = 0
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x9e3779b97f4a7c15 ^ uint64(player)
+	}
+	return o
+}
+
+// sessionCounter backs session-id generation when crypto/rand fails.
+var sessionCounter atomic.Uint64
+
+// newSessionID picks the client-chosen session id: unique is all that
+// matters (it names the session for resume; it carries no randomness the
+// simulation depends on).
+func newSessionID(player int) uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+	return sessionCounter.Add(1)<<16 | uint64(player&0xffff) | 1
+}
+
 // Client is one player's authenticated connection to a billboard server.
 // It is not safe for concurrent use; each player goroutine owns one Client.
 type Client struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	addr   string
+	token  string
+	player int
+	opt    Options
 
-	player       int
+	session uint64
+	seq     uint64
+	conn    net.Conn
+	br      *bufio.Reader
+	jitter  *rng.Source
+	closed  bool  // set by Close: no further calls, no reconnects
+	lastErr error // first unrecovered transport failure; sticky
+
 	n, m         int
 	localTesting bool
 	alpha, beta  float64
@@ -35,38 +129,140 @@ var (
 	_ sim.PublicUniverse = (*Client)(nil)
 )
 
-// Dial connects and authenticates as the given player.
+// serverError marks an application-level rejection from the server during
+// connect — permanent: retrying the same credentials cannot succeed.
+type serverError struct{ err error }
+
+func (e *serverError) Error() string { return e.err.Error() }
+func (e *serverError) Unwrap() error { return e.err }
+
+// Dial connects and authenticates as the given player with default
+// Options.
 func Dial(addr string, player int, token string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
-	}
+	return DialOptions(addr, player, token, Options{})
+}
+
+// DialOptions connects and authenticates as the given player, retrying
+// transport failures per opt.
+func DialOptions(addr string, player int, token string, opt Options) (*Client, error) {
+	opt = opt.withDefaults(player)
 	c := &Client{
-		conn:   conn,
-		enc:    gob.NewEncoder(conn),
-		dec:    gob.NewDecoder(conn),
-		player: player,
+		addr:    addr,
+		token:   token,
+		player:  player,
+		opt:     opt,
+		session: newSessionID(player),
+		jitter:  rng.New(opt.Seed).Split(uint64(player)),
 	}
-	resp, err := c.call(wire.Request{
-		Type: wire.ReqHello, Player: player, Token: token, Version: wire.Version,
-	})
+	var last error
+	for attempt := 0; attempt <= opt.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff(attempt))
+		}
+		if err := c.connect(); err != nil {
+			var perm *serverError
+			if errors.As(err, &perm) {
+				return nil, perm.err
+			}
+			last = err
+			continue
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("client: dial %s: retries exhausted: %w", addr, last)
+}
+
+// connect dials and performs the Hello handshake. Because the session id is
+// fixed at construction, a reconnect resumes the session: registration,
+// vote state, and the server-side dedup window all survive.
+func (c *Client) connect() error {
+	nc, err := c.opt.Dialer(c.addr)
 	if err != nil {
-		conn.Close()
-		return nil, err
+		return fmt.Errorf("client: %w", err)
 	}
+	br := bufio.NewReader(nc)
+	if c.opt.CallTimeout > 0 {
+		nc.SetDeadline(time.Now().Add(c.opt.CallTimeout))
+	}
+	req := wire.Request{
+		Type: wire.ReqHello, Player: c.player, Token: c.token,
+		Version: wire.Version, Session: c.session,
+	}
+	if err := wire.EncodeRequest(nc, &req); err != nil {
+		nc.Close()
+		return fmt.Errorf("client: send hello: %w", err)
+	}
+	resp, err := wire.DecodeResponse(br)
+	if err != nil {
+		nc.Close()
+		return fmt.Errorf("client: recv hello: %w", err)
+	}
+	nc.SetDeadline(time.Time{})
+	if e := resp.Error(); e != nil {
+		nc.Close()
+		return &serverError{e}
+	}
+	c.conn, c.br = nc, br
 	c.n = resp.N
 	c.m = resp.M
 	c.localTesting = resp.LocalTesting
 	c.alpha = resp.Alpha
 	c.beta = resp.Beta
 	c.costs = resp.Costs
-	c.round = resp.Round
-	return c, nil
+	if resp.Round > c.round {
+		c.round = resp.Round
+	}
+	return nil
 }
 
-// Close tears down the connection. The server treats a dropped connection
-// as Done, so closing mid-round cannot wedge the barrier.
-func (c *Client) Close() error { return c.conn.Close() }
+// drop severs the current transport (keeping the session resumable).
+func (c *Client) drop() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.br = nil, nil
+	}
+}
+
+// backoff returns the fully-jittered exponential backoff for an attempt
+// (1-based): uniform in (0, min(base·2^(attempt-1), max)].
+func (c *Client) backoff(attempt int) time.Duration {
+	step := c.opt.BackoffBase
+	for i := 1; i < attempt && step < c.opt.BackoffMax; i++ {
+		step *= 2
+	}
+	if step > c.opt.BackoffMax {
+		step = c.opt.BackoffMax
+	}
+	return time.Duration(1 + c.jitter.Uint64n(uint64(step)))
+}
+
+// Close tears down the connection without Done. With a session grace
+// window the server keeps the session resumable until the lease expires;
+// with no grace (the default server config) it treats the drop as Done, so
+// closing mid-round cannot wedge the barrier.
+func (c *Client) Close() error {
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.br = nil, nil
+	return err
+}
+
+// ErrClosed is returned by calls made after Close.
+var ErrClosed = errors.New("client: closed")
+
+// Abort severs the transport abruptly — as a crash or network fault would —
+// leaving the client usable: the next call reconnects and resumes the
+// session (within the server's grace window). Test and chaos hook.
+func (c *Client) Abort() { c.drop() }
+
+// Err reports the first transport failure that retries could not recover
+// (nil while the session is healthy). The billboard.Reader methods cannot
+// return errors — they report zero values on failure and record it here;
+// callers (internal/dist) should check Err once per round.
+func (c *Client) Err() error { return c.lastErr }
 
 // Player returns the authenticated player id.
 func (c *Client) Player() int { return c.player }
@@ -80,21 +276,68 @@ func (c *Client) Alpha() float64 { return c.alpha }
 // Beta returns the server-advertised assumed good fraction.
 func (c *Client) Beta() float64 { return c.beta }
 
+// call runs one sequenced request, transparently reconnecting, resuming
+// the session, and retrying on transport failures. Application-level
+// errors from the server are returned as-is and are not retried.
 func (c *Client) call(req wire.Request) (*wire.Response, error) {
-	if err := c.enc.Encode(&req); err != nil {
-		return nil, fmt.Errorf("client: send %v: %w", req.Type, err)
+	if c.closed {
+		return nil, ErrClosed
 	}
-	var resp wire.Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("client: recv %v: %w", req.Type, err)
+	if c.lastErr != nil {
+		return nil, c.lastErr
 	}
-	if resp.Round > c.round {
-		c.round = resp.Round
+	c.seq++
+	req.Session = c.session
+	req.Seq = c.seq
+	timeout := c.opt.CallTimeout
+	if req.Type == wire.ReqBarrier {
+		timeout = c.opt.BarrierTimeout
 	}
-	if err := resp.Error(); err != nil {
-		return nil, err
+	var last error
+	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff(attempt))
+		}
+		if c.conn == nil {
+			if err := c.connect(); err != nil {
+				var perm *serverError
+				if errors.As(err, &perm) {
+					// The session is gone (lease expired, force-done, …):
+					// no retry can bring it back.
+					c.lastErr = fmt.Errorf("client: resume %v: %w", req.Type, perm.err)
+					return nil, c.lastErr
+				}
+				last = err
+				continue
+			}
+		}
+		if timeout > 0 {
+			c.conn.SetDeadline(time.Now().Add(timeout))
+		}
+		if err := wire.EncodeRequest(c.conn, &req); err != nil {
+			c.drop()
+			last = fmt.Errorf("client: send %v: %w", req.Type, err)
+			continue
+		}
+		resp, err := wire.DecodeResponse(c.br)
+		if err != nil {
+			c.drop()
+			last = fmt.Errorf("client: recv %v: %w", req.Type, err)
+			continue
+		}
+		if timeout > 0 {
+			c.conn.SetDeadline(time.Time{})
+		}
+		if resp.Round > c.round {
+			c.round = resp.Round
+		}
+		if err := resp.Error(); err != nil {
+			return nil, err
+		}
+		return resp, nil
 	}
-	return &resp, nil
+	c.lastErr = fmt.Errorf("client: %v: retries exhausted: %w", req.Type, last)
+	return nil, c.lastErr
 }
 
 // sim.PublicUniverse implementation (from the Hello payload).
@@ -116,7 +359,8 @@ type ProbeResult struct {
 }
 
 // Probe pays object obj's cost and reveals its value (plus goodness under
-// local testing).
+// local testing). Retried probes are deduplicated server-side: the cost is
+// charged at most once per call.
 func (c *Client) Probe(obj int) (ProbeResult, error) {
 	resp, err := c.call(wire.Request{Type: wire.ReqProbe, Object: obj})
 	if err != nil {
@@ -149,9 +393,8 @@ func (c *Client) Done() error {
 
 // billboard.Reader implementation (RPC-backed). Errors are not expressible
 // through the Reader interface, so transport failures surface as zero
-// values here and as errors on the next explicit call; the distributed
-// runner always finishes rounds with explicit calls (Probe/Post/Barrier),
-// which do report errors.
+// values here, are recorded in Err, and re-surface as errors on the next
+// explicit call; the distributed runner additionally checks Err each round.
 
 // Round returns the last round number observed from the server.
 func (c *Client) Round() int { return c.round }

@@ -1,0 +1,164 @@
+package dist
+
+// Chaos tests: full DISTILL searches through deterministic fault injection.
+// The acceptance bar is exact — a faulty run must converge to the very same
+// committed billboard as the fault-free run on the same seed, with every
+// probe charged exactly once.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/faultnet"
+	"repro/internal/object"
+	"repro/internal/rng"
+)
+
+func chaosBase(t *testing.T) ClusterConfig {
+	t.Helper()
+	u, err := object.NewPlanted(object.Planted{M: 48, Good: 2}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ClusterConfig{
+		Universe:  u,
+		Honest:    8,
+		Params:    core.Params{},
+		Seed:      42,
+		MaxRounds: 400,
+	}
+}
+
+// TestChaosClusterMatchesFaultFree runs the same cluster twice — once clean,
+// once through ≥10% fault injection (drops, delays, torn writes) — and
+// requires identical outcomes: same per-player probe counts, zero
+// double-charged probes, and a byte-identical final billboard digest.
+func TestChaosClusterMatchesFaultFree(t *testing.T) {
+	clean, err := RunCluster(chaosBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.AllFound {
+		t.Fatal("fault-free cluster did not finish")
+	}
+
+	chaos := chaosBase(t)
+	chaos.Fault = &faultnet.Config{
+		Seed:     7,
+		Drop:     0.04,
+		Delay:    0.04,
+		Tear:     0.03, // 11% total injection per I/O operation
+		MaxDelay: 2 * time.Millisecond,
+	}
+	chaos.SessionGrace = 10 * time.Second
+	chaos.BarrierDeadline = 30 * time.Second // generous: must never fire here
+	chaos.Client = client.Options{
+		Retries: 16, BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		CallTimeout: 10 * time.Second,
+	}
+	faulty, err := RunCluster(chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulty.AllFound {
+		t.Fatal("chaos cluster did not finish")
+	}
+
+	// Same search, fault by fault: every player pays exactly what it paid in
+	// the clean run…
+	for i, r := range faulty.Honest {
+		if r.Probes != clean.Honest[i].Probes {
+			t.Errorf("player %d: %d probes under chaos, %d clean",
+				i, r.Probes, clean.Honest[i].Probes)
+		}
+		if r.Rounds != clean.Honest[i].Rounds {
+			t.Errorf("player %d: halted in round %d under chaos, %d clean",
+				i, r.Rounds, clean.Honest[i].Rounds)
+		}
+	}
+	// …and the server's books agree with the clients': a retried probe that
+	// was executed-but-unanswered must not be charged twice.
+	for i, r := range faulty.Honest {
+		if faulty.ServerProbes[i] != r.Probes {
+			t.Errorf("player %d: server charged %d probes, client performed %d (double charge)",
+				i, faulty.ServerProbes[i], r.Probes)
+		}
+	}
+	if !bytes.Equal(faulty.BoardDigest, clean.BoardDigest) {
+		t.Fatalf("final billboards diverged:\nclean:\n%s\nchaos:\n%s",
+			clean.BoardDigest, faulty.BoardDigest)
+	}
+}
+
+// TestChaosDeterministicReplay: the same chaos seed reproduces the same run
+// bit for bit — the debugging contract for failure investigation.
+func TestChaosDeterministicReplay(t *testing.T) {
+	run := func() *ClusterResult {
+		cfg := chaosBase(t)
+		cfg.Fault = &faultnet.Config{Seed: 3, Drop: 0.05, Tear: 0.05}
+		cfg.SessionGrace = 10 * time.Second
+		cfg.Client = client.Options{
+			Retries: 16, BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		}
+		res, err := RunCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a.BoardDigest, b.BoardDigest) {
+		t.Fatal("same chaos seed produced different billboards")
+	}
+	for i := range a.Honest {
+		if a.Honest[i].Probes != b.Honest[i].Probes {
+			t.Fatalf("player %d: %d vs %d probes across identical runs",
+				i, a.Honest[i].Probes, b.Honest[i].Probes)
+		}
+	}
+}
+
+// TestChaosPartitionRecovery adds one-way partitions — writes silently
+// swallowed — so progress depends on per-call deadlines detecting the black
+// hole and the retry path resuming the session.
+func TestChaosPartitionRecovery(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 24, Good: 2}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ClusterConfig{
+		Universe:  u,
+		Honest:    4,
+		Seed:      5,
+		MaxRounds: 200,
+		Fault: &faultnet.Config{
+			Seed:      21,
+			Drop:      0.04,
+			Partition: 0.04,
+			MaxDelay:  time.Millisecond,
+		},
+		SessionGrace:    10 * time.Second,
+		BarrierDeadline: 30 * time.Second,
+		Client: client.Options{
+			Retries: 24, BackoffBase: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+			CallTimeout:    250 * time.Millisecond, // detects swallowed requests
+			BarrierTimeout: time.Second,
+		},
+	}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllFound {
+		t.Fatal("cluster did not survive partitions")
+	}
+	for i, r := range res.Honest {
+		if res.ServerProbes[i] != r.Probes {
+			t.Errorf("player %d: server charged %d, client performed %d",
+				i, res.ServerProbes[i], r.Probes)
+		}
+	}
+}

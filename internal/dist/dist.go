@@ -5,14 +5,23 @@
 // deployment shape the paper describes — independent parties and a shared
 // billboard service — and doubles as an end-to-end proof that the protocol
 // code is engine-independent.
+//
+// A cluster can also run through deterministic fault injection
+// (ClusterConfig.Fault → internal/faultnet): connections drop, stall, and
+// tear mid-frame, while session resume and request dedup keep the search
+// semantics identical — the chaos tests assert the final billboard digest
+// matches the fault-free run on the same seed, with zero double-charged
+// probes.
 package dist
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/faultnet"
 	"repro/internal/object"
 	"repro/internal/rng"
 	"repro/internal/server"
@@ -32,7 +41,11 @@ type HonestResult struct {
 // for one player until it probes a good object (local testing) or maxRounds
 // elapse. The player's randomness derives from seed alone.
 func RunHonestPlayer(addr string, player int, token string, params core.Params, seed uint64, maxRounds int) (*HonestResult, error) {
-	c, err := client.Dial(addr, player, token)
+	return runHonestPlayer(addr, player, token, params, seed, maxRounds, client.Options{})
+}
+
+func runHonestPlayer(addr string, player int, token string, params core.Params, seed uint64, maxRounds int, opt client.Options) (*HonestResult, error) {
+	c, err := client.DialOptions(addr, player, token, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +87,12 @@ func RunHonestPlayer(addr string, player int, token string, params core.Params, 
 			return nil, fmt.Errorf("dist: player %d barrier: %w", player, err)
 		}
 		cached.Invalidate() // board state changed at the round boundary
+		// The Reader methods behind DISTILL cannot return errors; surface
+		// any transport failure they recorded before trusting this round's
+		// advice-driven decisions.
+		if err := c.Err(); err != nil {
+			return nil, fmt.Errorf("dist: player %d board read: %w", player, err)
+		}
 		if found {
 			res.Found = true
 			res.Rounds = round + 1
@@ -93,7 +112,11 @@ func RunHonestPlayer(addr string, player int, token string, params core.Params, 
 // object, lies that it is good, and then idles through barriers until stop
 // closes (or the server hangs up).
 func RunByzantineSpam(addr string, player int, token string, stop <-chan struct{}) error {
-	c, err := client.Dial(addr, player, token)
+	return runByzantineSpam(addr, player, token, stop, client.Options{})
+}
+
+func runByzantineSpam(addr string, player int, token string, stop <-chan struct{}, opt client.Options) error {
+	c, err := client.DialOptions(addr, player, token, opt)
 	if err != nil {
 		return err
 	}
@@ -146,6 +169,21 @@ type ClusterConfig struct {
 	Seed uint64
 	// MaxRounds bounds each honest player (default 4096).
 	MaxRounds int
+
+	// Fault, when non-nil, injects deterministic transport faults (drops,
+	// delays, torn writes, partitions) into every client connection via
+	// internal/faultnet. Pair it with a SessionGrace so dropped players can
+	// resume, and Client retry knobs sized for the injection rate.
+	Fault *faultnet.Config
+	// SessionGrace and BarrierDeadline configure the server's fault
+	// tolerance (see server.Config).
+	SessionGrace    time.Duration
+	BarrierDeadline time.Duration
+	// Client tunes every player's retry/backoff/deadline behavior.
+	Client client.Options
+	// Logf receives server operational events (resume, lease expiry,
+	// force-done); nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // ClusterResult aggregates a distributed run.
@@ -154,6 +192,15 @@ type ClusterResult struct {
 	Rounds     int // server round count at teardown
 	AllFound   bool
 	MeanProbes float64
+	// ServerProbes is the per-player probe count as charged by the server.
+	// For honest players it equals HonestResult.Probes exactly when no
+	// retried probe was double-charged — the dedup invariant the chaos
+	// tests pin.
+	ServerProbes []int
+	// BoardDigest is the canonical digest of the final committed billboard
+	// (see billboard.Digest): byte-identical across runs that committed the
+	// same posts in the same rounds, faults or not.
+	BoardDigest []byte
 }
 
 // RunCluster starts a billboard server on a loopback port, runs all players
@@ -175,10 +222,13 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		tokens[i] = fmt.Sprintf("tok-%d-%016x", i, tokenRng.Uint64())
 	}
 	srv, err := server.New(server.Config{
-		Universe: cfg.Universe,
-		Tokens:   tokens,
-		Alpha:    float64(cfg.Honest) / float64(n),
-		Beta:     cfg.Universe.Beta(),
+		Universe:        cfg.Universe,
+		Tokens:          tokens,
+		Alpha:           float64(cfg.Honest) / float64(n),
+		Beta:            cfg.Universe.Beta(),
+		SessionGrace:    cfg.SessionGrace,
+		BarrierDeadline: cfg.BarrierDeadline,
+		Logf:            cfg.Logf,
 	})
 	if err != nil {
 		return nil, err
@@ -189,26 +239,52 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	}
 	defer srv.Close()
 
+	// Per-player client options; with fault injection each player's dialer
+	// carries its own deterministic fault stream (label = player id), so
+	// the chaos schedule is reproducible from Fault.Seed alone.
+	playerOptions := func(player int) (client.Options, error) {
+		opt := cfg.Client
+		if cfg.Fault != nil {
+			inj, err := faultnet.New(*cfg.Fault)
+			if err != nil {
+				return opt, err
+			}
+			opt.Dialer = inj.Dialer(uint64(player), opt.Dialer)
+		}
+		return opt, nil
+	}
+	// One injector shared across players would serialize ordinal counting
+	// on a mutex but still be deterministic per label; per-player injectors
+	// make the independence explicit.
+
 	stop := make(chan struct{})
 	var byzWG sync.WaitGroup
 	for b := 0; b < cfg.Byzantine; b++ {
 		player := cfg.Honest + b
+		opt, err := playerOptions(player)
+		if err != nil {
+			return nil, err
+		}
 		byzWG.Add(1)
-		go func() {
+		go func(player int, opt client.Options) {
 			defer byzWG.Done()
-			_ = RunByzantineSpam(addr, player, tokens[player], stop)
-		}()
+			_ = runByzantineSpam(addr, player, tokens[player], stop, opt)
+		}(player, opt)
 	}
 
 	results := make([]*HonestResult, cfg.Honest)
 	errs := make([]error, cfg.Honest)
 	var honestWG sync.WaitGroup
 	for p := 0; p < cfg.Honest; p++ {
+		opt, err := playerOptions(p)
+		if err != nil {
+			return nil, err
+		}
 		honestWG.Add(1)
-		go func(p int) {
+		go func(p int, opt client.Options) {
 			defer honestWG.Done()
-			results[p], errs[p] = RunHonestPlayer(addr, p, tokens[p], cfg.Params, cfg.Seed, cfg.MaxRounds)
-		}(p)
+			results[p], errs[p] = runHonestPlayer(addr, p, tokens[p], cfg.Params, cfg.Seed, cfg.MaxRounds, opt)
+		}(p, opt)
 	}
 	honestWG.Wait()
 	close(stop)
@@ -220,6 +296,9 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		}
 	}
 	out := &ClusterResult{Honest: results, AllFound: true}
+	sProbes, _, _, _ := srv.Stats()
+	out.ServerProbes = sProbes
+	out.BoardDigest = srv.Digest()
 	total := 0
 	for _, r := range results {
 		if !r.Found {

@@ -1,0 +1,212 @@
+// Package faultnet injects deterministic, seed-derived transport faults
+// into net.Conn / net.Listener so every failure scenario the networked
+// billboard must survive — connection drops, delivery delays, torn
+// (partial) writes, one-way partitions — is reproducible from a single
+// uint64 seed, in the same spirit as the repo-wide determinism contract
+// (internal/rng).
+//
+// Faults are decided per I/O operation from a stream derived as
+// Split(seed, label, connection ordinal): each labeled dialer (one per
+// player, say) numbers its connections, so a client's fault schedule
+// depends only on the seed and its own reconnect history, never on global
+// goroutine interleaving. That is what lets a chaos run (internal/dist)
+// assert byte-identical billboard state against a fault-free run.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ErrInjected marks every error produced by an injected fault, so tests
+// and retry loops can tell synthetic failures from real ones.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Config sets per-operation fault probabilities. Probabilities are checked
+// in the order Drop, Delay, Tear, Partition against one uniform draw per
+// operation, so their sum is the total injection rate (keep it ≤ 1).
+type Config struct {
+	// Seed drives all fault decisions.
+	Seed uint64
+	// Drop is the probability an I/O operation abruptly closes the
+	// connection (both directions) and reports an injected error.
+	Drop float64
+	// Delay is the probability an operation is stalled by a uniform
+	// duration in (0, MaxDelay] before proceeding normally.
+	Delay float64
+	// MaxDelay bounds injected delays (default 1ms when Delay > 0).
+	MaxDelay time.Duration
+	// Tear is the probability a write transmits only a strict prefix of
+	// the buffer and then closes the connection — the peer observes a torn
+	// frame. Applies to writes only.
+	Tear float64
+	// Partition is the probability a write latches the connection into a
+	// one-way partition: this write and all later ones report success but
+	// deliver nothing, while reads still work (and thus block forever
+	// waiting for responses that cannot come — exercising the caller's
+	// deadlines). Applies to writes only.
+	Partition float64
+}
+
+// rate returns the total per-write injection probability.
+func (c Config) rate() float64 { return c.Drop + c.Delay + c.Tear + c.Partition }
+
+// Injector derives per-connection fault streams from one Config.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ordinals map[uint64]uint64 // label → connections opened so far
+}
+
+// New validates cfg and builds an Injector.
+func New(cfg Config) (*Injector, error) {
+	for _, p := range []float64{cfg.Drop, cfg.Delay, cfg.Tear, cfg.Partition} {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("faultnet: probability %v outside [0, 1]", p)
+		}
+	}
+	if cfg.rate() > 1 {
+		return nil, fmt.Errorf("faultnet: total injection rate %v exceeds 1", cfg.rate())
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = time.Millisecond
+	}
+	return &Injector{cfg: cfg, ordinals: make(map[uint64]uint64)}, nil
+}
+
+// wrap builds the fault stream for the next connection under label.
+func (in *Injector) wrap(nc net.Conn, label uint64) net.Conn {
+	in.mu.Lock()
+	ord := in.ordinals[label]
+	in.ordinals[label]++
+	in.mu.Unlock()
+	return &conn{
+		Conn: nc,
+		cfg:  in.cfg,
+		src:  rng.New(in.cfg.Seed).Split(label).Split(ord),
+	}
+}
+
+// Dialer wraps dial (nil means net.Dial "tcp") so that every connection it
+// opens carries fault injection under the given label.
+func (in *Injector) Dialer(label uint64, dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return func(addr string) (net.Conn, error) {
+		nc, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.wrap(nc, label), nil
+	}
+}
+
+// Listener wraps ln so accepted connections carry fault injection under
+// label (server-side injection; ordinal = acceptance order).
+func (in *Injector) Listener(ln net.Listener, label uint64) net.Listener {
+	return &listener{Listener: ln, in: in, label: label}
+}
+
+type listener struct {
+	net.Listener
+	in    *Injector
+	label uint64
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.wrap(nc, l.label), nil
+}
+
+// fault kinds drawn per operation.
+const (
+	fNone = iota
+	fDrop
+	fDelay
+	fTear
+	fPartition
+)
+
+// conn applies the fault schedule of one connection. The underlying rng
+// stream is consumed once per Read/Write in call order, which is
+// deterministic for the protocol's strictly serial request/response use.
+type conn struct {
+	net.Conn
+	cfg Config
+
+	mu      sync.Mutex
+	src     *rng.Source
+	swallow bool // one-way partition latched: writes succeed, deliver nothing
+}
+
+// decide draws the fault for one operation. The torn-write prefix length
+// and delay are drawn under the same lock so the stream stays serial.
+func (c *conn) decide(write bool, n int) (kind int, delay time.Duration, prefix int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if write && c.swallow {
+		return fPartition, 0, 0
+	}
+	x := c.src.Float64()
+	p := c.cfg.Drop
+	if x < p {
+		return fDrop, 0, 0
+	}
+	p += c.cfg.Delay
+	if x < p {
+		return fDelay, time.Duration(1 + c.src.Uint64n(uint64(c.cfg.MaxDelay))), 0
+	}
+	if write {
+		p += c.cfg.Tear
+		if x < p {
+			if n > 1 {
+				prefix = int(c.src.Uint64n(uint64(n)))
+			}
+			return fTear, 0, prefix
+		}
+		p += c.cfg.Partition
+		if x < p {
+			c.swallow = true
+			return fPartition, 0, 0
+		}
+	}
+	return fNone, 0, 0
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	switch kind, delay, _ := c.decide(false, len(b)); kind {
+	case fDrop:
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection drop on read", ErrInjected)
+	case fDelay:
+		time.Sleep(delay)
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	switch kind, delay, prefix := c.decide(true, len(b)); kind {
+	case fDrop:
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection drop on write", ErrInjected)
+	case fDelay:
+		time.Sleep(delay)
+	case fTear:
+		n, _ := c.Conn.Write(b[:prefix])
+		c.Conn.Close()
+		return n, fmt.Errorf("%w: torn write (%d of %d bytes)", ErrInjected, n, len(b))
+	case fPartition:
+		return len(b), nil // swallowed: the peer never sees it
+	}
+	return c.Conn.Write(b)
+}

@@ -32,12 +32,14 @@ type entryKind uint8
 const (
 	kindPost entryKind = iota + 1
 	kindEndRound
+	kindForceDone
 )
 
 // entry is one journal record.
 type entry struct {
-	Kind entryKind
-	Post billboard.Post // valid when Kind == kindPost
+	Kind   entryKind
+	Post   billboard.Post // valid when Kind == kindPost
+	Player int            // valid when Kind == kindForceDone
 }
 
 // maxFrame bounds a frame's declared size; anything larger is corruption.
@@ -91,6 +93,22 @@ func (w *Writer) EndRound() error {
 	return w.write(entry{Kind: kindEndRound})
 }
 
+// ForceDone records a barrier-deadline decision: the server deregistered
+// player as a straggler so the round could commit. Journaling the decision
+// keeps crash recovery consistent — a recovered server refuses to let a
+// force-done player rejoin a run it was already expelled from.
+func (w *Writer) ForceDone(player int) error {
+	return w.write(entry{Kind: kindForceDone, Player: player})
+}
+
+// Event is an operational decision recorded in the journal alongside posts
+// (today: a barrier-deadline force-done). Round is the round the decision
+// committed with.
+type Event struct {
+	Player int
+	Round  int
+}
+
 // ErrTruncated marks a journal whose tail could not be decoded. State
 // rebuilt before the truncation point is still valid.
 var ErrTruncated = errors.New("journal: truncated or corrupt tail")
@@ -98,9 +116,19 @@ var ErrTruncated = errors.New("journal: truncated or corrupt tail")
 // Replay reads a journal and invokes apply for each post and endRound at
 // each round boundary, stopping cleanly at EOF. A torn or corrupt tail is
 // reported as ErrTruncated after every complete preceding frame has been
-// applied.
+// applied. Operational events (force-done records) are skipped; use
+// ReplayEvents to observe them.
 func Replay(r io.Reader, apply func(billboard.Post) error, endRound func() error) error {
+	return ReplayEvents(r, apply, endRound, nil)
+}
+
+// ReplayEvents is Replay with an additional callback for operational
+// events. Event.Round is the number of round markers read before the
+// event — the round the decision was taken in. A nil event callback
+// ignores events.
+func ReplayEvents(r io.Reader, apply func(billboard.Post) error, endRound func() error, event func(Event) error) error {
 	br := bufio.NewReader(r)
+	round := 0
 	for {
 		size, err := binary.ReadUvarint(br)
 		if errors.Is(err, io.EOF) {
@@ -129,10 +157,55 @@ func Replay(r io.Reader, apply func(billboard.Post) error, endRound func() error
 			if err := endRound(); err != nil {
 				return err
 			}
+			round++
+		case kindForceDone:
+			if event != nil {
+				if err := event(Event{Player: e.Player, Round: round}); err != nil {
+					return err
+				}
+			}
 		default:
 			return fmt.Errorf("%w: unknown entry kind %d", ErrTruncated, e.Kind)
 		}
 	}
+}
+
+// replayOnto buffers each round's posts and events and applies them only
+// once the round marker arrives, so a truncated final round — and any
+// force-done decision taken in it — is discarded rather than leaking into
+// the recovered board, matching the synchrony contract (an uncommitted
+// round was never visible).
+func replayOnto(r io.Reader, board *billboard.Board) ([]Event, error) {
+	var pending []billboard.Post
+	var pendingEv, events []Event
+	err := ReplayEvents(r,
+		func(p billboard.Post) error {
+			pending = append(pending, p)
+			return nil
+		},
+		func() error {
+			for _, p := range pending {
+				if err := board.Post(billboard.Post{
+					Player:   p.Player,
+					Object:   p.Object,
+					Value:    p.Value,
+					Positive: p.Positive,
+				}); err != nil {
+					return err
+				}
+			}
+			pending = pending[:0]
+			events = append(events, pendingEv...)
+			pendingEv = pendingEv[:0]
+			board.EndRound()
+			return nil
+		},
+		func(e Event) error {
+			pendingEv = append(pendingEv, e)
+			return nil
+		},
+	)
+	return events, err
 }
 
 // Apply replays a journal onto an existing board (e.g. one restored from a
@@ -141,28 +214,15 @@ func Replay(r io.Reader, apply func(billboard.Post) error, endRound func() error
 // Rebuild; ErrTruncated reports a torn tail with all complete entries
 // applied.
 func Apply(r io.Reader, board *billboard.Board) error {
-	var pending []billboard.Post
-	return Replay(r,
-		func(p billboard.Post) error {
-			pending = append(pending, p)
-			return nil
-		},
-		func() error {
-			for _, p := range pending {
-				if err := board.Post(billboard.Post{
-					Player:   p.Player,
-					Object:   p.Object,
-					Value:    p.Value,
-					Positive: p.Positive,
-				}); err != nil {
-					return err
-				}
-			}
-			pending = pending[:0]
-			board.EndRound()
-			return nil
-		},
-	)
+	_, err := replayOnto(r, board)
+	return err
+}
+
+// ApplyEvents is Apply plus the committed operational events, in commit
+// order. On ErrTruncated the returned events cover every committed round
+// before the corruption.
+func ApplyEvents(r io.Reader, board *billboard.Board) ([]Event, error) {
+	return replayOnto(r, board)
 }
 
 // Rebuild replays a journal into a fresh board built from cfg. Posts whose
@@ -171,37 +231,20 @@ func Apply(r io.Reader, board *billboard.Board) error {
 // reflects every complete entry before the corruption and the error is
 // returned alongside it so callers can decide whether to proceed.
 func Rebuild(r io.Reader, cfg billboard.Config) (*billboard.Board, error) {
+	board, _, err := RebuildEvents(r, cfg)
+	return board, err
+}
+
+// RebuildEvents is Rebuild plus the committed operational events (the
+// force-done decisions), in commit order.
+func RebuildEvents(r io.Reader, cfg billboard.Config) (*billboard.Board, []Event, error) {
 	board, err := billboard.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	// Buffer each round's posts and apply them only once the round marker
-	// arrives, so a truncated final round is discarded rather than leaking
-	// into the recovered board's next round.
-	var pending []billboard.Post
-	replayErr := Replay(r,
-		func(p billboard.Post) error {
-			pending = append(pending, p)
-			return nil
-		},
-		func() error {
-			for _, p := range pending {
-				if err := board.Post(billboard.Post{
-					Player:   p.Player,
-					Object:   p.Object,
-					Value:    p.Value,
-					Positive: p.Positive,
-				}); err != nil {
-					return err
-				}
-			}
-			pending = pending[:0]
-			board.EndRound()
-			return nil
-		},
-	)
+	events, replayErr := replayOnto(r, board)
 	if replayErr != nil && !errors.Is(replayErr, ErrTruncated) {
-		return nil, replayErr
+		return nil, nil, replayErr
 	}
-	return board, replayErr
+	return board, events, replayErr
 }

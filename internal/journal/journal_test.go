@@ -195,3 +195,56 @@ func TestEmptyJournal(t *testing.T) {
 		t.Fatal("empty journal should rebuild an empty board")
 	}
 }
+
+func TestForceDoneEventsReplay(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append(post(0, 1, true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ForceDone(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndRound(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ForceDone(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EndRound(); err != nil {
+		t.Fatal(err)
+	}
+	// A force-done in a round that never committed must be discarded along
+	// with the round — the decision was never visible.
+	if err := w.ForceDone(1); err != nil {
+		t.Fatal(err)
+	}
+
+	board, events, err := RebuildEvents(bytes.NewReader(buf.Bytes()), billboard.Config{Players: 4, Objects: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if board.Round() != 2 {
+		t.Fatalf("round = %d, want 2", board.Round())
+	}
+	want := []Event{{Player: 2, Round: 0}, {Player: 3, Round: 1}}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+
+	// Plain Replay skips events; ReplayEvents surfaces them in order.
+	var seen []Event
+	err = ReplayEvents(bytes.NewReader(buf.Bytes()),
+		func(billboard.Post) error { return nil },
+		func() error { return nil },
+		func(e Event) error { seen = append(seen, e); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReplayEvents is raw (no round buffering): it reports the trailing
+	// uncommitted event too, tagged with the round it happened in.
+	wantRaw := append(want, Event{Player: 1, Round: 2})
+	if !reflect.DeepEqual(seen, wantRaw) {
+		t.Fatalf("raw events = %v, want %v", seen, wantRaw)
+	}
+}

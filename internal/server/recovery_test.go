@@ -2,8 +2,10 @@ package server_test
 
 import (
 	"bytes"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/journal"
@@ -262,5 +264,170 @@ func TestCompactionCycle(t *testing.T) {
 	}
 	if c.NegativeCount(bad) != 1 {
 		t.Fatal("negative report from the journal tail lost")
+	}
+}
+
+// TestMidRoundDisconnectResumeMatchesReplay drops a player mid-round (within
+// its session grace), lets it resume and finish the round, and checks that
+// the board the resumed player observes is exactly the board a crash
+// recovery would rebuild from the journal.
+func TestMidRoundDisconnectResumeMatchesReplay(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 16, Good: 1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := -1
+	for i := 0; i < u.M(); i++ {
+		if !u.IsGood(i) {
+			bad = i
+			break
+		}
+	}
+	tokens := []string{"tok", "tok"}
+	var log bytes.Buffer
+	srv, err := server.New(server.Config{
+		Universe: u, Tokens: tokens, Alpha: 1, Beta: u.Beta(),
+		Journal:      journal.NewWriter(&log),
+		SessionGrace: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	opts := client.Options{Retries: 6, BackoffBase: time.Millisecond, BackoffMax: 10 * time.Millisecond}
+	c0, err := client.DialOptions(addr, 0, "tok", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := client.DialOptions(addr, 1, "tok", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	barrierBoth := func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		for _, c := range []*client.Client{c0, c1} {
+			go func(c *client.Client) { defer wg.Done(); _, _ = c.Barrier() }(c)
+		}
+		wg.Wait()
+	}
+
+	if err := c0.Post(bad, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	barrierBoth() // round 0 commits
+
+	// Round 1: player 1 posts, then its connection dies mid-round. The
+	// session grace keeps it registered; its next call resumes.
+	if err := c1.Post(bad, 0.5, false); err != nil {
+		t.Fatal(err)
+	}
+	c1.Abort()
+	barrierBoth() // player 1's barrier reconnects and resumes transparently
+	if err := c1.Err(); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+
+	// What the resumed player reads is the committed board…
+	if got := c1.VoteCount(bad); got != 1 {
+		t.Fatalf("resumed player sees vote count %d, want 1", got)
+	}
+	if got := c1.NegativeCount(bad); got != 1 {
+		t.Fatalf("resumed player sees negative count %d, want 1", got)
+	}
+
+	// …and the journal replays to the very same board: the disconnect and
+	// resume left no trace in durable state.
+	recovered, err := server.New(server.Config{
+		Universe: u, Tokens: tokens, Alpha: 1, Beta: u.Beta(),
+		Recover: bytes.NewReader(log.Bytes()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Round() != 2 {
+		t.Fatalf("replayed round = %d, want 2", recovered.Round())
+	}
+	if !bytes.Equal(recovered.Digest(), srv.Digest()) {
+		t.Fatalf("journal replay diverged from live board:\nlive:\n%s\nreplayed:\n%s",
+			srv.Digest(), recovered.Digest())
+	}
+}
+
+// TestForceDoneSurvivesRecovery checks that a barrier-deadline expulsion is
+// durable: after a crash, the recovered server still refuses the expelled
+// player.
+func TestForceDoneSurvivesRecovery(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 16, Good: 1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := []string{"tok", "tok"}
+	var log bytes.Buffer
+	srv, err := server.New(server.Config{
+		Universe: u, Tokens: tokens, Alpha: 1, Beta: u.Beta(),
+		Journal:         journal.NewWriter(&log),
+		SessionGrace:    time.Minute,
+		BarrierDeadline: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := client.Dial(addr, 0, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := client.Dial(addr, 1, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Player 1 registers but never barriers: the deadline expels it and
+	// commits round 0; another prompt round follows.
+	if _, err := c0.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	c0.Close()
+	c1.Close()
+	srv.Close()
+
+	recovered, err := server.New(server.Config{
+		Universe: u, Tokens: tokens, Alpha: 1, Beta: u.Beta(),
+		Recover: bytes.NewReader(log.Bytes()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Round() != 2 {
+		t.Fatalf("recovered round = %d, want 2", recovered.Round())
+	}
+	fd := recovered.ForceDone()
+	if r, ok := fd[1]; !ok || r != 0 {
+		t.Fatalf("recovered force-done map = %v, want player 1 in round 0", fd)
+	}
+	addr2, err := recovered.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if c, err := client.Dial(addr2, 1, "tok"); err == nil {
+		c.Close()
+		t.Fatal("force-done player rejoined after recovery")
+	} else if !strings.Contains(err.Error(), "force-done") {
+		t.Fatalf("unexpected rejection: %v", err)
 	}
 }

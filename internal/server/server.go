@@ -11,15 +11,35 @@
 // Byzantine clients may post whatever they like — the billboard's vote
 // discipline (one vote per player, identity-tagged) is enforced here, not
 // trusted to clients.
+//
+// Fault tolerance (wire protocol v2). The paper's model assumes honest
+// players keep lockstep with the synchronous schedule; a real network
+// injects failures that the service absorbs instead of equating with
+// player death:
+//
+//   - sessions + leases: a dropped connection no longer auto-Dones the
+//     player. Its session stays resumable for Config.SessionGrace; only
+//     lease expiry or an explicit Done deregisters it. (Grace zero keeps
+//     the legacy disconnect-is-Done behavior.)
+//   - request dedup: every post-Hello request carries a per-session
+//     sequence number; the server records the last executed sequence and
+//     its response, so a client retrying after a lost response gets the
+//     recorded response replayed — a retried Probe is never charged twice.
+//   - barrier deadline: Config.BarrierDeadline bounds how long a round
+//     waits for stragglers once the first player has arrived; on expiry the
+//     stragglers are force-Done'd (journaled, so crash recovery refuses to
+//     resurrect them) and the round commits instead of wedging.
 package server
 
 import (
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/billboard"
 	"repro/internal/journal"
@@ -42,20 +62,57 @@ type Config struct {
 	// Expected is the number of players that must register before round 0
 	// can complete; 0 means all N.
 	Expected int
-	// Journal, when non-nil, receives every accepted post and a marker per
-	// committed round, so the billboard can be rebuilt after a crash (see
-	// internal/journal). Accounting stats (probes, costs) are observability
-	// only and are not journaled.
+	// Journal, when non-nil, receives every accepted post, a marker per
+	// committed round, and every force-done decision, so the billboard can
+	// be rebuilt after a crash (see internal/journal). Accounting stats
+	// (probes, costs) are observability only and are not journaled.
 	Journal *journal.Writer
 	// Recover, when non-nil, replays a journal to restore the billboard
 	// (and round counter) before serving. A truncated tail is tolerated:
 	// the uncommitted final round is discarded per the synchrony contract.
+	// Journaled force-done decisions are honored: those players may not
+	// rejoin the recovered run.
 	Recover io.Reader
 	// RecoverSnapshot, when non-nil, restores the billboard from a Compact
 	// snapshot first; Recover (if also set) then replays the journal tail
 	// written after that snapshot. Snapshot + tail = exact state, which is
 	// how a long-running service truncates its journal.
 	RecoverSnapshot []byte
+	// SessionGrace is how long a disconnected player's session remains
+	// resumable before the player is deregistered as if it had sent Done.
+	// Zero keeps the legacy behavior: a dropped connection deregisters the
+	// player immediately (a crashed player cannot wedge a round).
+	SessionGrace time.Duration
+	// BarrierDeadline bounds how long a round barrier waits for stragglers
+	// once the first player of the round has arrived. On expiry every
+	// active player that has not arrived is force-Done'd — the decision is
+	// journaled — and the round commits. Zero waits forever. (It cannot
+	// unwedge round 0 while fewer than Expected players have registered:
+	// unregistered players are not yet part of the run.)
+	BarrierDeadline time.Duration
+	// Logf, when non-nil, receives operational events (session resume,
+	// lease expiry, force-done) — e.g. log.Printf. Must be safe for
+	// concurrent use.
+	Logf func(format string, args ...any)
+}
+
+// session is the server half of one client session: the dedup state that
+// makes retried requests idempotent and the lease bookkeeping that lets a
+// disconnected player resume.
+type session struct {
+	id     uint64
+	player int
+	// gen counts connection takeovers; a stale connection's disconnect (or
+	// lease timer) is ignored when gen has moved on.
+	gen       int
+	connected bool
+	// lastSeq/lastResp implement response dedup: a request repeating
+	// lastSeq replays lastResp. executing marks lastSeq as still running
+	// (e.g. a barrier blocked on behalf of a now-dead connection); a
+	// retransmission waits for it rather than re-executing.
+	lastSeq   uint64
+	lastResp  wire.Response
+	executing bool
 }
 
 // Server is a running billboard service. Construct with New, then Start.
@@ -70,12 +127,19 @@ type Server struct {
 	registered map[int]bool
 	active     map[int]bool
 	arrived    map[int]bool
+	forceDone  map[int]int // player → round of the force-done decision
+	sessions   map[uint64]*session
+	byPlayer   map[int]*session
 	probes     []int
 	cost       []float64
 	satisfied  []bool
 	closed     bool
 
-	wg sync.WaitGroup
+	barrierTimer *time.Timer
+	armedRound   int // round the barrier timer is armed for; -1 when idle
+
+	conns map[net.Conn]struct{} // open connections, force-closed on Close
+	wg    sync.WaitGroup
 }
 
 // New validates cfg and builds a server (not yet listening).
@@ -103,6 +167,7 @@ func New(cfg Config) (*Server, error) {
 		VotesPerPlayer: cfg.VotesPerPlayer,
 	}
 	var board *billboard.Board
+	var events []journal.Event
 	var err error
 	switch {
 	case cfg.RecoverSnapshot != nil:
@@ -111,12 +176,13 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: recover snapshot: %w", err)
 		}
 		if cfg.Recover != nil {
-			if err := journal.Apply(cfg.Recover, board); err != nil && !errors.Is(err, journal.ErrTruncated) {
+			events, err = journal.ApplyEvents(cfg.Recover, board)
+			if err != nil && !errors.Is(err, journal.ErrTruncated) {
 				return nil, fmt.Errorf("server: recover tail: %w", err)
 			}
 		}
 	case cfg.Recover != nil:
-		board, err = journal.Rebuild(cfg.Recover, boardCfg)
+		board, events, err = journal.RebuildEvents(cfg.Recover, boardCfg)
 		if err != nil && !errors.Is(err, journal.ErrTruncated) {
 			return nil, fmt.Errorf("server: recover: %w", err)
 		}
@@ -133,9 +199,19 @@ func New(cfg Config) (*Server, error) {
 		registered: make(map[int]bool),
 		active:     make(map[int]bool),
 		arrived:    make(map[int]bool),
+		forceDone:  make(map[int]int),
+		sessions:   make(map[uint64]*session),
+		byPlayer:   make(map[int]*session),
+		conns:      make(map[net.Conn]struct{}),
 		probes:     make([]int, len(cfg.Tokens)),
 		cost:       make([]float64, len(cfg.Tokens)),
 		satisfied:  make([]bool, len(cfg.Tokens)),
+		armedRound: -1,
+	}
+	for _, e := range events {
+		// A journaled force-done stays binding after a crash: the round
+		// committed without this player, so it cannot rejoin the run.
+		s.forceDone[e.Player] = e.Round
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -151,10 +227,17 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("server: %w", err)
 	}
+	return s.Serve(ln), nil
+}
+
+// Serve starts serving on an existing listener (e.g. one wrapped by
+// internal/faultnet for server-side fault injection) and returns its
+// address.
+func (s *Server) Serve(ln net.Listener) string {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
 }
 
 // Close stops the listener, wakes blocked barrier waiters, and waits for
@@ -162,6 +245,14 @@ func (s *Server) Start(addr string) (string, error) {
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	if s.barrierTimer != nil {
+		s.barrierTimer.Stop()
+	}
+	// Force-close open connections: handlers blocked reading a request
+	// would otherwise pin the WaitGroup until every client hangs up.
+	for conn := range s.conns {
+		conn.Close()
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	var err error
@@ -189,6 +280,15 @@ func (s *Server) Compact() ([]byte, error) {
 	return s.board.Snapshot()
 }
 
+// Digest returns the canonical digest of the committed billboard state
+// (see billboard.Digest) — byte-identical across runs that committed the
+// same posts in the same rounds, regardless of interleaving.
+func (s *Server) Digest() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.board.Digest()
+}
+
 // Stats returns per-player probe counts, costs, and satisfaction as
 // observed by the server, plus the current round.
 func (s *Server) Stats() (probes []int, cost []float64, satisfied []bool, round int) {
@@ -198,6 +298,24 @@ func (s *Server) Stats() (probes []int, cost []float64, satisfied []bool, round 
 		append([]float64(nil), s.cost...),
 		append([]bool(nil), s.satisfied...),
 		s.round
+}
+
+// ForceDone reports the players expelled by barrier deadlines (including
+// decisions recovered from the journal), keyed by the round of expulsion.
+func (s *Server) ForceDone() map[int]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]int, len(s.forceDone))
+	for p, r := range s.forceDone {
+		out[p] = r
+	}
+	return out
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 func (s *Server) acceptLoop() {
@@ -212,93 +330,232 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handle serves one connection: a Hello followed by any number of requests.
+// handle serves one connection: a Hello (fresh or resuming) followed by any
+// number of sequenced requests.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-
-	player := -1
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
 	defer func() {
-		// A dropped connection must not wedge the barrier: auto-Done.
-		if player >= 0 {
-			s.mu.Lock()
-			s.leaveLocked(player)
-			s.mu.Unlock()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+
+	var sess *session
+	gen := 0
+	defer func() {
+		if sess != nil {
+			s.disconnect(sess, gen)
 		}
 	}()
 
 	for {
-		var req wire.Request
-		if err := dec.Decode(&req); err != nil {
+		req, err := wire.DecodeRequest(br)
+		if err != nil {
+			// Clean EOF, a torn frame, or garbage: either way this
+			// connection is over. The session (if any) enters its grace
+			// window via the deferred disconnect.
 			return
 		}
 		var resp wire.Response
-		if player < 0 && req.Type != wire.ReqHello {
-			resp.Err = "not authenticated: send hello first"
-		} else {
-			switch req.Type {
-			case wire.ReqHello:
-				resp = s.hello(&req)
-				if resp.Err == "" {
-					player = req.Player
-				}
-			case wire.ReqProbe:
-				resp = s.probe(player, req.Object)
-			case wire.ReqPost:
-				resp = s.post(player, &req)
-			case wire.ReqVotes:
-				resp = s.votes(req.OfPlayer)
-			case wire.ReqVotedObjects:
-				resp = s.votedObjects()
-			case wire.ReqVoteCount:
-				resp = s.voteCount(req.Object)
-			case wire.ReqNegCount:
-				resp = s.negCount(req.Object)
-			case wire.ReqWindow:
-				resp = s.window(req.From, req.To)
-			case wire.ReqBarrier:
-				resp = s.barrier(player)
-			case wire.ReqDone:
-				s.mu.Lock()
-				s.leaveLocked(player)
-				s.mu.Unlock()
-			default:
-				resp.Err = fmt.Sprintf("unknown request type %v", req.Type)
+		switch {
+		case req.Type == wire.ReqHello:
+			if sess != nil && req.Session != sess.id {
+				resp.Err = "connection already bound to another session"
+				break
 			}
+			var ns *session
+			resp, ns = s.hello(req)
+			if resp.Err == "" {
+				sess = ns
+				gen = ns.gen
+			}
+		case sess == nil:
+			resp.Err = "not authenticated: send hello first"
+		default:
+			resp = s.dispatch(sess, req)
 		}
-		if err := enc.Encode(&resp); err != nil {
+		if err := wire.EncodeResponse(conn, &resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) hello(req *wire.Request) wire.Response {
+// disconnect runs when a connection dies. The session enters its lease
+// window (or is expired immediately when SessionGrace is zero — the legacy
+// disconnect-is-Done contract). A newer connection's takeover (gen bump)
+// makes this a no-op.
+func (s *Server) disconnect(sess *session, gen int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || sess.gen != gen || !sess.connected {
+		return
+	}
+	sess.connected = false
+	if s.cfg.SessionGrace <= 0 {
+		if s.active[sess.player] {
+			s.logf("player %d disconnected with no session grace: treating as done", sess.player)
+		}
+		s.expireLocked(sess)
+		return
+	}
+	if s.active[sess.player] {
+		s.logf("player %d disconnected; session resumable for %v", sess.player, s.cfg.SessionGrace)
+	}
+	id, g := sess.id, sess.gen
+	time.AfterFunc(s.cfg.SessionGrace, func() { s.expireSession(id, g) })
+}
+
+// expireSession ends a lease that was never resumed.
+func (s *Server) expireSession(id uint64, gen int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[id]
+	if s.closed || sess == nil || sess.connected || sess.gen != gen {
+		return
+	}
+	if s.active[sess.player] {
+		s.logf("player %d session lease expired: treating as done", sess.player)
+	}
+	s.expireLocked(sess)
+}
+
+// expireLocked removes a session and deregisters its player from future
+// barriers (a no-op if the player already sent Done).
+func (s *Server) expireLocked(sess *session) {
+	delete(s.sessions, sess.id)
+	if s.byPlayer[sess.player] == sess {
+		delete(s.byPlayer, sess.player)
+	}
+	s.leaveLocked(sess.player)
+}
+
+// dispatch runs one sequenced request with retransmission dedup: a repeat
+// of the last sequence replays the recorded response (waiting out an
+// execution still in flight on behalf of a dead predecessor connection),
+// so a retried request — in particular a retried Probe — never executes
+// twice.
+func (s *Server) dispatch(sess *session, req *wire.Request) wire.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case req.Seq == 0:
+		return wire.Response{Err: "missing request sequence number"}
+	case req.Seq < sess.lastSeq:
+		return wire.Response{Err: fmt.Sprintf("stale sequence %d (last executed %d)", req.Seq, sess.lastSeq)}
+	case req.Seq == sess.lastSeq:
+		for sess.executing && !s.closed {
+			s.cond.Wait()
+		}
+		if sess.executing {
+			return wire.Response{Err: "server closed"}
+		}
+		return sess.lastResp
+	case req.Seq > sess.lastSeq+1:
+		return wire.Response{Err: fmt.Sprintf("sequence gap: got %d, want %d", req.Seq, sess.lastSeq+1)}
+	}
+	if sess.executing {
+		// Unreachable with a serial client: seq lastSeq+1 while lastSeq
+		// still runs would mean the client pipelined.
+		return wire.Response{Err: "previous request still executing"}
+	}
+	sess.lastSeq = req.Seq
+	sess.executing = true
+	resp := s.executeLocked(sess.player, req)
+	sess.lastResp = resp
+	sess.executing = false
+	s.cond.Broadcast()
+	return resp
+}
+
+// executeLocked performs one authenticated request (s.mu held; barrier may
+// temporarily release it via cond.Wait).
+func (s *Server) executeLocked(player int, req *wire.Request) wire.Response {
+	switch req.Type {
+	case wire.ReqProbe:
+		return s.probeLocked(player, req.Object)
+	case wire.ReqPost:
+		return s.postLocked(player, req)
+	case wire.ReqVotes:
+		return s.votesLocked(req.OfPlayer)
+	case wire.ReqVotedObjects:
+		return wire.Response{Objects: s.board.VotedObjects(), Round: s.round}
+	case wire.ReqVoteCount:
+		return s.voteCountLocked(req.Object)
+	case wire.ReqNegCount:
+		return s.negCountLocked(req.Object)
+	case wire.ReqWindow:
+		return wire.Response{Counts: s.board.CountVotesInWindow(req.From, req.To), Round: s.round}
+	case wire.ReqBarrier:
+		return s.barrierLocked(player)
+	case wire.ReqDone:
+		s.leaveLocked(player)
+		return wire.Response{Round: s.round}
+	default:
+		return wire.Response{Err: fmt.Sprintf("unknown request type %v", req.Type)}
+	}
+}
+
+// hello authenticates a connection. An unknown session id registers the
+// player afresh; a known one resumes it (which also makes a retried Hello
+// idempotent when the first response was lost in transit).
+func (s *Server) hello(req *wire.Request) (wire.Response, *session) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if req.Version != wire.Version {
 		return wire.Response{Err: fmt.Sprintf("protocol version %d, server speaks %d",
-			req.Version, wire.Version)}
+			req.Version, wire.Version)}, nil
 	}
 	p := req.Player
 	if p < 0 || p >= len(s.cfg.Tokens) {
-		return wire.Response{Err: fmt.Sprintf("player %d out of range", p)}
+		return wire.Response{Err: fmt.Sprintf("player %d out of range", p)}, nil
 	}
 	if s.cfg.Tokens[p] != req.Token {
-		return wire.Response{Err: "bad token"}
+		return wire.Response{Err: "bad token"}, nil
+	}
+	if req.Session == 0 {
+		return wire.Response{Err: "missing session id"}, nil
+	}
+	if sess := s.sessions[req.Session]; sess != nil {
+		if sess.player != p {
+			return wire.Response{Err: "session belongs to another player"}, nil
+		}
+		sess.gen++
+		if !sess.connected {
+			sess.connected = true
+			s.logf("player %d resumed session %016x in round %d", p, sess.id, s.round)
+		}
+		return s.helloPayloadLocked(), sess
+	}
+	if r, ok := s.forceDone[p]; ok {
+		return wire.Response{Err: fmt.Sprintf("player %d was force-done in round %d", p, r)}, nil
 	}
 	if s.registered[p] {
-		return wire.Response{Err: fmt.Sprintf("player %d already registered", p)}
+		return wire.Response{Err: fmt.Sprintf("player %d already registered", p)}, nil
 	}
 	s.registered[p] = true
 	s.active[p] = true
+	sess := &session{id: req.Session, player: p, gen: 1, connected: true}
+	s.sessions[req.Session] = sess
+	s.byPlayer[p] = sess
+	s.advanceLocked() // registration may complete a waiting barrier
+	return s.helloPayloadLocked(), sess
+}
+
+func (s *Server) helloPayloadLocked() wire.Response {
 	u := s.cfg.Universe
 	costs := make([]float64, u.M())
 	for i := range costs {
 		costs[i] = u.Cost(i)
 	}
-	s.advanceLocked() // registration may complete a waiting barrier
 	return wire.Response{
 		N:            len(s.cfg.Tokens),
 		M:            u.M(),
@@ -310,9 +567,7 @@ func (s *Server) hello(req *wire.Request) wire.Response {
 	}
 }
 
-func (s *Server) probe(player, obj int) wire.Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Server) probeLocked(player, obj int) wire.Response {
 	u := s.cfg.Universe
 	if obj < 0 || obj >= u.M() {
 		return wire.Response{Err: fmt.Sprintf("object %d out of range", obj)}
@@ -326,9 +581,7 @@ func (s *Server) probe(player, obj int) wire.Response {
 	return wire.Response{Value: u.Value(obj), Good: good, Cost: u.Cost(obj), Round: s.round}
 }
 
-func (s *Server) post(player int, req *wire.Request) wire.Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Server) postLocked(player int, req *wire.Request) wire.Response {
 	post := billboard.Post{
 		Player:   player, // authenticated identity, not client-claimed
 		Object:   req.Object,
@@ -346,9 +599,7 @@ func (s *Server) post(player int, req *wire.Request) wire.Response {
 	return wire.Response{Round: s.round}
 }
 
-func (s *Server) votes(ofPlayer int) wire.Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Server) votesLocked(ofPlayer int) wire.Response {
 	if ofPlayer < 0 || ofPlayer >= len(s.cfg.Tokens) {
 		return wire.Response{Err: fmt.Sprintf("player %d out of range", ofPlayer)}
 	}
@@ -360,41 +611,24 @@ func (s *Server) votes(ofPlayer int) wire.Response {
 	return wire.Response{Votes: msgs, Round: s.round}
 }
 
-func (s *Server) votedObjects() wire.Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return wire.Response{Objects: s.board.VotedObjects(), Round: s.round}
-}
-
-func (s *Server) voteCount(obj int) wire.Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Server) voteCountLocked(obj int) wire.Response {
 	if obj < 0 || obj >= s.cfg.Universe.M() {
 		return wire.Response{Err: fmt.Sprintf("object %d out of range", obj)}
 	}
 	return wire.Response{Count: s.board.VoteCount(obj), Round: s.round}
 }
 
-func (s *Server) negCount(obj int) wire.Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Server) negCountLocked(obj int) wire.Response {
 	if obj < 0 || obj >= s.cfg.Universe.M() {
 		return wire.Response{Err: fmt.Sprintf("object %d out of range", obj)}
 	}
 	return wire.Response{Count: s.board.NegativeCount(obj), Round: s.round}
 }
 
-func (s *Server) window(from, to int) wire.Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return wire.Response{Counts: s.board.CountVotesInWindow(from, to), Round: s.round}
-}
-
-// barrier marks the player as arrived and blocks until the round advances
-// (or the server closes).
-func (s *Server) barrier(player int) wire.Response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// barrierLocked marks the player as arrived and blocks until the round
+// advances (or the server closes). The first arrival of a round arms the
+// barrier deadline, if one is configured.
+func (s *Server) barrierLocked(player int) wire.Response {
 	if !s.active[player] {
 		return wire.Response{Err: "player is done; no barrier"}
 	}
@@ -404,6 +638,11 @@ func (s *Server) barrier(player int) wire.Response {
 	s.arrived[player] = true
 	target := s.round + 1
 	s.advanceLocked()
+	if s.round < target && s.cfg.BarrierDeadline > 0 && s.armedRound != s.round {
+		s.armedRound = s.round
+		round := s.round
+		s.barrierTimer = time.AfterFunc(s.cfg.BarrierDeadline, func() { s.barrierExpire(round) })
+	}
 	for s.round < target && !s.closed {
 		s.cond.Wait()
 	}
@@ -411,6 +650,39 @@ func (s *Server) barrier(player int) wire.Response {
 		return wire.Response{Err: "server closed"}
 	}
 	return wire.Response{Round: s.round}
+}
+
+// barrierExpire fires when a round barrier outlived its deadline: every
+// active player that has not arrived is force-Done'd — journaled, logged —
+// and the round commits.
+func (s *Server) barrierExpire(round int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.round != round {
+		return
+	}
+	var stragglers []int
+	for p := range s.active {
+		if !s.arrived[p] {
+			stragglers = append(stragglers, p)
+		}
+	}
+	sort.Ints(stragglers)
+	for _, p := range stragglers {
+		s.forceDone[p] = round
+		s.logf("round %d barrier deadline (%v) expired: force-done straggler player %d",
+			round, s.cfg.BarrierDeadline, p)
+		if s.cfg.Journal != nil {
+			_ = s.cfg.Journal.ForceDone(p)
+		}
+		if sess := s.byPlayer[p]; sess != nil {
+			delete(s.sessions, sess.id)
+			delete(s.byPlayer, p)
+		}
+		delete(s.active, p)
+		delete(s.arrived, p)
+	}
+	s.advanceLocked()
 }
 
 // leaveLocked deregisters a player from future barriers and re-checks the
@@ -442,6 +714,10 @@ func (s *Server) advanceLocked() {
 	}
 	for p := range s.arrived {
 		delete(s.arrived, p)
+	}
+	if s.barrierTimer != nil && s.armedRound >= 0 {
+		s.barrierTimer.Stop()
+		s.armedRound = -1
 	}
 	s.cond.Broadcast()
 }

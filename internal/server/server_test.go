@@ -1,7 +1,7 @@
 package server_test
 
 import (
-	"encoding/gob"
+	"bufio"
 	"net"
 	"strings"
 	"sync"
@@ -308,15 +308,14 @@ func TestProtocolVersionMismatchRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(&wire.Request{
+	if err := wire.EncodeRequest(conn, &wire.Request{
 		Type: wire.ReqHello, Player: 0, Token: "tok", Version: 999,
+		Session: 1, Seq: 1,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	var resp wire.Response
-	if err := dec.Decode(&resp); err != nil {
+	resp, err := wire.DecodeResponse(bufio.NewReader(conn))
+	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Err == "" || !strings.Contains(resp.Err, "version") {
@@ -331,13 +330,13 @@ func TestUnauthenticatedNonHelloRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(&wire.Request{Type: wire.ReqProbe, Object: 0}); err != nil {
+	if err := wire.EncodeRequest(conn, &wire.Request{
+		Type: wire.ReqProbe, Object: 0, Session: 1, Seq: 1,
+	}); err != nil {
 		t.Fatal(err)
 	}
-	var resp wire.Response
-	if err := dec.Decode(&resp); err != nil {
+	resp, err := wire.DecodeResponse(bufio.NewReader(conn))
+	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Err == "" || !strings.Contains(resp.Err, "hello") {

@@ -1,6 +1,7 @@
 // Package wire defines the client/server protocol of the networked
-// billboard service (internal/server, internal/client): gob-encoded
-// request/response pairs over a TCP stream, one in flight per connection.
+// billboard service (internal/server, internal/client): length-prefixed,
+// gob-encoded request/response frames over a TCP stream, one in flight per
+// connection.
 //
 // The protocol realizes the billboard guarantees of §2.1 —
 //
@@ -13,16 +14,37 @@
 // and the synchrony §1.2 says timestamps can simulate: a Barrier request
 // ends the caller's round and blocks until every active player has done the
 // same, at which point the server commits the round's posts.
+//
+// Version 2 adds fault tolerance to the transport:
+//
+//   - framing: every message is one self-contained frame (uvarint length +
+//     gob payload), so a torn write is detected as a clean decode error on
+//     the peer instead of silently desynchronizing a shared gob stream;
+//   - sessions: the client picks a session id at first Hello and repeats it
+//     on every request; a reconnecting client re-Hellos with the same id to
+//     resume its registration within the server's grace window;
+//   - sequence numbers: every post-Hello request carries a per-session
+//     sequence number; the server remembers the last executed sequence and
+//     its response, so a retried request (response lost in transit) replays
+//     the recorded response instead of executing twice — a retried Probe
+//     never pays twice.
 package wire
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
 
 // ReqType enumerates request kinds.
 type ReqType uint8
 
 // Request kinds.
 const (
-	// ReqHello authenticates the connection as a player.
+	// ReqHello authenticates the connection as a player (or resumes the
+	// session named by Request.Session after a disconnect).
 	ReqHello ReqType = iota + 1
 	// ReqProbe probes an object: the server reveals its value (and, with
 	// local testing, its goodness) and charges the cost.
@@ -75,12 +97,27 @@ func (t ReqType) String() string {
 
 // Version is the wire protocol version. Hello carries it; the server
 // rejects mismatches so that incompatible binaries fail loudly at
-// connection time instead of corrupting a run.
-const Version = 1
+// connection time instead of corrupting a run. Version 2 introduced framed
+// messages, session ids, and request sequence numbers.
+const Version = 2
+
+// MaxFrame bounds one framed message's declared size; anything larger is
+// treated as corruption, never allocated.
+const MaxFrame = 1 << 20
 
 // Request is the client→server message.
 type Request struct {
 	Type ReqType
+
+	// Session is the client-chosen session id, carried on every request.
+	// On Hello it either opens a fresh session (unknown id) or resumes a
+	// disconnected one (known id) — which makes a retried Hello idempotent.
+	Session uint64
+	// Seq is the per-session request sequence number (1, 2, ...) of every
+	// post-Hello request; Hello itself is unsequenced (Seq 0). The server
+	// deduplicates on it: a repeat of the last sequence replays the
+	// recorded response instead of executing again.
+	Seq uint64
 
 	// Hello fields.
 	Player  int
@@ -142,4 +179,100 @@ func (r *Response) Error() error {
 		return nil
 	}
 	return fmt.Errorf("billboard server: %s", r.Err)
+}
+
+// encodeFrame writes v as one self-contained frame: uvarint length followed
+// by a gob payload produced by a fresh encoder, so every frame decodes
+// independently of connection history.
+func encodeFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	var lenb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenb[:], uint64(buf.Len()))
+	if _, err := w.Write(lenb[:n]); err != nil {
+		return fmt.Errorf("wire: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("wire: %w", err)
+	}
+	return nil
+}
+
+// oneByteReader adapts an io.Reader into an io.ByteReader without buffering
+// ahead (a bufio wrapper here would swallow bytes that belong to the next
+// frame). Callers on hot paths pass a *bufio.Reader, which satisfies
+// io.ByteReader directly.
+type oneByteReader struct{ r io.Reader }
+
+func (o oneByteReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(o.r, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// decodeFrame reads one frame from r into v. Malformed or truncated input
+// surfaces as an error, never a panic: gob's decoder is guarded so a
+// hostile frame cannot kill the per-connection goroutine. A stream that
+// ends cleanly before the first length byte returns io.EOF.
+func decodeFrame(r io.Reader, v any) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("wire: decode panic: %v", p)
+		}
+	}()
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		br = oneByteReader{r}
+	}
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF // clean end of stream, not corruption
+		}
+		return fmt.Errorf("wire: frame length: %w", err)
+	}
+	if size == 0 || size > MaxFrame {
+		return fmt.Errorf("wire: implausible frame size %d", size)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(v); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}
+
+// EncodeRequest writes req as one frame.
+func EncodeRequest(w io.Writer, req *Request) error {
+	return encodeFrame(w, req)
+}
+
+// DecodeRequest reads one request frame from r. Prefer passing a reader
+// that implements io.ByteReader (e.g. *bufio.Reader) on connection paths.
+func DecodeRequest(r io.Reader) (*Request, error) {
+	var req Request
+	if err := decodeFrame(r, &req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// EncodeResponse writes resp as one frame.
+func EncodeResponse(w io.Writer, resp *Response) error {
+	return encodeFrame(w, resp)
+}
+
+// DecodeResponse reads one response frame from r.
+func DecodeResponse(r io.Reader) (*Response, error) {
+	var resp Response
+	if err := decodeFrame(r, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
