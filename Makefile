@@ -1,6 +1,8 @@
-# Developer entry points. `make check` is the gate for networking changes:
-# vet plus the race detector over the concurrent packages (server, client,
-# dist — including the chaos tests).
+# Developer entry points. `make check` is the gate for hot-path and
+# networking changes: vet, the race detector over the concurrent packages
+# (server, client, dist — including the chaos tests) plus the packages the
+# perf pass touched (billboard, wire), and a 1-iteration bench smoke so a
+# broken benchmark cannot land silently.
 
 GO ?= go
 
@@ -14,7 +16,8 @@ test:
 
 check: build
 	$(GO) vet ./...
-	$(GO) test -race ./internal/server/... ./internal/client/... ./internal/dist/...
+	$(GO) test -race ./internal/billboard/... ./internal/wire/... ./internal/server/... ./internal/client/... ./internal/dist/...
+	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/server > /dev/null
 
 # Short fuzz passes over the byte-level decoders (wire frames, journal).
 fuzz:
@@ -22,5 +25,14 @@ fuzz:
 	$(GO) test ./internal/wire -run xxx -fuzz FuzzDecodeResponse -fuzztime 30s
 	$(GO) test ./internal/journal -run xxx -fuzz FuzzReplay -fuzztime 30s
 
+# Regenerate the recorded benchmark baseline (BENCH_PR2.json). Two passes:
+# a 1-iteration sweep over every benchmark (the experiment benches run a full
+# scaled experiment per iteration, so once is enough for their wall time),
+# then a timed pass over the substrate micro-benchmarks whose ns/op needs
+# real iteration counts. benchjson merges the passes; the later pass wins on
+# name collisions.
 bench:
-	$(GO) test ./internal/server -bench . -benchtime 1x
+	( $(GO) test -run xxx -bench . -benchmem -benchtime 1x . ./internal/server && \
+	  $(GO) test -run xxx -bench 'BenchmarkEngineRoundDistill|BenchmarkBillboard' -benchmem . ) \
+	  | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	@echo "wrote BENCH_PR2.json"

@@ -102,7 +102,8 @@ func BenchmarkBillboardPostCommit(b *testing.B) {
 	}
 }
 
-func BenchmarkBillboardWindowCount(b *testing.B) {
+func windowCountBoard(b *testing.B) *billboard.Board {
+	b.Helper()
 	board, err := billboard.New(billboard.Config{Players: 4096, Objects: 4096})
 	if err != nil {
 		b.Fatal(err)
@@ -114,6 +115,25 @@ func BenchmarkBillboardWindowCount(b *testing.B) {
 		}
 	}
 	board.EndRound()
+	return board
+}
+
+// BenchmarkBillboardWindowCount measures the engine's window-count read path:
+// the event-offset index plus a reused WindowCounts buffer, as the DISTILL
+// hot loop consumes it (allocation-free once warm).
+func BenchmarkBillboardWindowCount(b *testing.B) {
+	board := windowCountBoard(b)
+	var wc billboard.WindowCounts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		board.CountVotesInWindowInto(8, 24, &wc)
+	}
+}
+
+// BenchmarkBillboardWindowCountMap measures the allocating map variant kept
+// for callers that need an owned map (e.g. the RPC read path).
+func BenchmarkBillboardWindowCountMap(b *testing.B) {
+	board := windowCountBoard(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = board.CountVotesInWindow(8, 24)

@@ -1,0 +1,142 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin into
+// a stable JSON document for recording benchmark baselines in the repo:
+//
+//	go test -bench . -benchmem ./... | benchjson -o BENCH.json
+//
+// Standard metrics (ns/op, B/op, allocs/op) get their own fields; any custom
+// testing.B ReportMetric units (probes/player, table_rows, …) land in the
+// metrics map. When the same benchmark name appears more than once — e.g. a
+// quick pass and a high -benchtime pass concatenated — the later entry wins,
+// so multi-pass harnesses can refine individual numbers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the whole baseline file.
+type Doc struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Entry           `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("o", "", "write JSON to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	doc, err := parse(in)
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, buf, 0o644)
+	}
+	_, err = out.Write(buf)
+	return err
+}
+
+func parse(in io.Reader) (*Doc, error) {
+	doc := &Doc{Env: map[string]string{}}
+	index := map[string]int{} // name → position in doc.Benchmarks; later wins
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") ||
+			strings.HasPrefix(line, "pkg:") || strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			doc.Env[key] = strings.TrimSpace(val)
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		e, err := parseBenchLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if at, seen := index[e.Name]; seen {
+			doc.Benchmarks[at] = e
+		} else {
+			index[e.Name] = len(doc.Benchmarks)
+			doc.Benchmarks = append(doc.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return doc, nil
+}
+
+// parseBenchLine decodes one result line: a name, an iteration count, then
+// value/unit pairs.
+//
+//	BenchmarkFoo-8   1000   1234 ns/op   56 B/op   7 allocs/op   9.2 probes/player
+func parseBenchLine(line string) (Entry, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Entry{}, fmt.Errorf("malformed bench line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("bench line %q: iterations: %w", line, err)
+	}
+	e := Entry{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("bench line %q: value %q: %w", line, fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = val
+		case "B/op":
+			e.BytesPerOp = val
+		case "allocs/op":
+			e.AllocsOp = val
+		default:
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = val
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkEngineRoundDistill      	    2194	    494819 ns/op	         9.220 probes/player	  438138 B/op	    1113 allocs/op
+BenchmarkBillboardWindowCount    	  465112	      2591 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	3.831s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Env["goos"] != "linux" || doc.Env["pkg"] != "repro" {
+		t.Fatalf("env = %v", doc.Env)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	e := doc.Benchmarks[0]
+	if e.Name != "BenchmarkEngineRoundDistill" || e.Iterations != 2194 ||
+		e.NsPerOp != 494819 || e.BytesPerOp != 438138 || e.AllocsOp != 1113 ||
+		e.Metrics["probes/player"] != 9.22 {
+		t.Fatalf("entry 0 = %+v", e)
+	}
+	if w := doc.Benchmarks[1]; w.NsPerOp != 2591 || w.BytesPerOp != 0 || len(w.Metrics) != 0 {
+		t.Fatalf("entry 1 = %+v", w)
+	}
+}
+
+func TestLaterEntryWins(t *testing.T) {
+	in := `BenchmarkFoo 10 100 ns/op
+BenchmarkBar 20 200 ns/op
+BenchmarkFoo 1000 42 ns/op
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 (deduped)", len(doc.Benchmarks))
+	}
+	if e := doc.Benchmarks[0]; e.Name != "BenchmarkFoo" || e.NsPerOp != 42 || e.Iterations != 1000 {
+		t.Fatalf("dedup kept %+v, want the later BenchmarkFoo", e)
+	}
+}
+
+func TestEmptyInputIsError(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("expected error on input with no bench lines")
+	}
+}

@@ -6,15 +6,21 @@
 //	experiments -scale 0.2       # quick pass
 //	experiments -only E1,E7      # a subset
 //	experiments -csv out/        # also write one CSV per experiment
+//	experiments -parallel 4      # run 4 experiments concurrently
+//	experiments -cpuprofile cpu.pprof   # profile the run
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -35,10 +41,13 @@ func run(args []string, out io.Writer) error {
 		only       = fs.String("only", "", "comma-separated experiment ids to run (default all)")
 		csvDir     = fs.String("csv", "", "directory to write per-experiment CSV files into")
 		workers    = fs.Int("workers", 0, "replication parallelism (0 = GOMAXPROCS)")
+		parallel   = fs.Int("parallel", 1, "experiments run concurrently (output order is unchanged)")
 		ablations  = fs.Bool("ablations", false, "also run the design-choice ablations A1…A5")
 		extensions = fs.Bool("extensions", false, "also run the §6 open-problem extensions X1…X6")
 		format     = fs.String("format", "text", `output format: "text" or "markdown"`)
 		list       = fs.Bool("list", false, "list all experiment ids and claims, then exit")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,8 +91,34 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown -format %q", *format)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
+
 	opts := repro.ExperimentOptions{Scale: *scale, BaseSeed: *seed, Workers: *workers}
-	for _, e := range selected {
+	runOne := func(e repro.Experiment, out io.Writer) error {
 		start := time.Now()
 		tab, err := e.Run(opts)
 		if err != nil {
@@ -104,6 +139,44 @@ func run(args []string, out io.Writer) error {
 			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
 				return err
 			}
+		}
+		return nil
+	}
+
+	if *parallel <= 1 {
+		for _, e := range selected {
+			if err := runOne(e, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Parallel mode: each experiment renders into its own buffer; buffers are
+	// flushed in selection order, so the output is byte-stable against the
+	// sequential run (modulo per-experiment wall-clock stamps). Each
+	// experiment's replications are seeded independently of scheduling, so
+	// the numbers themselves are identical too.
+	bufs := make([]bytes.Buffer, len(selected))
+	errs := make([]error, len(selected))
+	sem := make(chan struct{}, *parallel)
+	var wg sync.WaitGroup
+	for i, e := range selected {
+		wg.Add(1)
+		go func(i int, e repro.Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = runOne(e, &bufs[i])
+		}(i, e)
+	}
+	wg.Wait()
+	for i := range selected {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if _, err := out.Write(bufs[i].Bytes()); err != nil {
+			return err
 		}
 	}
 	return nil

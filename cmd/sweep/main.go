@@ -12,6 +12,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro"
 	"repro/internal/stats"
@@ -37,6 +38,7 @@ func run(args []string, out io.Writer) error {
 		adv       = fs.String("adversary", "silent", "Byzantine strategy")
 		reps      = fs.Int("reps", 10, "replications per point")
 		seed      = fs.Uint64("seed", 1, "base seed")
+		parallel  = fs.Int("parallel", 1, "replications run concurrently per point (rows stay deterministic)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,20 +69,41 @@ func run(args []string, out io.Writer) error {
 			}
 			curAlpha = v
 		}
+		// Replications run concurrently but results are gathered per rep and
+		// folded in rep order, so every CSV cell is bit-identical to the
+		// sequential run (float accumulation order included).
+		results := make([]*repro.Result, *reps)
+		errs := make([]error, *reps)
+		workers := *parallel
+		if workers <= 1 {
+			workers = 1
+		}
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for r := 0; r < *reps; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[r], errs[r] = repro.Run(repro.SearchConfig{
+					Players:     curN,
+					Objects:     int(*mRatio * float64(curN)),
+					GoodObjects: *good,
+					Alpha:       curAlpha,
+					Algorithm:   *algorithm,
+					Adversary:   *adv,
+					Seed:        *seed + uint64(r),
+				})
+			}(r)
+		}
+		wg.Wait()
 		var probes, rounds, success []float64
 		for r := 0; r < *reps; r++ {
-			res, err := repro.Run(repro.SearchConfig{
-				Players:     curN,
-				Objects:     int(*mRatio * float64(curN)),
-				GoodObjects: *good,
-				Alpha:       curAlpha,
-				Algorithm:   *algorithm,
-				Adversary:   *adv,
-				Seed:        *seed + uint64(r),
-			})
-			if err != nil {
-				return err
+			if errs[r] != nil {
+				return errs[r]
 			}
+			res := results[r]
 			probes = append(probes, res.HonestProbes()...)
 			rounds = append(rounds, float64(res.Rounds))
 			success = append(success, res.SuccessFraction())

@@ -59,6 +59,9 @@ type (
 	BillboardServer = server.Server
 	// BillboardClient is one player's authenticated connection.
 	BillboardClient = client.Client
+	// BatchPost is one entry of BillboardClient.PostBatch — a whole round's
+	// posts plus the barrier in a single protocol-v3 frame.
+	BatchPost = client.BatchPost
 	// CachedReader is a per-round read cache over a BillboardClient.
 	CachedReader = client.Cached
 )

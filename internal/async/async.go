@@ -170,7 +170,7 @@ func (s *ExploreFollow) Probe(player int, board *billboard.Board, src *rng.Sourc
 		return src.Intn(s.M), true
 	}
 	j := src.Intn(s.N)
-	votes := board.Votes(j)
+	votes := board.VotesView(j)
 	if len(votes) == 0 {
 		return 0, false
 	}

@@ -21,7 +21,6 @@ package billboard
 
 import (
 	"fmt"
-	"sort"
 )
 
 // Reader is the read-only view of a billboard that honest protocols
@@ -149,8 +148,15 @@ type Board struct {
 	votedObjects int
 
 	// events is the append-ordered vote event log; rounds are
-	// non-decreasing, so window queries binary search.
+	// non-decreasing, so window queries slice it via eventIndex.
 	events []VoteEvent
+	// eventIndex[r] is the number of events committed in rounds < r, for
+	// r in [0, round]. Maintained at EndRound, so a window query is two
+	// O(1) lookups instead of a binary search; derived state, excluded
+	// from Snapshot and Digest.
+	eventIndex []int
+	// pendingScratch backs Pending's returned copy, reused across calls.
+	pendingScratch []Post
 }
 
 // New validates cfg and returns an empty board at round 0.
@@ -178,6 +184,7 @@ func New(cfg Config) (*Board, error) {
 		votesByPlayer: make([][]Vote, cfg.Players),
 		voteCount:     make([]int, cfg.Objects),
 		negCount:      make([]int, cfg.Objects),
+		eventIndex:    []int{0},
 	}, nil
 }
 
@@ -205,12 +212,19 @@ func (b *Board) Post(p Post) error {
 
 // Pending returns the posts buffered in the current round, in posting
 // order. This is the adaptive adversary's view of in-flight honest actions;
-// honest protocol code must not use it.
+// honest protocol code must not use it. The returned slice is backed by a
+// scratch buffer owned by the board (adversaries call this every round):
+// it is valid until the next Pending call and must not be mutated. Callers
+// that need to retain it across calls must copy.
 func (b *Board) Pending() []Post {
-	out := make([]Post, len(b.pending))
-	copy(out, b.pending)
-	return out
+	b.pendingScratch = append(b.pendingScratch[:0], b.pending...)
+	return b.pendingScratch
 }
+
+// PendingView returns the pending posts without any copy. The slice aliases
+// the board's buffer: it is invalidated by the next Post or EndRound and
+// must not be mutated. The copy-free variant for per-round hot loops.
+func (b *Board) PendingView() []Post { return b.pending }
 
 // EndRound commits the round's buffered posts in posting order and
 // advances the round counter.
@@ -220,6 +234,7 @@ func (b *Board) EndRound() {
 	}
 	b.pending = b.pending[:0]
 	b.round++
+	b.eventIndex = append(b.eventIndex, len(b.events))
 }
 
 func (b *Board) commit(p Post) {
@@ -301,6 +316,12 @@ func (b *Board) Votes(player int) []Vote {
 	return out
 }
 
+// VotesView returns player p's committed votes without copying. The slice
+// aliases board state: it is valid until the next EndRound and must not be
+// mutated. The copy-free variant for per-probe hot loops (advice probes
+// call it once per player per round).
+func (b *Board) VotesView(player int) []Vote { return b.votesByPlayer[player] }
+
 // HasVote reports whether player p has at least one committed vote.
 func (b *Board) HasVote(player int) bool {
 	return len(b.votesByPlayer[player]) > 0
@@ -337,27 +358,65 @@ func (b *Board) TotalVotes() int {
 	return total
 }
 
+// eventOffset returns the number of committed events with round < r, via
+// the per-round offset index (O(1); no scan, no binary search).
+func (b *Board) eventOffset(r int) int {
+	switch {
+	case r <= 0:
+		return 0
+	case r >= len(b.eventIndex):
+		// All committed events have round < b.round.
+		return len(b.events)
+	default:
+		return b.eventIndex[r]
+	}
+}
+
 // CountVotesInWindow returns, for each object, the number of vote events
 // with round in [fromRound, toRound). This realizes the shared variable
-// ℓ_t(i) of Figure 1: votes an object received during iteration t.
+// ℓ_t(i) of Figure 1: votes an object received during iteration t. The
+// returned map is freshly allocated; hot loops should prefer
+// CountVotesInWindowInto with a reused WindowCounts buffer.
 func (b *Board) CountVotesInWindow(fromRound, toRound int) map[int]int {
-	counts := make(map[int]int)
-	lo := sort.Search(len(b.events), func(i int) bool { return b.events[i].Round >= fromRound })
-	for i := lo; i < len(b.events) && b.events[i].Round < toRound; i++ {
-		counts[b.events[i].Object]++
+	lo, hi := b.eventOffset(fromRound), b.eventOffset(toRound)
+	if hi < lo {
+		hi = lo
+	}
+	counts := make(map[int]int, hi-lo)
+	for _, e := range b.events[lo:hi] {
+		counts[e.Object]++
 	}
 	return counts
 }
 
-// EventsInWindow returns the vote events with round in [fromRound, toRound).
-func (b *Board) EventsInWindow(fromRound, toRound int) []VoteEvent {
-	lo := sort.Search(len(b.events), func(i int) bool { return b.events[i].Round >= fromRound })
-	hi := lo
-	for hi < len(b.events) && b.events[hi].Round < toRound {
-		hi++
+// CountVotesInWindowInto fills wc with the per-object vote-event counts of
+// [fromRound, toRound), reusing wc's buffers (zero allocations once warm).
+// The allocation-free variant of CountVotesInWindow for the engine hot loop.
+func (b *Board) CountVotesInWindowInto(fromRound, toRound int, wc *WindowCounts) {
+	wc.Reset(b.cfg.Objects)
+	lo, hi := b.eventOffset(fromRound), b.eventOffset(toRound)
+	for i := lo; i < hi; i++ {
+		wc.Add(b.events[i].Object, 1)
 	}
-	out := make([]VoteEvent, hi-lo)
-	copy(out, b.events[lo:hi])
+}
+
+// WindowEvents returns the vote events with round in [fromRound, toRound)
+// without copying. The slice aliases the event log: it is stable under
+// appends but must not be mutated; copy to retain past further commits.
+func (b *Board) WindowEvents(fromRound, toRound int) []VoteEvent {
+	lo, hi := b.eventOffset(fromRound), b.eventOffset(toRound)
+	if hi < lo {
+		hi = lo
+	}
+	return b.events[lo:hi]
+}
+
+// EventsInWindow returns the vote events with round in [fromRound, toRound).
+// The returned slice is a copy.
+func (b *Board) EventsInWindow(fromRound, toRound int) []VoteEvent {
+	view := b.WindowEvents(fromRound, toRound)
+	out := make([]VoteEvent, len(view))
+	copy(out, view)
 	return out
 }
 

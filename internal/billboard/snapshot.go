@@ -131,5 +131,15 @@ func Restore(data []byte, filter func(player, object int) bool) (*Board, error) 
 			b.bumpObject(v.Object)
 		}
 	}
+	// Rebuild the derived per-round event-offset index (events carry
+	// non-decreasing rounds, all < b.round).
+	b.eventIndex = make([]int, b.round+1)
+	idx := 0
+	for r := 1; r <= b.round; r++ {
+		for idx < len(b.events) && b.events[idx].Round < r {
+			idx++
+		}
+		b.eventIndex[r] = idx
+	}
 	return b, nil
 }

@@ -290,7 +290,8 @@ func (c *Client) call(req wire.Request) (*wire.Response, error) {
 	req.Session = c.session
 	req.Seq = c.seq
 	timeout := c.opt.CallTimeout
-	if req.Type == wire.ReqBarrier {
+	if req.Type == wire.ReqBarrier || (req.Type == wire.ReqPostBatch && req.EndRound) {
+		// Both block legitimately while other players finish their rounds.
 		timeout = c.opt.BarrierTimeout
 	}
 	var last error
@@ -373,6 +374,32 @@ func (c *Client) Probe(obj int) (ProbeResult, error) {
 func (c *Client) Post(obj int, value float64, positive bool) error {
 	_, err := c.call(wire.Request{Type: wire.ReqPost, Object: obj, Value: value, Positive: positive})
 	return err
+}
+
+// BatchPost is one report inside a PostBatch frame.
+type BatchPost struct {
+	Object   int
+	Value    float64
+	Positive bool
+}
+
+// PostBatch appends a whole round's reports in one frame (protocol v3) and,
+// when endRound is true, also ends the caller's round in the same frame —
+// collapsing O(posts) round-trips plus a barrier into a single request. The
+// batch runs under one sequence number, so a retry after a lost response
+// replays the recorded outcome and never re-applies any post. It returns
+// the round number after the call (the new round when endRound is set).
+// An empty batch with endRound is exactly a Barrier.
+func (c *Client) PostBatch(posts []BatchPost, endRound bool) (int, error) {
+	msgs := make([]wire.PostMsg, len(posts))
+	for i, p := range posts {
+		msgs[i] = wire.PostMsg{Object: p.Object, Value: p.Value, Positive: p.Positive}
+	}
+	resp, err := c.call(wire.Request{Type: wire.ReqPostBatch, Posts: msgs, EndRound: endRound})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Round, nil
 }
 
 // Barrier ends the caller's round and blocks until the server commits it.

@@ -119,6 +119,13 @@ type Distill struct {
 	probeSet    []int // explore set of the current step
 	candidates  []int // C_t during phaseDistill
 
+	// Hot-path accessors resolved once at Init: the copy-free/buffered
+	// billboard fast paths when the Reader supports them, the allocating
+	// Reader methods otherwise (e.g. an RPC-backed board).
+	wc         billboard.WindowCounts  // reused window-count buffer
+	winCounter billboard.WindowCounter // nil → map fallback
+	votesOf    func(player int) []billboard.Vote
+
 	// Metrics.
 	attempts       int
 	iterationCount []int // while-loop iterations per completed attempt
@@ -193,6 +200,16 @@ func (d *Distill) Init(setup sim.Setup) error {
 	d.beta = setup.Beta
 	d.src = setup.Rng
 	d.board = setup.Board
+	if wcb, ok := setup.Board.(billboard.WindowCounter); ok {
+		d.winCounter = wcb
+	} else {
+		d.winCounter = nil
+	}
+	if vv, ok := setup.Board.(billboard.VotesViewer); ok {
+		d.votesOf = vv.VotesView
+	} else {
+		d.votesOf = setup.Board.Votes
+	}
 
 	if d.params.Domain != nil {
 		for _, obj := range d.params.Domain {
@@ -317,9 +334,9 @@ func (d *Distill) advance(round int) {
 			d.probeSet = s
 		case phaseRefine:
 			// Step 1.4: C0 = objects with >= k2/4 votes during Step 1.3.
-			counts := d.windowCounts(round)
+			d.loadWindowCounts(round)
 			threshold := d.k2 / 4 * d.thresholdScale()
-			c0 := d.filterDomain(counts, func(c int) bool { return float64(c) >= threshold })
+			c0 := d.filterDomain(func(c int) bool { return float64(c) >= threshold })
 			if len(c0) > 0 {
 				c0 = d.applyVeto(c0)
 			}
@@ -335,12 +352,12 @@ func (d *Distill) advance(round int) {
 			d.probeSet = c0
 		case phaseDistill:
 			// Step 2.2: keep candidates with ℓ_t(i) > n/(4 c_t).
-			counts := d.windowCounts(round)
+			d.loadWindowCounts(round)
 			ct := float64(len(d.candidates))
 			threshold := float64(d.n) / (4 * ct) * d.thresholdScale()
 			next := d.candidates[:0]
 			for _, obj := range d.candidates {
-				if float64(counts[obj]) > threshold {
+				if float64(d.wc.Count(obj)) > threshold {
 					next = append(next, obj)
 				}
 			}
@@ -387,18 +404,26 @@ func (d *Distill) thresholdScale() float64 {
 	return d.params.ThresholdScale
 }
 
-// windowCounts returns the vote counts the candidate filters use: the
-// per-window counts ℓ_t of Figure 1, or cumulative totals under the A4
-// ablation.
-func (d *Distill) windowCounts(round int) map[int]int {
-	if !d.params.CumulativeCounts {
-		return d.board.CountVotesInWindow(d.windowStart, round)
+// loadWindowCounts fills d.wc with the vote counts the candidate filters
+// use: the per-window counts ℓ_t of Figure 1, or cumulative totals under
+// the A4 ablation. Boards implementing billboard.WindowCounter (the local
+// board; the hot path) fill the reused buffer with zero allocations;
+// RPC-backed readers fall through to the map API.
+func (d *Distill) loadWindowCounts(round int) {
+	switch {
+	case d.params.CumulativeCounts:
+		d.wc.Reset(d.m)
+		for _, obj := range d.board.VotedObjects() {
+			d.wc.Add(obj, d.board.VoteCount(obj))
+		}
+	case d.winCounter != nil:
+		d.winCounter.CountVotesInWindowInto(d.windowStart, round, &d.wc)
+	default:
+		d.wc.Reset(d.m)
+		for obj, c := range d.board.CountVotesInWindow(d.windowStart, round) {
+			d.wc.Add(obj, c)
+		}
 	}
-	counts := make(map[int]int)
-	for _, obj := range d.board.VotedObjects() {
-		counts[obj] = d.board.VoteCount(obj)
-	}
-	return counts
 }
 
 // votedInDomain returns the domain objects that currently hold votes.
@@ -415,24 +440,22 @@ func (d *Distill) votedInDomain() []int {
 	return out
 }
 
-// filterDomain collects the objects in counts passing keep, restricted to
+// filterDomain collects the objects in d.wc passing keep, restricted to
 // the probe domain, in increasing object order (determinism).
-func (d *Distill) filterDomain(counts map[int]int, keep func(int) bool) []int {
+func (d *Distill) filterDomain(keep func(int) bool) []int {
 	out := make([]int, 0)
 	if d.params.Domain == nil {
-		// counts keys are unordered; scan objects that appear by iterating
-		// the domain would be O(m). Counts are small (≤ n entries), so sort
-		// the passing keys instead.
-		for obj, c := range counts {
-			if keep(c) {
+		// wc.Objects() is ascending, so the output is already sorted —
+		// the same order the map-and-sort implementation produced.
+		for _, obj := range d.wc.Objects() {
+			if keep(d.wc.Count(obj)) {
 				out = append(out, obj)
 			}
 		}
-		sortInts(out)
 		return out
 	}
 	for _, obj := range d.domain {
-		if keep(counts[obj]) {
+		if keep(d.wc.Count(obj)) {
 			out = append(out, obj)
 		}
 	}
@@ -478,7 +501,7 @@ func (d *Distill) Probes(round int, active []int, dst []sim.Probe) []sim.Probe {
 // objects (uniformly), restricted to the probe domain.
 func (d *Distill) adviceProbe() (int, bool) {
 	j := d.src.Intn(d.n)
-	votes := d.board.Votes(j)
+	votes := d.votesOf(j)
 	if len(votes) == 0 {
 		return 0, false
 	}
@@ -492,14 +515,4 @@ func (d *Distill) adviceProbe() (int, bool) {
 		return 0, false
 	}
 	return obj, true
-}
-
-// sortInts is a tiny insertion/std sort wrapper kept local to avoid pulling
-// sort into the hot path signature; objects lists are small.
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

@@ -93,6 +93,57 @@ func TestChaosClusterMatchesFaultFree(t *testing.T) {
 	}
 }
 
+// TestChaosBatchedRoundsExactlyOnce is the protocol-v3 regression: the whole
+// round travels as one PostBatch frame (posts + barrier under a single seq
+// number), so a dropped or torn frame forces the client to retry the entire
+// batch — and the server's dedup must replay the recorded response instead of
+// re-applying the posts. At >13% injection per I/O operation, retried batches
+// are common; the run must still produce a billboard byte-identical to the
+// fault-free run and charge every probe exactly once.
+func TestChaosBatchedRoundsExactlyOnce(t *testing.T) {
+	clean, err := RunCluster(chaosBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := chaosBase(t)
+	chaos.Fault = &faultnet.Config{
+		Seed:     19,
+		Drop:     0.06,
+		Delay:    0.04,
+		Tear:     0.04, // 14% total injection per I/O operation
+		MaxDelay: 2 * time.Millisecond,
+	}
+	chaos.SessionGrace = 10 * time.Second
+	chaos.BarrierDeadline = 30 * time.Second
+	chaos.Client = client.Options{
+		Retries: 24, BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		CallTimeout: 10 * time.Second,
+	}
+	faulty, err := RunCluster(chaos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulty.AllFound {
+		t.Fatal("batched chaos cluster did not finish")
+	}
+	if !bytes.Equal(faulty.BoardDigest, clean.BoardDigest) {
+		t.Fatalf("batched run diverged from fault-free billboard:\nclean:\n%s\nchaos:\n%s",
+			clean.BoardDigest, faulty.BoardDigest)
+	}
+	// A re-applied batch would double-post votes (caught by the digest) and a
+	// re-executed probe would double-charge (caught here).
+	for i, r := range faulty.Honest {
+		if faulty.ServerProbes[i] != r.Probes {
+			t.Errorf("player %d: server charged %d probes, client performed %d (double charge)",
+				i, faulty.ServerProbes[i], r.Probes)
+		}
+		if r.Probes != clean.Honest[i].Probes {
+			t.Errorf("player %d: %d probes under chaos, %d clean", i, r.Probes, clean.Honest[i].Probes)
+		}
+	}
+}
+
 // TestChaosDeterministicReplay: the same chaos seed reproduces the same run
 // bit for bit — the debugging contract for failure investigation.
 func TestChaosDeterministicReplay(t *testing.T) {

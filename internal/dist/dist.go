@@ -66,9 +66,11 @@ func runHonestPlayer(addr string, player int, token string, params core.Params, 
 
 	res := &HonestResult{Player: player}
 	var probeBuf []sim.Probe
+	var batch []client.BatchPost
 	for round := 0; round < maxRounds; round++ {
 		probeBuf = d.Probes(round, []int{player}, probeBuf[:0])
 		found := false
+		batch = batch[:0]
 		for _, pr := range probeBuf {
 			pres, err := c.Probe(pr.Object)
 			if err != nil {
@@ -76,15 +78,15 @@ func runHonestPlayer(addr string, player int, token string, params core.Params, 
 			}
 			res.Probes++
 			positive := c.LocalTesting() && pres.Good
-			if err := c.Post(pr.Object, pres.Value, positive); err != nil {
-				return nil, fmt.Errorf("dist: player %d post: %w", player, err)
-			}
+			batch = append(batch, client.BatchPost{Object: pr.Object, Value: pres.Value, Positive: positive})
 			if positive {
 				found = true
 			}
 		}
-		if _, err := c.Barrier(); err != nil {
-			return nil, fmt.Errorf("dist: player %d barrier: %w", player, err)
+		// Protocol v3: the round's posts and its barrier travel in one
+		// frame, so the round costs O(1) frames regardless of probe count.
+		if _, err := c.PostBatch(batch, true); err != nil {
+			return nil, fmt.Errorf("dist: player %d post-batch barrier: %w", player, err)
 		}
 		cached.Invalidate() // board state changed at the round boundary
 		// The Reader methods behind DISTILL cannot return errors; surface

@@ -29,6 +29,17 @@
 //     waits for stragglers once the first player has arrived; on expiry the
 //     stragglers are force-Done'd (journaled, so crash recovery refuses to
 //     resurrect them) and the round commits instead of wedging.
+//
+// Performance (wire protocol v3). Two hot-path optimizations keep per-round
+// traffic and CPU constant:
+//
+//   - batched posts: ReqPostBatch carries a whole round's posts (and
+//     optionally the round barrier) in one frame, so a player's round costs
+//     O(1) frames instead of O(posts);
+//   - read caching: committed-round reads (votes, voted objects, window
+//     counts) are memoized until the next EndRound — the billboard cannot
+//     change mid-round, so N players asking for the same round's state cost
+//     one board traversal, not N.
 package server
 
 import (
@@ -39,6 +50,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/billboard"
@@ -137,6 +149,18 @@ type Server struct {
 
 	barrierTimer *time.Timer
 	armedRound   int // round the barrier timer is armed for; -1 when idle
+
+	// Committed-round read cache, invalidated at every EndRound. Cached
+	// values are immutable once built (never mutated, only dropped), so
+	// sharing them across concurrently-encoded responses is safe.
+	cacheVotes    map[int][]wire.VoteMsg
+	cacheWindows  map[[2]int]map[int]int
+	cacheVoted    []int
+	cacheHasVoted bool
+
+	// requests counts decoded client→server frames (all types, including
+	// Hello). Observability for the O(1)-frames-per-round contract.
+	requests atomic.Int64
 
 	conns map[net.Conn]struct{} // open connections, force-closed on Close
 	wg    sync.WaitGroup
@@ -300,6 +324,11 @@ func (s *Server) Stats() (probes []int, cost []float64, satisfied []bool, round 
 		s.round
 }
 
+// RequestsServed reports the number of client→server frames decoded so far
+// (all request types, including Hello). The frame-economy tests use it to
+// pin the O(1)-frames-per-player-per-round contract of protocol v3.
+func (s *Server) RequestsServed() int64 { return s.requests.Load() }
+
 // ForceDone reports the players expelled by barrier deadlines (including
 // decisions recovered from the journal), keyed by the round of expulsion.
 func (s *Server) ForceDone() map[int]int {
@@ -365,6 +394,7 @@ func (s *Server) handle(conn net.Conn) {
 			// window via the deferred disconnect.
 			return
 		}
+		s.requests.Add(1)
 		var resp wire.Response
 		switch {
 		case req.Type == wire.ReqHello:
@@ -484,16 +514,18 @@ func (s *Server) executeLocked(player int, req *wire.Request) wire.Response {
 		return s.probeLocked(player, req.Object)
 	case wire.ReqPost:
 		return s.postLocked(player, req)
+	case wire.ReqPostBatch:
+		return s.postBatchLocked(player, req)
 	case wire.ReqVotes:
 		return s.votesLocked(req.OfPlayer)
 	case wire.ReqVotedObjects:
-		return wire.Response{Objects: s.board.VotedObjects(), Round: s.round}
+		return wire.Response{Objects: s.votedObjectsLocked(), Round: s.round}
 	case wire.ReqVoteCount:
 		return s.voteCountLocked(req.Object)
 	case wire.ReqNegCount:
 		return s.negCountLocked(req.Object)
 	case wire.ReqWindow:
-		return wire.Response{Counts: s.board.CountVotesInWindow(req.From, req.To), Round: s.round}
+		return wire.Response{Counts: s.windowLocked(req.From, req.To), Round: s.round}
 	case wire.ReqBarrier:
 		return s.barrierLocked(player)
 	case wire.ReqDone:
@@ -581,20 +613,47 @@ func (s *Server) probeLocked(player, obj int) wire.Response {
 	return wire.Response{Value: u.Value(obj), Good: good, Cost: u.Cost(obj), Round: s.round}
 }
 
-func (s *Server) postLocked(player int, req *wire.Request) wire.Response {
+// appendPostLocked validates and buffers one post under the authenticated
+// identity, journaling it on acceptance.
+func (s *Server) appendPostLocked(player, object int, value float64, positive bool) error {
 	post := billboard.Post{
 		Player:   player, // authenticated identity, not client-claimed
-		Object:   req.Object,
-		Value:    req.Value,
-		Positive: req.Positive,
+		Object:   object,
+		Value:    value,
+		Positive: positive,
 	}
 	if err := s.board.Post(post); err != nil {
-		return wire.Response{Err: err.Error()}
+		return err
 	}
 	if s.cfg.Journal != nil {
 		if err := s.cfg.Journal.Append(post); err != nil {
-			return wire.Response{Err: fmt.Sprintf("journal: %v", err)}
+			return fmt.Errorf("journal: %v", err)
 		}
+	}
+	return nil
+}
+
+func (s *Server) postLocked(player int, req *wire.Request) wire.Response {
+	if err := s.appendPostLocked(player, req.Object, req.Value, req.Positive); err != nil {
+		return wire.Response{Err: err.Error()}
+	}
+	return wire.Response{Round: s.round}
+}
+
+// postBatchLocked applies a whole round's posts from one frame, in order,
+// then (when requested) runs the round barrier — the protocol-v3 fast path.
+// The batch is not transactional: an invalid post aborts the remainder with
+// an error, leaving earlier posts buffered; since the whole batch executed
+// under one sequence number, a retry replays the recorded response and
+// never re-applies any of them.
+func (s *Server) postBatchLocked(player int, req *wire.Request) wire.Response {
+	for i, p := range req.Posts {
+		if err := s.appendPostLocked(player, p.Object, p.Value, p.Positive); err != nil {
+			return wire.Response{Err: fmt.Sprintf("batch post %d/%d: %v", i+1, len(req.Posts), err)}
+		}
+	}
+	if req.EndRound {
+		return s.barrierLocked(player)
 	}
 	return wire.Response{Round: s.round}
 }
@@ -603,12 +662,53 @@ func (s *Server) votesLocked(ofPlayer int) wire.Response {
 	if ofPlayer < 0 || ofPlayer >= len(s.cfg.Tokens) {
 		return wire.Response{Err: fmt.Sprintf("player %d out of range", ofPlayer)}
 	}
+	if msgs, ok := s.cacheVotes[ofPlayer]; ok {
+		return wire.Response{Votes: msgs, Round: s.round}
+	}
 	votes := s.board.Votes(ofPlayer)
 	msgs := make([]wire.VoteMsg, len(votes))
 	for i, v := range votes {
 		msgs[i] = wire.VoteMsg{Player: v.Player, Object: v.Object, Round: v.Round, Value: v.Value}
 	}
+	if s.cacheVotes == nil {
+		s.cacheVotes = make(map[int][]wire.VoteMsg)
+	}
+	s.cacheVotes[ofPlayer] = msgs
 	return wire.Response{Votes: msgs, Round: s.round}
+}
+
+// votedObjectsLocked serves the voted-object set from the committed-round
+// cache, computing it once per round.
+func (s *Server) votedObjectsLocked() []int {
+	if !s.cacheHasVoted {
+		s.cacheVoted = s.board.VotedObjects()
+		s.cacheHasVoted = true
+	}
+	return s.cacheVoted
+}
+
+// windowLocked serves window counts from the committed-round cache, keyed
+// by the window bounds.
+func (s *Server) windowLocked(from, to int) map[int]int {
+	key := [2]int{from, to}
+	if counts, ok := s.cacheWindows[key]; ok {
+		return counts
+	}
+	counts := s.board.CountVotesInWindow(from, to)
+	if s.cacheWindows == nil {
+		s.cacheWindows = make(map[[2]int]map[int]int)
+	}
+	s.cacheWindows[key] = counts
+	return counts
+}
+
+// invalidateReadCacheLocked drops the committed-round read cache; called
+// whenever the committed billboard state changes (EndRound).
+func (s *Server) invalidateReadCacheLocked() {
+	s.cacheVotes = nil
+	s.cacheWindows = nil
+	s.cacheVoted = nil
+	s.cacheHasVoted = false
 }
 
 func (s *Server) voteCountLocked(obj int) wire.Response {
@@ -707,6 +807,7 @@ func (s *Server) advanceLocked() {
 	}
 	s.board.EndRound()
 	s.round++
+	s.invalidateReadCacheLocked()
 	if s.cfg.Journal != nil {
 		// A marker failure is logged into the error path on the next post;
 		// the in-memory board stays authoritative for this process.

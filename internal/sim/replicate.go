@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Replicator runs independent replications of a simulation in parallel and
@@ -22,7 +23,8 @@ type Replicator struct {
 }
 
 // Run executes all replications and returns their results in order. The
-// first error encountered is returned (remaining work is still drained).
+// first error encountered is returned; once any replication fails, no new
+// replications are dispatched (in-flight ones finish).
 func (r Replicator) Run() ([]*Result, error) {
 	if r.Reps <= 0 {
 		return nil, fmt.Errorf("sim: Replicator.Reps must be > 0, got %d", r.Reps)
@@ -40,6 +42,7 @@ func (r Replicator) Run() ([]*Result, error) {
 
 	results := make([]*Result, r.Reps)
 	errs := make([]error, r.Reps)
+	var failed atomic.Bool // set on first error; stops further dispatch
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -50,18 +53,20 @@ func (r Replicator) Run() ([]*Result, error) {
 				engine, err := r.Build(r.BaseSeed + uint64(i))
 				if err != nil {
 					errs[i] = fmt.Errorf("sim: replication %d build: %w", i, err)
+					failed.Store(true)
 					continue
 				}
 				res, err := engine.Run()
 				if err != nil {
 					errs[i] = fmt.Errorf("sim: replication %d run: %w", i, err)
+					failed.Store(true)
 					continue
 				}
 				results[i] = res
 			}
 		}()
 	}
-	for i := 0; i < r.Reps; i++ {
+	for i := 0; i < r.Reps && !failed.Load(); i++ {
 		jobs <- i
 	}
 	close(jobs)

@@ -293,6 +293,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 // Honest returns the honest player ids of this run (sorted ascending).
 func (e *Engine) Honest() []int { return append([]int(nil), e.honest...) }
 
+// HonestView returns the honest player ids without copying. The slice is
+// owned by the engine and must not be mutated; use Honest for a private copy.
+func (e *Engine) HonestView() []int { return e.honest }
+
 // Board exposes the board (for tests and post-hoc inspection).
 func (e *Engine) Board() *billboard.Board { return e.board }
 

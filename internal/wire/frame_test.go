@@ -15,6 +15,8 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Type: ReqProbe, Object: 7, Session: 0xabc, Seq: 1},
 		{Type: ReqPost, Object: 7, Value: 0.25, Positive: true, Session: 0xabc, Seq: 2},
 		{Type: ReqWindow, From: 1, To: 9, Session: 0xabc, Seq: 3},
+		{Type: ReqPostBatch, Session: 0xabc, Seq: 4, EndRound: true,
+			Posts: []PostMsg{{Object: 2, Value: 0.5, Positive: true}, {Object: 3}}},
 	}
 	for i := range reqs {
 		if err := EncodeRequest(&buf, &reqs[i]); err != nil {
@@ -28,13 +30,31 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if *got != reqs[i] {
+		if !reqEqual(got, &reqs[i]) {
 			t.Fatalf("frame %d: got %+v, want %+v", i, *got, reqs[i])
 		}
 	}
 	if _, err := DecodeRequest(&buf); !errors.Is(err, io.EOF) {
 		t.Fatalf("end of stream: %v, want io.EOF", err)
 	}
+}
+
+// reqEqual compares requests field by field (the Posts slice keeps Request
+// from being comparable with ==).
+func reqEqual(a, b *Request) bool {
+	if len(a.Posts) != len(b.Posts) {
+		return false
+	}
+	for i := range a.Posts {
+		if a.Posts[i] != b.Posts[i] {
+			return false
+		}
+	}
+	return a.Type == b.Type && a.Player == b.Player && a.Token == b.Token &&
+		a.Version == b.Version && a.Session == b.Session && a.Seq == b.Seq &&
+		a.Object == b.Object && a.Value == b.Value && a.Positive == b.Positive &&
+		a.OfPlayer == b.OfPlayer && a.From == b.From && a.To == b.To &&
+		a.EndRound == b.EndRound
 }
 
 func TestResponseFrameRoundTrip(t *testing.T) {

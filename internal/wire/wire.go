@@ -65,6 +65,10 @@ const (
 	ReqBarrier
 	// ReqDone deregisters the caller (it halted).
 	ReqDone
+	// ReqPostBatch (protocol v3) appends a whole round's posts in one
+	// frame and, when Request.EndRound is set, also ends the caller's
+	// round — collapsing O(posts) round-trips plus a barrier into one.
+	ReqPostBatch
 )
 
 // String returns the request kind name.
@@ -90,6 +94,8 @@ func (t ReqType) String() string {
 		return "barrier"
 	case ReqDone:
 		return "done"
+	case ReqPostBatch:
+		return "post-batch"
 	default:
 		return fmt.Sprintf("ReqType(%d)", uint8(t))
 	}
@@ -98,8 +104,10 @@ func (t ReqType) String() string {
 // Version is the wire protocol version. Hello carries it; the server
 // rejects mismatches so that incompatible binaries fail loudly at
 // connection time instead of corrupting a run. Version 2 introduced framed
-// messages, session ids, and request sequence numbers.
-const Version = 2
+// messages, session ids, and request sequence numbers; version 3 adds
+// batched round posts (ReqPostBatch) and server-side read caching, cutting
+// a player's round to O(1) frames.
+const Version = 3
 
 // MaxFrame bounds one framed message's declared size; anything larger is
 // treated as corruption, never allocated.
@@ -135,6 +143,22 @@ type Request struct {
 
 	// Window bounds [From, To).
 	From, To int
+
+	// PostBatch payload (protocol v3): the round's posts, applied in
+	// order. EndRound, when true, additionally ends the caller's round in
+	// the same frame (the response is then the barrier response). The
+	// whole batch executes under one sequence number, so the v2 dedup
+	// gives it the same exactly-once retry semantics as a single request.
+	Posts    []PostMsg
+	EndRound bool
+}
+
+// PostMsg is one post inside a ReqPostBatch frame. The player identity is
+// the session's authenticated player, never client-claimed.
+type PostMsg struct {
+	Object   int
+	Value    float64
+	Positive bool
 }
 
 // VoteMsg mirrors billboard.Vote on the wire.

@@ -19,6 +19,7 @@ func TestReqTypeStrings(t *testing.T) {
 		ReqWindow:       "window",
 		ReqBarrier:      "barrier",
 		ReqDone:         "done",
+		ReqPostBatch:    "post-batch",
 	}
 	for typ, want := range named {
 		if got := typ.String(); got != want {
@@ -48,6 +49,8 @@ func TestGobRoundTrip(t *testing.T) {
 	req := Request{
 		Type: ReqWindow, Player: 3, Token: "t", Object: 7,
 		Value: 0.5, Positive: true, OfPlayer: 2, From: 10, To: 20,
+		Posts:    []PostMsg{{Object: 1, Value: 2, Positive: true}},
+		EndRound: true,
 	}
 	if err := enc.Encode(&req); err != nil {
 		t.Fatal(err)
@@ -56,7 +59,10 @@ func TestGobRoundTrip(t *testing.T) {
 	if err := dec.Decode(&gotReq); err != nil {
 		t.Fatal(err)
 	}
-	if gotReq != req {
+	if gotReq.Type != req.Type || gotReq.Player != req.Player || gotReq.Token != req.Token ||
+		gotReq.Object != req.Object || gotReq.Value != req.Value || gotReq.Positive != req.Positive ||
+		gotReq.OfPlayer != req.OfPlayer || gotReq.From != req.From || gotReq.To != req.To ||
+		!gotReq.EndRound || len(gotReq.Posts) != 1 || gotReq.Posts[0] != req.Posts[0] {
 		t.Fatalf("request round-trip: %+v != %+v", gotReq, req)
 	}
 
