@@ -1,12 +1,13 @@
 # Developer entry points. `make check` is the gate for hot-path and
 # networking changes: vet, the race detector over the concurrent packages
-# (server, client, dist — including the chaos tests) plus the packages the
-# perf pass touched (billboard, wire), and a 1-iteration bench smoke so a
-# broken benchmark cannot land silently.
+# (server, client, dist — including the chaos tests), the packages the
+# perf pass touched (billboard, wire), the metrics registry and its
+# scrape-under-load tests (obs, server metrics), and a 1-iteration bench
+# smoke so a broken benchmark cannot land silently.
 
 GO ?= go
 
-.PHONY: build test check fuzz bench
+.PHONY: build test check fuzz bench bench-diff
 
 build:
 	$(GO) build ./...
@@ -16,7 +17,7 @@ test:
 
 check: build
 	$(GO) vet ./...
-	$(GO) test -race ./internal/billboard/... ./internal/wire/... ./internal/server/... ./internal/client/... ./internal/dist/...
+	$(GO) test -race ./internal/obs/... ./internal/billboard/... ./internal/wire/... ./internal/server/... ./internal/client/... ./internal/dist/...
 	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/server > /dev/null
 
 # Short fuzz passes over the byte-level decoders (wire frames, journal).
@@ -36,3 +37,14 @@ bench:
 	  $(GO) test -run xxx -bench 'BenchmarkEngineRoundDistill|BenchmarkBillboard' -benchmem . ) \
 	  | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
 	@echo "wrote BENCH_PR2.json"
+
+# Gate the hot paths against the recorded baseline: re-time the substrate
+# micro-benchmarks and fail when any ns/op grew more than 5% past
+# BENCH_PR2.json. Run after touching billboard, wire, or engine internals
+# (the observability layer's overhead budget is enforced here too). The
+# allocating WindowCountMap variant is deliberately left out: its time is
+# dominated by map allocation, which drifts well past 5% run to run on the
+# same commit.
+bench-diff:
+	$(GO) test -run xxx -bench 'BenchmarkEngineRoundDistill$$|BenchmarkBillboardPostCommit$$|BenchmarkBillboardWindowCount$$' -benchmem . \
+	  | $(GO) run ./cmd/benchjson -baseline BENCH_PR2.json -max-regress 5

@@ -8,6 +8,12 @@
 // metrics map. When the same benchmark name appears more than once — e.g. a
 // quick pass and a high -benchtime pass concatenated — the later entry wins,
 // so multi-pass harnesses can refine individual numbers.
+//
+// With -baseline it becomes a regression gate instead: the fresh results on
+// stdin are diffed against a recorded baseline file and the run fails when
+// any shared benchmark's ns/op grew by more than -max-regress percent:
+//
+//	go test -bench 'BenchmarkBillboard' . | benchjson -baseline BENCH_PR2.json -max-regress 5
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -47,6 +54,8 @@ func main() {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	outPath := fs.String("o", "", "write JSON to this file instead of stdout")
+	baseline := fs.String("baseline", "", "diff ns/op against this recorded baseline instead of emitting JSON")
+	maxRegress := fs.Float64("max-regress", 5, "with -baseline: fail when ns/op grew by more than this percent")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +63,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	doc, err := parse(in)
 	if err != nil {
 		return err
+	}
+	if *baseline != "" {
+		return diff(doc, *baseline, *maxRegress, out)
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -65,6 +77,73 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	_, err = out.Write(buf)
 	return err
+}
+
+// diff compares the fresh results against a recorded baseline and errors
+// when any shared benchmark regressed by more than maxRegress percent on
+// ns/op. Names are matched with the GOMAXPROCS suffix stripped so a
+// baseline recorded at -cpu 1 still gates runs on multicore machines;
+// benchmarks present on only one side are reported but never fail the run.
+func diff(cur *Doc, baselinePath string, maxRegress float64, out io.Writer) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Doc
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	baseNs := map[string]float64{}
+	for _, e := range base.Benchmarks {
+		if e.NsPerOp > 0 {
+			baseNs[trimCPUSuffix(e.Name)] = e.NsPerOp
+		}
+	}
+
+	var regressions []string
+	fmt.Fprintf(out, "%-40s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, e := range cur.Benchmarks {
+		name := trimCPUSuffix(e.Name)
+		b, ok := baseNs[name]
+		if !ok || e.NsPerOp <= 0 {
+			fmt.Fprintf(out, "%-40s %14s %14.1f %9s\n", name, "-", e.NsPerOp, "new")
+			continue
+		}
+		delete(baseNs, name)
+		delta := 100 * (e.NsPerOp - b) / b
+		verdict := fmt.Sprintf("%+7.1f%%", delta)
+		if delta > maxRegress {
+			verdict += " FAIL"
+			regressions = append(regressions, fmt.Sprintf("%s: %.1f → %.1f ns/op (%+.1f%% > %.1f%%)",
+				name, b, e.NsPerOp, delta, maxRegress))
+		}
+		fmt.Fprintf(out, "%-40s %14.1f %14.1f %s\n", name, b, e.NsPerOp, verdict)
+	}
+	missing := make([]string, 0, len(baseNs))
+	for name := range baseNs {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(out, "%-40s %14.1f %14s %9s\n", name, baseNs[name], "-", "not run")
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %.1f%%:\n  %s",
+			len(regressions), maxRegress, strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// trimCPUSuffix drops go test's "-<GOMAXPROCS>" benchmark name suffix.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 func parse(in io.Reader) (*Doc, error) {

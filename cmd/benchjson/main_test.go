@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,5 +59,81 @@ BenchmarkFoo 1000 42 ns/op
 func TestEmptyInputIsError(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
 		t.Fatal("expected error on input with no bench lines")
+	}
+}
+
+func writeBaseline(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const diffBaseline = `{
+  "benchmarks": [
+    {"name": "BenchmarkFast", "iterations": 100000, "ns_per_op": 100},
+    {"name": "BenchmarkSlow", "iterations": 1000, "ns_per_op": 5000},
+    {"name": "BenchmarkGone", "iterations": 10, "ns_per_op": 77}
+  ]
+}`
+
+func TestDiffWithinBudgetPasses(t *testing.T) {
+	base := writeBaseline(t, diffBaseline)
+	// +4% and -10%: both inside a 5% regression budget. The -8 suffix must
+	// match the unsuffixed baseline name.
+	in := "BenchmarkFast-8 100000 104 ns/op\nBenchmarkSlow-8 1000 4500 ns/op\n"
+	var out strings.Builder
+	if err := run([]string{"-baseline", base, "-max-regress", "5"}, strings.NewReader(in), &out); err != nil {
+		t.Fatalf("diff failed inside budget: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "BenchmarkFast") || !strings.Contains(got, "+4.0%") {
+		t.Fatalf("missing delta report:\n%s", got)
+	}
+	if !strings.Contains(got, "not run") {
+		t.Fatalf("baseline-only benchmark not reported:\n%s", got)
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, diffBaseline)
+	in := "BenchmarkFast 100000 120 ns/op\nBenchmarkSlow 1000 5001 ns/op\n"
+	var out strings.Builder
+	err := run([]string{"-baseline", base, "-max-regress", "5"}, strings.NewReader(in), &out)
+	if err == nil {
+		t.Fatalf("20%% regression passed a 5%% gate:\n%s", out.String())
+	}
+	// Only the benchmark past the budget fails; +0.02% on BenchmarkSlow is fine.
+	if !strings.Contains(err.Error(), "BenchmarkFast") || strings.Contains(err.Error(), "BenchmarkSlow") {
+		t.Fatalf("wrong regression set: %v", err)
+	}
+}
+
+func TestDiffNewBenchmarkIsNotRegression(t *testing.T) {
+	base := writeBaseline(t, diffBaseline)
+	in := "BenchmarkBrandNew 50 900 ns/op\nBenchmarkFast 100000 100 ns/op\n"
+	var out strings.Builder
+	if err := run([]string{"-baseline", base}, strings.NewReader(in), &out); err != nil {
+		t.Fatalf("new benchmark treated as regression: %v", err)
+	}
+	if !strings.Contains(out.String(), "new") {
+		t.Fatalf("new benchmark not reported:\n%s", out.String())
+	}
+}
+
+func TestTrimCPUSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo-16":       "BenchmarkFoo",
+		"BenchmarkFoo":          "BenchmarkFoo",
+		"BenchmarkE1_CostVsN":   "BenchmarkE1_CostVsN",
+		"BenchmarkFoo-bar":      "BenchmarkFoo-bar",
+		"BenchmarkWindow/n-2-4": "BenchmarkWindow/n-2",
+	} {
+		if got := trimCPUSuffix(in); got != want {
+			t.Errorf("trimCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -18,6 +20,7 @@ import (
 
 	"repro/internal/journal"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/server"
 )
@@ -41,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		journalPath = fs.String("journal", "", "append the billboard journal to this file (and recover from it if it exists)")
 		grace       = fs.Duration("session-grace", 0, "how long a disconnected player's session stays resumable (0: a disconnect deregisters the player immediately)")
 		deadline    = fs.Duration("barrier-deadline", 0, "how long a round barrier waits for stragglers before force-Done'ing them (0: wait forever)")
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics (empty: disabled)")
 		once        = fs.Bool("print-and-exit", false, "print config and exit (for tests)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +73,11 @@ func run(args []string, out io.Writer) error {
 		SessionGrace: *grace, BarrierDeadline: *deadline,
 		Logf: logf,
 	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
 	if *journalPath != "" {
 		if prior, err := os.ReadFile(*journalPath); err == nil && len(prior) > 0 {
 			cfg.Recover = bytes.NewReader(prior)
@@ -92,6 +101,19 @@ func run(args []string, out io.Writer) error {
 	defer srv.Close()
 
 	fmt.Fprintf(out, "billboard server listening on %s\n", bound)
+	if reg != nil {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer mln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		msrv := &http.Server{Handler: mux}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		fmt.Fprintf(out, "metrics on http://%s/metrics\n", mln.Addr())
+	}
 	fmt.Fprintf(out, "players %d, objects %d (%d good), advertised alpha %.3f\n",
 		*n, *m, *good, *alpha)
 	if *grace > 0 || *deadline > 0 {

@@ -33,6 +33,29 @@ func TestBadFlags(t *testing.T) {
 	}
 }
 
+func TestMetricsAddrFlag(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "2", "-m", "16", "-metrics-addr", "127.0.0.1:0", "-print-and-exit"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "metrics on http://127.0.0.1:") {
+		t.Fatalf("metrics endpoint line missing:\n%s", out.String())
+	}
+	// Disabled by default: no endpoint line without the flag.
+	out.Reset()
+	if err := run([]string{"-n", "2", "-m", "16", "-print-and-exit"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "metrics on") {
+		t.Fatalf("metrics endpoint unexpectedly enabled:\n%s", out.String())
+	}
+	// An unbindable metrics address is an error, not a silent skip.
+	if err := run([]string{"-metrics-addr", "256.0.0.1:99999", "-print-and-exit"}, &out); err == nil {
+		t.Fatal("bad metrics address accepted")
+	}
+}
+
 func TestFaultToleranceFlags(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{

@@ -3,6 +3,10 @@
 //
 //	distill-sim -n 1024 -m 1024 -alpha 0.9 -adversary spam-distinct
 //	distill-sim -algorithm async-round-robin -n 4096 -alpha 0.5 -reps 20
+//
+// -trace-out FILE additionally writes a per-round JSONL trace (one
+// RoundEvent per committed round, tagged with the replication index);
+// tracing never changes the simulated outcome.
 package main
 
 import (
@@ -35,13 +39,28 @@ func run(args []string, out io.Writer) error {
 		reps      = fs.Int("reps", 1, "number of replications")
 		votes     = fs.Int("f", 1, "votes per player (§4.1)")
 		errRate   = fs.Float64("error-rate", 0, "honest erroneous-vote probability (§4.1)")
+		traceOut  = fs.String("trace-out", "", "write a per-round JSONL trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var trace *repro.TraceWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace = repro.NewTraceWriter(f)
+	}
+
 	var probes, rounds, successes []float64
 	for r := 0; r < *reps; r++ {
+		var opts []repro.RunOption
+		if trace != nil {
+			opts = append(opts, repro.WithObserver(repro.NewTraceObserver(trace, *algorithm, r)))
+		}
 		res, err := repro.Run(repro.SearchConfig{
 			Players:         *n,
 			Objects:         *m,
@@ -52,9 +71,12 @@ func run(args []string, out io.Writer) error {
 			Seed:            *seed + uint64(r),
 			VotesPerPlayer:  *votes,
 			HonestErrorRate: *errRate,
-		})
+		}, opts...)
 		if err != nil {
 			return err
+		}
+		if trace != nil && trace.Err() != nil {
+			return trace.Err()
 		}
 		probes = append(probes, res.MeanHonestProbes())
 		rounds = append(rounds, float64(res.Rounds))

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -48,6 +51,58 @@ func TestAdversaryAndAlgorithmFlags(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "collude") {
 		t.Fatalf("adversary flag ignored:\n%s", out.String())
+	}
+}
+
+func TestTraceOutWritesJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out strings.Builder
+	err := run([]string{"-n", "64", "-m", "64", "-alpha", "0.8", "-seed", "3", "-reps", "2", "-trace-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("too few trace events:\n%s", data)
+	}
+	reps := map[int]bool{}
+	for _, line := range lines {
+		var e struct {
+			Type  string `json:"type"`
+			Label string `json:"label"`
+			Rep   int    `json:"rep"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if e.Type != "round" || e.Label != "distill" {
+			t.Fatalf("unexpected event: %+v", e)
+		}
+		reps[e.Rep] = true
+	}
+	if !reps[0] || !reps[1] {
+		t.Fatalf("expected events from both replications, got reps %v", reps)
+	}
+}
+
+// TestTraceOutIsBehaviorNeutral pins that tracing does not perturb the
+// run: stdout is byte-identical with and without -trace-out.
+func TestTraceOutIsBehaviorNeutral(t *testing.T) {
+	args := []string{"-n", "64", "-m", "64", "-alpha", "0.8", "-seed", "3"}
+	var plain, traced strings.Builder
+	if err := run(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run(append(args, "-trace-out", path), &traced); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != traced.String() {
+		t.Fatalf("tracing changed the run:\n--- plain ---\n%s--- traced ---\n%s", plain.String(), traced.String())
 	}
 }
 

@@ -8,6 +8,7 @@
 //	experiments -csv out/        # also write one CSV per experiment
 //	experiments -parallel 4      # run 4 experiments concurrently
 //	experiments -cpuprofile cpu.pprof   # profile the run
+//	experiments -trace-out run.jsonl    # JSONL event per experiment
 package main
 
 import (
@@ -48,6 +49,7 @@ func run(args []string, out io.Writer) error {
 		list       = fs.Bool("list", false, "list all experiment ids and claims, then exit")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		traceOut   = fs.String("trace-out", "", "write one JSONL event per completed experiment to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,6 +119,16 @@ func run(args []string, out io.Writer) error {
 		}()
 	}
 
+	var trace *repro.TraceWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace = repro.NewTraceWriter(f)
+	}
+
 	opts := repro.ExperimentOptions{Scale: *scale, BaseSeed: *seed, Workers: *workers}
 	runOne := func(e repro.Experiment, out io.Writer) error {
 		start := time.Now()
@@ -124,6 +136,12 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		// The trace writer is concurrency-safe, so parallel mode emits
+		// whole events in completion order (never interleaved).
+		trace.Emit(experimentEvent{
+			Type: "experiment", ID: e.ID, Title: e.Title,
+			Seconds: time.Since(start).Seconds(), Rows: tab.NumRows(),
+		})
 		switch *format {
 		case "markdown":
 			fmt.Fprintf(out, "## %s — %s\n\n", e.ID, e.Title)
@@ -149,7 +167,7 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		}
-		return nil
+		return trace.Err()
 	}
 
 	// Parallel mode: each experiment renders into its own buffer; buffers are
@@ -179,5 +197,15 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return trace.Err()
+}
+
+// experimentEvent is the JSONL record -trace-out emits per completed
+// experiment.
+type experimentEvent struct {
+	Type    string  `json:"type"` // always "experiment"
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+	Rows    int     `json:"rows"`
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -72,6 +73,41 @@ func TestUnknownFormatRejected(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-format", "yaml", "-only", "E12", "-scale", "0.1"}, &out); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestTraceOutWritesExperimentEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	var out strings.Builder
+	if err := run([]string{"-only", "E12,A1", "-scale", "0.1", "-trace-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 trace events, got %d:\n%s", len(lines), data)
+	}
+	ids := map[string]bool{}
+	for _, line := range lines {
+		var e struct {
+			Type    string  `json:"type"`
+			ID      string  `json:"id"`
+			Seconds float64 `json:"seconds"`
+			Rows    int     `json:"rows"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if e.Type != "experiment" || e.Rows <= 0 || e.Seconds < 0 {
+			t.Fatalf("unexpected event: %+v", e)
+		}
+		ids[e.ID] = true
+	}
+	if !ids["E12"] || !ids["A1"] {
+		t.Fatalf("missing experiment ids in trace: %v", ids)
 	}
 }
 

@@ -1,8 +1,14 @@
-// Command trace runs one simulation and emits a per-round CSV of the run's
-// dynamics — active players, satisfied players, votes, good-object votes —
-// for plotting how the billboard state evolves:
+// Command trace runs one simulation and emits a per-round trace of the
+// run's dynamics — active players, satisfied players, votes, good-object
+// votes — for plotting how the billboard state evolves:
 //
 //	trace -n 1024 -alpha 0.5 -adversary spam-distinct > trace.csv
+//	trace -n 1024 -json > trace.jsonl
+//
+// The default output is CSV with a trailing "#"-prefixed summary line;
+// -json switches to JSON Lines (one RoundEvent per round, then one
+// summary event), the same schema the -trace-out flags of distill-sim
+// and experiments write.
 package main
 
 import (
@@ -12,10 +18,6 @@ import (
 	"os"
 
 	"repro"
-	"repro/internal/adversary"
-	"repro/internal/object"
-	"repro/internal/rng"
-	"repro/internal/sim"
 )
 
 func main() {
@@ -23,6 +25,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trace:", err)
 		os.Exit(1)
 	}
+}
+
+// summaryEvent is the final JSONL record in -json mode.
+type summaryEvent struct {
+	Type       string  `json:"type"` // always "summary"
+	Rounds     int     `json:"rounds"`
+	Success    float64 `json:"success"`
+	MeanProbes float64 `json:"mean_probes"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -35,6 +45,7 @@ func run(args []string, out io.Writer) error {
 		algorithm = fs.String("algorithm", "distill", "honest algorithm")
 		adv       = fs.String("adversary", "silent", "Byzantine strategy")
 		seed      = fs.Uint64("seed", 1, "random seed")
+		jsonOut   = fs.Bool("json", false, "emit JSON Lines instead of CSV")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,43 +54,38 @@ func run(args []string, out io.Writer) error {
 		*m = *n
 	}
 
-	u, err := object.NewPlanted(object.Planted{M: *m, Good: *good}, rng.New(*seed))
-	if err != nil {
-		return err
-	}
-	proto, err := repro.NewProtocol(*algorithm)
-	if err != nil {
-		return err
-	}
-	var advStrategy sim.Adversary
-	if *adv != "" && *adv != "silent" {
-		advStrategy = adversary.ByName(*adv)
-		if advStrategy == nil {
-			return fmt.Errorf("unknown adversary %q (valid: %v)", *adv, adversary.Names())
-		}
+	cfg := repro.SearchConfig{
+		Players: *n, Objects: *m, GoodObjects: *good,
+		Alpha: *alpha, Algorithm: *algorithm, Adversary: *adv,
+		Seed: *seed, MaxRounds: 1 << 16,
 	}
 
-	fmt.Fprintln(out, "round,active,satisfied,probes,total_votes,voted_objects,good_votes")
-	engine, err := sim.NewEngine(sim.Config{
-		Universe:  u,
-		Protocol:  proto,
-		Adversary: advStrategy,
-		N:         *n,
-		Alpha:     *alpha,
-		Seed:      *seed,
-		MaxRounds: 1 << 16,
-		Observer: func(s sim.RoundStats) {
+	var observer repro.Observer
+	var tr *repro.TraceWriter
+	if *jsonOut {
+		tr = repro.NewTraceWriter(out)
+		observer = repro.NewTraceObserver(tr, *algorithm, 0)
+	} else {
+		fmt.Fprintln(out, "round,active,satisfied,probes,total_votes,voted_objects,good_votes")
+		observer = repro.FuncObserver(func(s repro.RoundStats) {
 			fmt.Fprintf(out, "%d,%d,%d,%d,%d,%d,%d\n",
 				s.Round, s.ActiveHonest, s.SatisfiedHonest, s.ProbesThisRound,
 				s.TotalVotes, s.VotedObjects, s.GoodVotes)
-		},
-	})
+		})
+	}
+
+	res, err := repro.Run(cfg, repro.WithObserver(observer))
 	if err != nil {
 		return err
 	}
-	res, err := engine.Run()
-	if err != nil {
-		return err
+	if *jsonOut {
+		tr.Emit(summaryEvent{
+			Type:       "summary",
+			Rounds:     res.Rounds,
+			Success:    res.SuccessFraction(),
+			MeanProbes: res.MeanHonestProbes(),
+		})
+		return tr.Err()
 	}
 	fmt.Fprintf(out, "# rounds=%d success=%.3f mean_probes=%.3f\n",
 		res.Rounds, res.SuccessFraction(), res.MeanHonestProbes())

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -71,5 +73,77 @@ func TestTraceBadAdversary(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-adversary", "nope"}, &out); err == nil {
 		t.Fatal("unknown adversary accepted")
+	}
+}
+
+func TestTraceJSONMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "64", "-alpha", "0.8", "-seed", "2", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("too few lines:\n%s", out.String())
+	}
+	var first struct {
+		Type  string `json:"type"`
+		Round int    `json:"round"`
+		Label string `json:"label"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("first line not JSON: %v\n%s", err, lines[0])
+	}
+	if first.Type != "round" || first.Round != 0 || first.Label != "distill" {
+		t.Fatalf("bad first event: %+v", first)
+	}
+	var last struct {
+		Type    string  `json:"type"`
+		Rounds  int     `json:"rounds"`
+		Success float64 `json:"success"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("last line not JSON: %v\n%s", err, lines[len(lines)-1])
+	}
+	if last.Type != "summary" || last.Rounds != len(lines)-1 || last.Success != 1 {
+		t.Fatalf("bad summary event: %+v", last)
+	}
+}
+
+// TestTraceJSONMatchesCSV pins that both modes describe the same run: the
+// per-round numbers in -json output equal the CSV rows at the same seed.
+func TestTraceJSONMatchesCSV(t *testing.T) {
+	args := []string{"-n", "64", "-alpha", "0.8", "-seed", "5"}
+	var csvOut, jsonOut strings.Builder
+	if err := run(args, &csvOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-json"), &jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	csvLines := strings.Split(strings.TrimSpace(csvOut.String()), "\n")
+	jsonLines := strings.Split(strings.TrimSpace(jsonOut.String()), "\n")
+	csvRows := csvLines[1 : len(csvLines)-1] // strip header and summary
+	jsonRows := jsonLines[:len(jsonLines)-1] // strip summary event
+	if len(csvRows) != len(jsonRows) {
+		t.Fatalf("row count: csv %d vs json %d", len(csvRows), len(jsonRows))
+	}
+	for i, row := range jsonRows {
+		var e struct {
+			Round        int `json:"round"`
+			Active       int `json:"active"`
+			Satisfied    int `json:"satisfied"`
+			Probes       int `json:"probes"`
+			TotalVotes   int `json:"total_votes"`
+			VotedObjects int `json:"voted_objects"`
+			GoodVotes    int `json:"good_votes"`
+		}
+		if err := json.Unmarshal([]byte(row), &e); err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("%d,%d,%d,%d,%d,%d,%d",
+			e.Round, e.Active, e.Satisfied, e.Probes, e.TotalVotes, e.VotedObjects, e.GoodVotes)
+		if csvRows[i] != want {
+			t.Fatalf("row %d: csv %q vs json-derived %q", i, csvRows[i], want)
+		}
 	}
 }

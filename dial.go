@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/client"
+)
+
+// This file is the options-based entry point to the networked billboard:
+//
+//	c, err := repro.Dial(addr, player, token,
+//		repro.WithRetries(16),
+//		repro.WithMetrics(reg))
+//
+// The legacy DialBillboard / DialBillboardOptions constructors (see
+// facade_systems.go) remain as thin wrappers over this call.
+
+// DialOption customizes one Dial call. Options apply in order over the
+// zero ClientOptions value; unset knobs keep the documented defaults.
+type DialOption func(*ClientOptions)
+
+// WithRetries sets how many times a failed call is retried (reconnecting
+// and resuming the session first) before the error is reported. Negative
+// disables retries.
+func WithRetries(n int) DialOption {
+	return func(o *ClientOptions) { o.Retries = n }
+}
+
+// WithBackoff shapes the jittered exponential backoff between retries.
+func WithBackoff(base, max time.Duration) DialOption {
+	return func(o *ClientOptions) { o.BackoffBase, o.BackoffMax = base, max }
+}
+
+// WithCallTimeout bounds one attempt of a non-barrier call. Negative
+// disables the deadline.
+func WithCallTimeout(d time.Duration) DialOption {
+	return func(o *ClientOptions) { o.CallTimeout = d }
+}
+
+// WithBarrierTimeout bounds one attempt of a Barrier call (default: no
+// deadline — barriers block legitimately while other players finish).
+func WithBarrierTimeout(d time.Duration) DialOption {
+	return func(o *ClientOptions) { o.BarrierTimeout = d }
+}
+
+// WithDialer overrides the transport dial — the hook fault injection
+// (NewFaultInjector) plugs into.
+func WithDialer(dial func(addr string) (net.Conn, error)) DialOption {
+	return func(o *ClientOptions) { o.Dialer = dial }
+}
+
+// WithClientSeed seeds the backoff jitter (default: derived from the
+// player id).
+func WithClientSeed(seed uint64) DialOption {
+	return func(o *ClientOptions) { o.Seed = seed }
+}
+
+// WithMetrics records the client_* metric family (dials, reconnects,
+// retries, backoff time, frames/bytes sent) into reg. Share one registry
+// across a fleet of clients to aggregate.
+func WithMetrics(reg *Metrics) DialOption {
+	return func(o *ClientOptions) { o.Metrics = reg }
+}
+
+// WithClientOptions replaces the whole option struct — the escape hatch
+// for callers that already hold a ClientOptions value. Later options still
+// apply on top.
+func WithClientOptions(opt ClientOptions) DialOption {
+	return func(o *ClientOptions) { *o = opt }
+}
+
+// Dial connects and authenticates to a billboard server as the given
+// player. With no options it behaves exactly like the legacy
+// DialBillboard: sane fault-tolerance defaults, no metrics.
+func Dial(addr string, player int, token string, opts ...DialOption) (*BillboardClient, error) {
+	var o ClientOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return client.DialOptions(addr, player, token, o)
+}

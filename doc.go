@@ -10,9 +10,10 @@
 // This package is the public facade: it re-exports the model (universes,
 // billboard, synchronous engine), the algorithms (DISTILL and its §4.1/§5
 // variants, plus the baselines the paper compares against), the Byzantine
-// adversary suite, and the experiment registry E1…E13 that regenerates
-// every quantitative claim. See README.md for a tour and EXPERIMENTS.md for
-// paper-vs-measured results.
+// adversary suite, the experiment registry E1…E13 that regenerates every
+// quantitative claim, the networked billboard service, and the
+// observability layer (metrics, traces, per-round observers). See
+// README.md for a tour and EXPERIMENTS.md for paper-vs-measured results.
 //
 // Quickstart:
 //
@@ -21,4 +22,32 @@
 //		Alpha: 0.9, Adversary: "spam-distinct", Seed: 42,
 //	})
 //	fmt.Println(res.MeanHonestProbes()) // ≈ constant, per Corollary 5
+//
+// # Observability
+//
+// The options-based flow, end to end — dial a billboard server with
+// client metrics, run an instrumented simulation, then read the numbers
+// back (or serve them: cmd/billboard-server exposes the same registry on
+// -metrics-addr in Prometheus text format):
+//
+//	reg := repro.NewMetrics()
+//
+//	// Networked: a client fleet sharing one registry.
+//	c, err := repro.Dial(addr, player, token,
+//		repro.WithRetries(16),
+//		repro.WithMetrics(reg))
+//
+//	// In-process: a run streaming per-round stats into the registry
+//	// and a JSONL trace. Observers never perturb the run: probes and
+//	// rounds are bit-identical at a fixed seed with or without them.
+//	tr := repro.NewTraceWriter(traceFile)
+//	res, err := repro.Run(cfg, repro.WithObserver(repro.MultiObserver(
+//		repro.NewMetricsObserver(reg),
+//		repro.NewTraceObserver(tr, "demo", 0),
+//	)))
+//
+//	// Read metrics back: a point-in-time name → value snapshot, or the
+//	// Prometheus text form via repro.MetricsHandler(reg).
+//	snap := reg.Snapshot()
+//	fmt.Println(snap["sim_rounds_total"], snap["client_retries_total"])
 package repro

@@ -15,8 +15,20 @@ import (
 // This file re-exports the substrate systems — the asynchronous model of
 // [1], the networked billboard service, the durable journal, and the
 // EigenTrust-style trust computation — so that downstream users of the
-// module can reach them through the supported public API.
+// module can reach them through the supported public API. It is organized
+// in sections:
+//
+//   - Asynchronous model: the prior-work model the paper argues against.
+//   - Networked billboard service: server, client, distributed runs.
+//   - Fault injection: deterministic transport chaos for tests.
+//   - Durability: the append-only billboard journal.
+//   - Trust: the EigenTrust-style reputation comparison (X5).
+//
+// The preferred client entry point is Dial (dial.go) with functional
+// options; the observability layer (metrics, traces, observers) lives in
+// observability.go.
 
+// ---------------------------------------------------------------------------
 // Asynchronous model (§1.2; the model of the authors' prior work [1]).
 type (
 	// AsyncConfig describes one asynchronous run.
@@ -51,7 +63,9 @@ var (
 // §1.2 schedule that forces Θ(1/β) individual cost.
 func ScheduleStarve(victim int) AsyncSchedule { return async.Starve{Victim: victim} }
 
+// ---------------------------------------------------------------------------
 // Networked billboard service.
+
 type (
 	// BillboardServerConfig configures the billboard service.
 	BillboardServerConfig = server.Config
@@ -72,18 +86,24 @@ func NewBillboardServer(cfg BillboardServerConfig) (*BillboardServer, error) {
 }
 
 // ClientOptions tunes a billboard client's fault tolerance: reconnect
-// retries, backoff, per-call deadlines, and the transport dialer.
+// retries, backoff, per-call deadlines, the transport dialer, and the
+// metrics registry. Usually built implicitly via Dial's options.
 type ClientOptions = client.Options
 
 // DialBillboard connects and authenticates to a billboard server.
+//
+// Deprecated: use Dial, which takes the same required arguments plus
+// functional options.
 func DialBillboard(addr string, player int, token string) (*BillboardClient, error) {
-	return client.Dial(addr, player, token)
+	return Dial(addr, player, token)
 }
 
-// DialBillboardOptions is DialBillboard with explicit fault-tolerance
-// options (retries, backoff, deadlines, custom dialer).
+// DialBillboardOptions is DialBillboard with an explicit options struct.
+//
+// Deprecated: use Dial with WithClientOptions(opt), or the individual
+// With* options.
 func DialBillboardOptions(addr string, player int, token string, opt ClientOptions) (*BillboardClient, error) {
-	return client.DialOptions(addr, player, token, opt)
+	return Dial(addr, player, token, WithClientOptions(opt))
 }
 
 // NewCachedReader wraps a client with a per-round read cache; call
@@ -104,7 +124,9 @@ func RunDistributedCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	return dist.RunCluster(cfg)
 }
 
+// ---------------------------------------------------------------------------
 // Deterministic transport fault injection (chaos testing).
+
 type (
 	// FaultConfig sets seed-derived per-operation fault probabilities
 	// (drops, delays, torn writes, one-way partitions).
@@ -119,7 +141,9 @@ func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) {
 	return faultnet.New(cfg)
 }
 
+// ---------------------------------------------------------------------------
 // Durable journal for the append-only billboard.
+
 type (
 	// JournalWriter appends billboard events to a stream.
 	JournalWriter = journal.Writer
@@ -128,7 +152,9 @@ type (
 // NewJournalWriter wraps w as a billboard journal sink.
 func NewJournalWriter(w io.Writer) *JournalWriter { return journal.NewWriter(w) }
 
+// ---------------------------------------------------------------------------
 // EigenTrust-style reputation (the §1.3 critique, experiment X5).
+
 type (
 	// TrustReport is one (player, object, value) rating.
 	TrustReport = trust.Report

@@ -21,6 +21,8 @@ package billboard
 
 import (
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Reader is the read-only view of a billboard that honest protocols
@@ -157,6 +159,34 @@ type Board struct {
 	eventIndex []int
 	// pendingScratch backs Pending's returned copy, reused across calls.
 	pendingScratch []Post
+
+	// indexRebuilds counts full eventIndex reconstructions (Restore); kept
+	// unconditionally so SetMetrics can backfill a counter attached after a
+	// recovery.
+	indexRebuilds int64
+
+	// Metric handles (nil — single-branch no-ops — until SetMetrics).
+	mPosts         *obs.Counter
+	mWindowQueries *obs.Counter
+	mIndexRebuilds *obs.Counter
+}
+
+// SetMetrics registers the board's metrics in reg (nil is a no-op) and
+// starts recording: billboard_posts_total (accepted posts, committed or
+// still pending), billboard_window_queries_total (CountVotesInWindow and
+// the allocation-free Into variant), and billboard_index_rebuilds_total
+// (full event-offset-index reconstructions, i.e. snapshot/journal
+// recoveries — already-performed rebuilds are backfilled). Recording is
+// one nil check plus one atomic add per event, so the hot paths stay
+// within the committed benchmark budget.
+func (b *Board) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	b.mPosts = reg.Counter("billboard_posts_total", "reports accepted by the billboard")
+	b.mWindowQueries = reg.Counter("billboard_window_queries_total", "vote-window queries served")
+	b.mIndexRebuilds = reg.Counter("billboard_index_rebuilds_total", "full event-index reconstructions (recoveries)")
+	b.mIndexRebuilds.Add(b.indexRebuilds)
 }
 
 // New validates cfg and returns an empty board at round 0.
@@ -207,6 +237,7 @@ func (b *Board) Post(p Post) error {
 	}
 	p.Round = b.round
 	b.pending = append(b.pending, p)
+	b.mPosts.Inc()
 	return nil
 }
 
@@ -378,6 +409,7 @@ func (b *Board) eventOffset(r int) int {
 // returned map is freshly allocated; hot loops should prefer
 // CountVotesInWindowInto with a reused WindowCounts buffer.
 func (b *Board) CountVotesInWindow(fromRound, toRound int) map[int]int {
+	b.mWindowQueries.Inc()
 	lo, hi := b.eventOffset(fromRound), b.eventOffset(toRound)
 	if hi < lo {
 		hi = lo
@@ -393,6 +425,7 @@ func (b *Board) CountVotesInWindow(fromRound, toRound int) map[int]int {
 // [fromRound, toRound), reusing wc's buffers (zero allocations once warm).
 // The allocation-free variant of CountVotesInWindow for the engine hot loop.
 func (b *Board) CountVotesInWindowInto(fromRound, toRound int, wc *WindowCounts) {
+	b.mWindowQueries.Inc()
 	wc.Reset(b.cfg.Objects)
 	lo, hi := b.eventOffset(fromRound), b.eventOffset(toRound)
 	for i := lo; i < hi; i++ {

@@ -141,5 +141,6 @@ func Restore(data []byte, filter func(player, object int) bool) (*Board, error) 
 		}
 		b.eventIndex[r] = idx
 	}
+	b.indexRebuilds++
 	return b, nil
 }

@@ -19,11 +19,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/billboard"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -55,6 +57,11 @@ type Options struct {
 	BarrierTimeout time.Duration
 	// Seed drives the backoff jitter (default: derived from the player id).
 	Seed uint64
+	// Metrics, when non-nil, receives the client_* metric family (dials,
+	// reconnects, retries, backoff time, frames and bytes sent). Share one
+	// registry across a fleet of clients to aggregate. Nil disables
+	// recording at the cost of one branch per event.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults(player int) Options {
@@ -112,10 +119,13 @@ type Client struct {
 	session uint64
 	seq     uint64
 	conn    net.Conn
+	w       io.Writer // encode path: conn, or a counting wrapper over it
 	br      *bufio.Reader
 	jitter  *rng.Source
 	closed  bool  // set by Close: no further calls, no reconnects
 	lastErr error // first unrecovered transport failure; sticky
+	resumed bool  // a Hello has succeeded before: later connects are resumes
+	met     clientMetrics
 
 	n, m         int
 	localTesting bool
@@ -153,11 +163,13 @@ func DialOptions(addr string, player int, token string, opt Options) (*Client, e
 		opt:     opt,
 		session: newSessionID(player),
 		jitter:  rng.New(opt.Seed).Split(uint64(player)),
+		met:     newClientMetrics(opt.Metrics),
 	}
 	var last error
 	for attempt := 0; attempt <= opt.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.backoff(attempt))
+			c.met.retries.Inc()
+			c.sleepBackoff(attempt)
 		}
 		if err := c.connect(); err != nil {
 			var perm *serverError
@@ -176,9 +188,17 @@ func DialOptions(addr string, player int, token string, opt Options) (*Client, e
 // fixed at construction, a reconnect resumes the session: registration,
 // vote state, and the server-side dedup window all survive.
 func (c *Client) connect() error {
+	c.met.dials.Inc()
+	if c.resumed {
+		c.met.reconnects.Inc()
+	}
 	nc, err := c.opt.Dialer(c.addr)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
+	}
+	var w io.Writer = nc
+	if c.met.enabled {
+		w = &countingWriter{w: nc, bytes: c.met.bytesSent}
 	}
 	br := bufio.NewReader(nc)
 	if c.opt.CallTimeout > 0 {
@@ -188,10 +208,11 @@ func (c *Client) connect() error {
 		Type: wire.ReqHello, Player: c.player, Token: c.token,
 		Version: wire.Version, Session: c.session,
 	}
-	if err := wire.EncodeRequest(nc, &req); err != nil {
+	if err := wire.EncodeRequest(w, &req); err != nil {
 		nc.Close()
 		return fmt.Errorf("client: send hello: %w", err)
 	}
+	c.met.framesSent.Inc()
 	resp, err := wire.DecodeResponse(br)
 	if err != nil {
 		nc.Close()
@@ -202,7 +223,8 @@ func (c *Client) connect() error {
 		nc.Close()
 		return &serverError{e}
 	}
-	c.conn, c.br = nc, br
+	c.conn, c.w, c.br = nc, w, br
+	c.resumed = true
 	c.n = resp.N
 	c.m = resp.M
 	c.localTesting = resp.LocalTesting
@@ -219,7 +241,7 @@ func (c *Client) connect() error {
 func (c *Client) drop() {
 	if c.conn != nil {
 		c.conn.Close()
-		c.conn, c.br = nil, nil
+		c.conn, c.w, c.br = nil, nil, nil
 	}
 }
 
@@ -236,6 +258,14 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return time.Duration(1 + c.jitter.Uint64n(uint64(step)))
 }
 
+// sleepBackoff sleeps the jittered backoff for an attempt, attributing the
+// wait to client_backoff_seconds_total.
+func (c *Client) sleepBackoff(attempt int) {
+	d := c.backoff(attempt)
+	c.met.backoffSeconds.Add(d.Seconds())
+	time.Sleep(d)
+}
+
 // Close tears down the connection without Done. With a session grace
 // window the server keeps the session resumable until the lease expires;
 // with no grace (the default server config) it treats the drop as Done, so
@@ -246,7 +276,7 @@ func (c *Client) Close() error {
 		return nil
 	}
 	err := c.conn.Close()
-	c.conn, c.br = nil, nil
+	c.conn, c.w, c.br = nil, nil, nil
 	return err
 }
 
@@ -297,7 +327,8 @@ func (c *Client) call(req wire.Request) (*wire.Response, error) {
 	var last error
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.backoff(attempt))
+			c.met.retries.Inc()
+			c.sleepBackoff(attempt)
 		}
 		if c.conn == nil {
 			if err := c.connect(); err != nil {
@@ -315,11 +346,12 @@ func (c *Client) call(req wire.Request) (*wire.Response, error) {
 		if timeout > 0 {
 			c.conn.SetDeadline(time.Now().Add(timeout))
 		}
-		if err := wire.EncodeRequest(c.conn, &req); err != nil {
+		if err := wire.EncodeRequest(c.w, &req); err != nil {
 			c.drop()
 			last = fmt.Errorf("client: send %v: %w", req.Type, err)
 			continue
 		}
+		c.met.framesSent.Inc()
 		resp, err := wire.DecodeResponse(c.br)
 		if err != nil {
 			c.drop()

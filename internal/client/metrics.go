@@ -1,0 +1,55 @@
+package client
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// clientMetrics bundles the client-side metric handles. With no registry
+// the struct stays zero-valued — every handle is nil and recording is a
+// single-branch no-op — so fault-tolerance bookkeeping costs nothing when
+// observability is off.
+type clientMetrics struct {
+	enabled bool
+
+	dials          *obs.Counter
+	reconnects     *obs.Counter
+	retries        *obs.Counter
+	backoffSeconds *obs.Gauge
+	framesSent     *obs.Counter
+	bytesSent      *obs.Counter
+}
+
+// newClientMetrics registers the client_* metric family in reg. Several
+// clients (one per player goroutine) typically share one registry; the
+// counters then aggregate across the whole local player fleet. A nil reg
+// returns the inert zero value.
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	if reg == nil {
+		return clientMetrics{}
+	}
+	return clientMetrics{
+		enabled:        true,
+		dials:          reg.Counter("client_dials_total", "transport dial attempts"),
+		reconnects:     reg.Counter("client_reconnects_total", "dials that resumed an established session"),
+		retries:        reg.Counter("client_retries_total", "request attempts beyond the first"),
+		backoffSeconds: reg.Gauge("client_backoff_seconds_total", "cumulative time slept in retry backoff"),
+		framesSent:     reg.Counter("client_frames_sent_total", "request frames written"),
+		bytesSent:      reg.Counter("client_bytes_sent_total", "bytes written to the server"),
+	}
+}
+
+// countingWriter attributes every byte written to client_bytes_sent_total.
+// Installed between the encoder and the connection only when metrics are
+// enabled.
+type countingWriter struct {
+	w     io.Writer
+	bytes *obs.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.bytes.Add(int64(n))
+	return n, err
+}

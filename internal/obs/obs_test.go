@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "ignored"); again != c {
+		t.Fatal("re-registration did not return the same handle")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+
+	h := r.Histogram("h_seconds", "a histogram", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.5, 0.5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 101.05 {
+		t.Fatalf("histogram sum = %v, want 101.05", h.Sum())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", snap)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge must panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m", "")
+	r.Gauge("m", "")
+}
+
+// TestPrometheusGolden pins the exact text exposition format. Every byte
+// below is part of the public scrape contract; update deliberately.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`requests_total{type="probe"}`, "requests served").Add(7)
+	r.Counter(`requests_total{type="post"}`, "requests served").Add(3)
+	r.Gauge("temperature", "current temperature").Set(36.6)
+	h := r.Histogram("rpc_seconds", "rpc latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# HELP requests_total requests served`,
+		`# TYPE requests_total counter`,
+		`requests_total{type="post"} 3`,
+		`requests_total{type="probe"} 7`,
+		`# HELP rpc_seconds rpc latency`,
+		`# TYPE rpc_seconds histogram`,
+		`rpc_seconds_bucket{le="0.01"} 1`,
+		`rpc_seconds_bucket{le="0.1"} 3`,
+		`rpc_seconds_bucket{le="1"} 3`,
+		`rpc_seconds_bucket{le="+Inf"} 4`,
+		`rpc_seconds_sum 5.105`,
+		`rpc_seconds_count 4`,
+		`# HELP temperature current temperature`,
+		`# TYPE temperature gauge`,
+		`temperature 36.6`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition format drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabeledHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`lat_seconds{op="read"}`, "", []float64{1})
+	h.Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`lat_seconds_bucket{op="read",le="1"} 1`,
+		`lat_seconds_sum{op="read"} 0.5`,
+		`lat_seconds_count{op="read"} 1`,
+	} {
+		if !strings.Contains(buf.String(), want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(2)
+	r.Gauge("b", "").Set(0.5)
+	h := r.Histogram("c_seconds", "", []float64{1})
+	h.Observe(3)
+	snap := r.Snapshot()
+	if snap["a_total"] != 2 || snap["b"] != 0.5 || snap["c_seconds_count"] != 1 || snap["c_seconds_sum"] != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestTraceJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tr.Emit(map[string]any{"type": "round", "round": 0})
+	tr.Emit(map[string]any{"type": "round", "round": 1})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Emitted() != 2 {
+		t.Fatalf("emitted = %d, want 2", tr.Emitted())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSONL lines, got %d:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var ev struct {
+			Type  string `json:"type"`
+			Round int    `json:"round"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if ev.Type != "round" || ev.Round != i {
+			t.Fatalf("line %d = %+v", i, ev)
+		}
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestTraceStickyError(t *testing.T) {
+	tr := NewTrace(failingWriter{})
+	tr.Emit("x")
+	if tr.Err() == nil {
+		t.Fatal("write failure not recorded")
+	}
+	tr.Emit("y") // must not panic or reset the error
+	if tr.Emitted() != 0 {
+		t.Fatalf("emitted = %d after failures", tr.Emitted())
+	}
+	var nilTrace *Trace
+	nilTrace.Emit("z")
+	if nilTrace.Err() != nil || nilTrace.Emitted() != 0 {
+		t.Fatal("nil trace must be inert")
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by metric name so the output
+// is deterministic for a given set of values. Metrics whose names share a
+// family (identical up to the label brace) are grouped under one
+// HELP/TYPE header, with the first registered help string winning.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := r.sortedNames()
+	lastFamily := ""
+	for _, name := range names {
+		e := r.metrics[name]
+		if fam := familyName(name); fam != lastFamily {
+			lastFamily = fam
+			if e.help != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(fam)
+				bw.WriteByte(' ')
+				bw.WriteString(e.help)
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
+			bw.WriteString(fam)
+			bw.WriteByte(' ')
+			bw.WriteString(e.kind)
+			bw.WriteByte('\n')
+		}
+		switch e.kind {
+		case "counter":
+			bw.WriteString(name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(e.c.Value(), 10))
+			bw.WriteByte('\n')
+		case "gauge":
+			bw.WriteString(name)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(e.g.Value()))
+			bw.WriteByte('\n')
+		case "histogram":
+			writeHistogram(bw, name, e.h)
+		}
+	}
+	r.mu.Unlock()
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative _bucket series, then _sum and _count.
+func writeHistogram(bw *bufio.Writer, name string, h *Histogram) {
+	base, labels := splitLabels(name)
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeBucket(bw, base, labels, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeBucket(bw, base, labels, "+Inf", cum)
+	bw.WriteString(base)
+	bw.WriteString("_sum")
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(h.Sum()))
+	bw.WriteByte('\n')
+	bw.WriteString(base)
+	bw.WriteString("_count")
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(h.Count(), 10))
+	bw.WriteByte('\n')
+}
+
+// writeBucket emits one cumulative bucket line, merging the le label into
+// any labels the metric name already carries.
+func writeBucket(bw *bufio.Writer, base, labels, le string, cum int64) {
+	bw.WriteString(base)
+	bw.WriteString("_bucket{")
+	if labels != "" {
+		bw.WriteString(labels[1 : len(labels)-1]) // inner key="value" pairs
+		bw.WriteByte(',')
+	}
+	bw.WriteString(`le="`)
+	bw.WriteString(le)
+	bw.WriteString(`"} `)
+	bw.WriteString(strconv.FormatInt(cum, 10))
+	bw.WriteByte('\n')
+}
+
+// familyName strips a trailing {label="..."} set from a metric name.
+func familyName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// splitLabels splits a metric name into its family and literal label set
+// (including braces; empty when the name carries no labels).
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// formatFloat renders a float the way Prometheus text format expects:
+// shortest representation that round-trips, integral values without a
+// decimal point.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it at /metrics. A nil registry serves an empty document.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

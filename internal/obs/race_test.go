@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRecording hammers every metric kind from many goroutines
+// while a scraper loops WritePrometheus and Snapshot. Run under -race (the
+// Makefile check target does); correctness here is exact final counts.
+func TestConcurrentRecording(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 1000
+	)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			_ = r.WritePrometheus(&buf)
+			_ = r.Snapshot()
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Handles resolved concurrently on purpose: registration must be
+			// race-free and idempotent too.
+			c := r.Counter("hammer_total", "")
+			ga := r.Gauge("hammer_level", "")
+			h := r.Histogram("hammer_seconds", "", []float64{0.5, 1})
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(float64(i%3) * 0.5)
+			}
+		}()
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := r.Counter("hammer_total", "").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("hammer_level", "").Value(); got != goroutines*perG {
+		t.Fatalf("gauge = %v, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("hammer_seconds", "", nil).Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestConcurrentTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(map[string]int{"g": g, "i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Err() != nil {
+		t.Fatal(tr.Err())
+	}
+	if tr.Emitted() != 800 {
+		t.Fatalf("emitted = %d, want 800", tr.Emitted())
+	}
+	if n := bytes.Count(buf.Bytes(), []byte("\n")); n != 800 {
+		t.Fatalf("lines = %d, want 800 (interleaved writes?)", n)
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Trace is a structured run-trace writer: each Emit appends one JSON line
+// (JSONL) to the underlying writer. It is safe for concurrent use — the
+// parallel experiment runner and concurrent players may share one Trace —
+// and nil-safe, so tracing can be threaded through unconditionally.
+//
+// Errors are sticky: the first write or marshal failure is recorded,
+// subsequent Emits become no-ops, and the caller reads the failure once
+// via Err (the pattern billboard readers use for transport errors).
+type Trace struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	err     error
+	emitted int64
+}
+
+// NewTrace wraps w as a JSONL trace sink.
+func NewTrace(w io.Writer) *Trace {
+	return &Trace{enc: json.NewEncoder(w)}
+}
+
+// Emit appends event as one JSON line. Nil-safe no-op.
+func (t *Trace) Emit(event any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if err := t.enc.Encode(event); err != nil {
+		t.err = err
+		return
+	}
+	t.emitted++
+}
+
+// Err returns the first emit failure (nil while healthy or on nil receiver).
+func (t *Trace) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Emitted returns the number of events successfully written.
+func (t *Trace) Emitted() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted
+}

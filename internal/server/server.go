@@ -56,6 +56,7 @@ import (
 	"repro/internal/billboard"
 	"repro/internal/journal"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -106,6 +107,12 @@ type Config struct {
 	// lease expiry, force-done) — e.g. log.Printf. Must be safe for
 	// concurrent use.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, receives the server_* metric family (request
+	// counts and latency, per-connection bytes, session lifecycle, dedup
+	// replays, read-cache hit rate, barrier waits, rounds committed) and
+	// is handed to the billboard for the billboard_* family. Nil disables
+	// recording at the cost of one branch per event.
+	Metrics *obs.Registry
 }
 
 // session is the server half of one client session: the dedup state that
@@ -164,6 +171,8 @@ type Server struct {
 
 	conns map[net.Conn]struct{} // open connections, force-closed on Close
 	wg    sync.WaitGroup
+
+	m serverMetrics
 }
 
 // New validates cfg and builds a server (not yet listening).
@@ -231,7 +240,9 @@ func New(cfg Config) (*Server, error) {
 		cost:       make([]float64, len(cfg.Tokens)),
 		satisfied:  make([]bool, len(cfg.Tokens)),
 		armedRound: -1,
+		m:          newServerMetrics(cfg.Metrics),
 	}
+	board.SetMetrics(cfg.Metrics)
 	for _, e := range events {
 		// A journaled force-done stays binding after a crash: the round
 		// committed without this player, so it cannot rejoin the run.
@@ -376,7 +387,15 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	br := bufio.NewReader(conn)
+	s.m.connections.Inc()
+	// rw carries all reads and writes; with metrics enabled it attributes
+	// every byte moved to the bytes counters. s.conns keeps the raw conn —
+	// Close force-closes that, which unblocks reads through the wrapper.
+	var rw net.Conn = conn
+	if s.m.enabled {
+		rw = &countingConn{Conn: conn, in: s.m.bytesIn, out: s.m.bytesOut}
+	}
+	br := bufio.NewReader(rw)
 
 	var sess *session
 	gen := 0
@@ -395,6 +414,11 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		s.requests.Add(1)
+		s.m.request(req.Type).Inc()
+		var start time.Time
+		if s.m.enabled {
+			start = time.Now()
+		}
 		var resp wire.Response
 		switch {
 		case req.Type == wire.ReqHello:
@@ -413,7 +437,8 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			resp = s.dispatch(sess, req)
 		}
-		if err := wire.EncodeResponse(conn, &resp); err != nil {
+		s.m.rpcSeconds.ObserveSince(start)
+		if err := wire.EncodeResponse(rw, &resp); err != nil {
 			return
 		}
 	}
@@ -461,6 +486,7 @@ func (s *Server) expireSession(id uint64, gen int) {
 // expireLocked removes a session and deregisters its player from future
 // barriers (a no-op if the player already sent Done).
 func (s *Server) expireLocked(sess *session) {
+	s.m.sessionsExpired.Inc()
 	delete(s.sessions, sess.id)
 	if s.byPlayer[sess.player] == sess {
 		delete(s.byPlayer, sess.player)
@@ -482,6 +508,7 @@ func (s *Server) dispatch(sess *session, req *wire.Request) wire.Response {
 	case req.Seq < sess.lastSeq:
 		return wire.Response{Err: fmt.Sprintf("stale sequence %d (last executed %d)", req.Seq, sess.lastSeq)}
 	case req.Seq == sess.lastSeq:
+		s.m.dedupReplays.Inc()
 		for sess.executing && !s.closed {
 			s.cond.Wait()
 		}
@@ -563,6 +590,7 @@ func (s *Server) hello(req *wire.Request) (wire.Response, *session) {
 		sess.gen++
 		if !sess.connected {
 			sess.connected = true
+			s.m.sessionsResumed.Inc()
 			s.logf("player %d resumed session %016x in round %d", p, sess.id, s.round)
 		}
 		return s.helloPayloadLocked(), sess
@@ -575,6 +603,7 @@ func (s *Server) hello(req *wire.Request) (wire.Response, *session) {
 	}
 	s.registered[p] = true
 	s.active[p] = true
+	s.m.sessionsOpened.Inc()
 	sess := &session{id: req.Session, player: p, gen: 1, connected: true}
 	s.sessions[req.Session] = sess
 	s.byPlayer[p] = sess
@@ -663,8 +692,10 @@ func (s *Server) votesLocked(ofPlayer int) wire.Response {
 		return wire.Response{Err: fmt.Sprintf("player %d out of range", ofPlayer)}
 	}
 	if msgs, ok := s.cacheVotes[ofPlayer]; ok {
+		s.m.cacheHits.Inc()
 		return wire.Response{Votes: msgs, Round: s.round}
 	}
+	s.m.cacheMisses.Inc()
 	votes := s.board.Votes(ofPlayer)
 	msgs := make([]wire.VoteMsg, len(votes))
 	for i, v := range votes {
@@ -681,8 +712,11 @@ func (s *Server) votesLocked(ofPlayer int) wire.Response {
 // cache, computing it once per round.
 func (s *Server) votedObjectsLocked() []int {
 	if !s.cacheHasVoted {
+		s.m.cacheMisses.Inc()
 		s.cacheVoted = s.board.VotedObjects()
 		s.cacheHasVoted = true
+	} else {
+		s.m.cacheHits.Inc()
 	}
 	return s.cacheVoted
 }
@@ -692,8 +726,10 @@ func (s *Server) votedObjectsLocked() []int {
 func (s *Server) windowLocked(from, to int) map[int]int {
 	key := [2]int{from, to}
 	if counts, ok := s.cacheWindows[key]; ok {
+		s.m.cacheHits.Inc()
 		return counts
 	}
+	s.m.cacheMisses.Inc()
 	counts := s.board.CountVotesInWindow(from, to)
 	if s.cacheWindows == nil {
 		s.cacheWindows = make(map[[2]int]map[int]int)
@@ -743,9 +779,14 @@ func (s *Server) barrierLocked(player int) wire.Response {
 		round := s.round
 		s.barrierTimer = time.AfterFunc(s.cfg.BarrierDeadline, func() { s.barrierExpire(round) })
 	}
+	var waitStart time.Time
+	if s.m.enabled {
+		waitStart = time.Now()
+	}
 	for s.round < target && !s.closed {
 		s.cond.Wait()
 	}
+	s.m.barrierWait.ObserveSince(waitStart)
 	if s.closed && s.round < target {
 		return wire.Response{Err: "server closed"}
 	}
@@ -770,6 +811,7 @@ func (s *Server) barrierExpire(round int) {
 	sort.Ints(stragglers)
 	for _, p := range stragglers {
 		s.forceDone[p] = round
+		s.m.forceDone.Inc()
 		s.logf("round %d barrier deadline (%v) expired: force-done straggler player %d",
 			round, s.cfg.BarrierDeadline, p)
 		if s.cfg.Journal != nil {
@@ -807,6 +849,7 @@ func (s *Server) advanceLocked() {
 	}
 	s.board.EndRound()
 	s.round++
+	s.m.rounds.Inc()
 	s.invalidateReadCacheLocked()
 	if s.cfg.Journal != nil {
 		// A marker failure is logged into the error path on the next post;

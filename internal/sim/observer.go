@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Observer receives a RoundStats snapshot after every committed round of a
+// run. It replaces the former bare `func(RoundStats)` config field so that
+// sinks with state or several hooks (metrics registries, trace writers,
+// CSV emitters) implement one small interface; wrap a plain function with
+// FuncObserver.
+//
+// ObserveRound runs on the engine goroutine between rounds: it must not
+// block for long, and it must not mutate the board. It MAY read the
+// snapshot only — the engine does not hand it the board.
+type Observer interface {
+	ObserveRound(RoundStats)
+}
+
+// FuncObserver adapts a plain function to the Observer interface (the
+// http.HandlerFunc pattern).
+type FuncObserver func(RoundStats)
+
+// ObserveRound calls f.
+func (f FuncObserver) ObserveRound(s RoundStats) { f(s) }
+
+// MultiObserver fans one run's snapshots out to several observers in
+// order — e.g. a metrics sink and a trace writer on the same run. Nil
+// entries are skipped.
+func MultiObserver(observers ...Observer) Observer {
+	kept := make([]Observer, 0, len(observers))
+	for _, o := range observers {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	return multiObserver(kept)
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) ObserveRound(s RoundStats) {
+	for _, o := range m {
+		o.ObserveRound(s)
+	}
+}
+
+// metricsObserver is the obs.Registry sink: per-round counters, the
+// current population gauges, and a wall-time histogram measured between
+// consecutive committed rounds.
+type metricsObserver struct {
+	rounds    *obs.Counter
+	probes    *obs.Counter
+	satisfied *obs.Gauge
+	active    *obs.Gauge
+	votes     *obs.Gauge
+	wall      *obs.Histogram
+	last      time.Time
+}
+
+// NewMetricsObserver returns an Observer that records the run's dynamics
+// into reg under the sim_* metric family: sim_rounds_total,
+// sim_probes_total, sim_active_players, sim_satisfied_players,
+// sim_board_votes, and sim_round_wall_seconds (time between consecutive
+// round commits, which is the round's compute cost as seen by the engine
+// loop). Several engines may share one registry; the counters then
+// aggregate across runs while the gauges track the most recent round
+// committed by any of them.
+func NewMetricsObserver(reg *obs.Registry) Observer {
+	return &metricsObserver{
+		rounds:    reg.Counter("sim_rounds_total", "rounds committed by the simulation engine"),
+		probes:    reg.Counter("sim_probes_total", "honest probes executed"),
+		satisfied: reg.Gauge("sim_satisfied_players", "honest players that have halted"),
+		active:    reg.Gauge("sim_active_players", "honest players still searching"),
+		votes:     reg.Gauge("sim_board_votes", "committed votes on the billboard"),
+		wall:      reg.Histogram("sim_round_wall_seconds", "wall time between consecutive round commits", nil),
+		last:      time.Now(),
+	}
+}
+
+func (m *metricsObserver) ObserveRound(s RoundStats) {
+	now := time.Now()
+	m.wall.Observe(now.Sub(m.last).Seconds())
+	m.last = now
+	m.rounds.Inc()
+	m.probes.Add(int64(s.ProbesThisRound))
+	m.satisfied.Set(float64(s.SatisfiedHonest))
+	m.active.Set(float64(s.ActiveHonest))
+	m.votes.Set(float64(s.TotalVotes))
+}
+
+// RoundEvent is the JSONL schema emitted by trace observers: one event per
+// committed round. Label and Rep identify the run when several runs share
+// one trace (experiment id, replication index).
+type RoundEvent struct {
+	Type         string `json:"type"` // always "round"
+	Label        string `json:"label,omitempty"`
+	Rep          int    `json:"rep,omitempty"`
+	Round        int    `json:"round"`
+	Active       int    `json:"active"`
+	Satisfied    int    `json:"satisfied"`
+	Probes       int    `json:"probes"`
+	TotalVotes   int    `json:"total_votes"`
+	VotedObjects int    `json:"voted_objects"`
+	GoodVotes    int    `json:"good_votes"`
+}
+
+// NewTraceObserver returns an Observer that emits one RoundEvent per
+// committed round into tr, tagged with label and rep. A nil tr yields an
+// inert observer (obs.Trace is nil-safe).
+func NewTraceObserver(tr *obs.Trace, label string, rep int) Observer {
+	return FuncObserver(func(s RoundStats) {
+		tr.Emit(RoundEvent{
+			Type:         "round",
+			Label:        label,
+			Rep:          rep,
+			Round:        s.Round,
+			Active:       s.ActiveHonest,
+			Satisfied:    s.SatisfiedHonest,
+			Probes:       s.ProbesThisRound,
+			TotalVotes:   s.TotalVotes,
+			VotedObjects: s.VotedObjects,
+			GoodVotes:    s.GoodVotes,
+		})
+	})
+}

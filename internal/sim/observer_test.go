@@ -3,7 +3,13 @@ package sim
 import (
 	"testing"
 
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -21,7 +27,7 @@ func TestObserverSeesEveryRound(t *testing.T) {
 		Universe: u,
 		Protocol: &fixedProtocol{schedule: []int{0, 1, 2}},
 		N:        4, Alpha: 1, Seed: 1,
-		Observer: func(s RoundStats) { snaps = append(snaps, s) },
+		Observer: FuncObserver(func(s RoundStats) { snaps = append(snaps, s) }),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +65,7 @@ func TestObserverSatisfiedMonotone(t *testing.T) {
 	prev := 0
 	e, err := NewEngine(Config{
 		Universe: u, Protocol: &randomProtocol{}, N: 32, Alpha: 1, Seed: 9,
-		Observer: func(s RoundStats) {
+		Observer: FuncObserver(func(s RoundStats) {
 			if s.SatisfiedHonest < prev {
 				t.Fatalf("satisfied decreased: %d -> %d", prev, s.SatisfiedHonest)
 			}
@@ -67,7 +73,7 @@ func TestObserverSatisfiedMonotone(t *testing.T) {
 			if s.ActiveHonest+s.SatisfiedHonest != 32 {
 				t.Fatalf("active+satisfied != honest: %+v", s)
 			}
-		},
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -106,5 +112,95 @@ func TestVoteFilterInstalledOnBoard(t *testing.T) {
 	}
 	if e.Board().TotalVotes() != 0 {
 		t.Fatalf("filter bypassed: %d votes", e.Board().TotalVotes())
+	}
+}
+
+func TestMetricsAndTraceObservers(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 64, Good: 2}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	var traced bytes.Buffer
+	tr := obs.NewTrace(&traced)
+	e, err := NewEngine(Config{
+		Universe: u, Protocol: &randomProtocol{}, N: 16, Alpha: 1, Seed: 7,
+		Observer: MultiObserver(
+			NewMetricsObserver(reg),
+			NewTraceObserver(tr, "unit", 3),
+			nil, // nil entries must be tolerated
+		),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap["sim_rounds_total"]; got != float64(res.Rounds) {
+		t.Fatalf("sim_rounds_total = %v, want %d", got, res.Rounds)
+	}
+	totalProbes := 0
+	for _, p := range res.Probes {
+		totalProbes += p
+	}
+	if got := snap["sim_probes_total"]; got != float64(totalProbes) {
+		t.Fatalf("sim_probes_total = %v, want %d", got, totalProbes)
+	}
+	if got := snap["sim_satisfied_players"]; got != 16 {
+		t.Fatalf("sim_satisfied_players = %v, want 16", got)
+	}
+	if got := snap["sim_round_wall_seconds_count"]; got != float64(res.Rounds) {
+		t.Fatalf("wall histogram count = %v, want %d", got, res.Rounds)
+	}
+	if tr.Err() != nil {
+		t.Fatal(tr.Err())
+	}
+	if tr.Emitted() != int64(res.Rounds) {
+		t.Fatalf("trace emitted %d events, want %d", tr.Emitted(), res.Rounds)
+	}
+	var first RoundEvent
+	line, _, _ := bufio.NewReader(bytes.NewReader(traced.Bytes())).ReadLine()
+	if err := json.Unmarshal(line, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Type != "round" || first.Label != "unit" || first.Rep != 3 || first.Round != 0 {
+		t.Fatalf("first trace event = %+v", first)
+	}
+}
+
+// TestObserverIsBehaviorNeutral pins that attaching full observability
+// does not perturb the simulation: probes and rounds are bit-identical at
+// a fixed seed with and without observers installed.
+func TestObserverIsBehaviorNeutral(t *testing.T) {
+	build := func(o Observer) *Result {
+		u, err := object.NewPlanted(object.Planted{M: 128, Good: 1}, rng.New(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(Config{
+			Universe: u, Protocol: &randomProtocol{}, N: 64, Alpha: 0.75, Seed: 21,
+			Observer: o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bare := build(nil)
+	observed := build(MultiObserver(NewMetricsObserver(obs.NewRegistry()), NewTraceObserver(obs.NewTrace(io.Discard), "x", 0)))
+	if bare.Rounds != observed.Rounds {
+		t.Fatalf("rounds diverged: %d vs %d", bare.Rounds, observed.Rounds)
+	}
+	for p := range bare.Probes {
+		if bare.Probes[p] != observed.Probes[p] {
+			t.Fatalf("player %d probes diverged: %d vs %d", p, bare.Probes[p], observed.Probes[p])
+		}
 	}
 }

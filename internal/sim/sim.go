@@ -132,9 +132,10 @@ type Config struct {
 	// vote-admission rule (see billboard.Config.VoteFilter). Used by the
 	// §6 object-ownership extension.
 	VoteFilter func(player, object int) bool
-	// Observer, when non-nil, is called after every committed round with a
-	// snapshot of the run's dynamics (for tracing/plotting).
-	Observer func(RoundStats)
+	// Observer, when non-nil, receives a snapshot of the run's dynamics
+	// after every committed round (for metrics/tracing/plotting). Wrap a
+	// plain function with FuncObserver; combine sinks with MultiObserver.
+	Observer Observer
 	// Board, when non-nil, reuses an existing billboard instead of creating
 	// a fresh one — the "after effects" mechanism of §5.1 (spent votes and
 	// stale recommendations persist across phases) and the substrate of the
@@ -459,7 +460,7 @@ func (e *Engine) Run() (*Result, error) {
 			for _, obj := range e.universe.GoodObjects() {
 				stats.GoodVotes += e.board.VoteCount(obj)
 			}
-			cfg.Observer(stats)
+			cfg.Observer.ObserveRound(stats)
 		}
 
 		if newlySatisfied {

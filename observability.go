@@ -1,0 +1,76 @@
+package repro
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// This file re-exports the observability layer (internal/obs and the sim
+// observers): a zero-dependency metrics registry with a Prometheus text
+// endpoint, a JSONL run-trace writer, and the Observer plumbing that feeds
+// them from a running simulation. Everything here is nil-safe — a nil
+// *Metrics or *TraceWriter turns every recording call into a one-branch
+// no-op — so instrumented code needs no "is observability on?" guards.
+
+// Metric types.
+type (
+	// Metrics is a registry of counters, gauges, and histograms. Create
+	// with NewMetrics, hand it to servers (BillboardServerConfig.Metrics),
+	// clients (WithMetrics), observers (NewMetricsObserver), and expose it
+	// with MetricsHandler. All methods are safe for concurrent use and
+	// allocation-free on recording paths.
+	Metrics = obs.Registry
+	// MetricCounter is a monotonically increasing counter handle.
+	MetricCounter = obs.Counter
+	// MetricGauge is a last-value gauge handle.
+	MetricGauge = obs.Gauge
+	// MetricHistogram is a fixed-bucket histogram handle.
+	MetricHistogram = obs.Histogram
+	// TraceWriter emits structured events as JSON Lines. Create with
+	// NewTraceWriter; feed it per-round events via NewTraceObserver.
+	TraceWriter = obs.Trace
+)
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// MetricsHandler serves reg in Prometheus text exposition format — mount
+// it on /metrics (cmd/billboard-server does this under -metrics-addr).
+func MetricsHandler(reg *Metrics) http.Handler { return obs.Handler(reg) }
+
+// NewTraceWriter wraps w as a JSONL trace sink (one event per line). The
+// writer is safe for concurrent use; the first write error is sticky and
+// reported by Err.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewTrace(w) }
+
+// Run observers (per-round hooks on the simulation engine).
+type (
+	// Observer receives a RoundStats snapshot after every committed round
+	// (EngineConfig.Observer, or WithObserver on Run).
+	Observer = sim.Observer
+	// FuncObserver adapts a plain func(RoundStats) to Observer.
+	FuncObserver = sim.FuncObserver
+	// RoundStats is the per-round snapshot handed to observers.
+	RoundStats = sim.RoundStats
+	// RoundEvent is the JSONL schema a trace observer emits per round.
+	RoundEvent = sim.RoundEvent
+)
+
+// MultiObserver fans each round snapshot out to several observers in
+// order; nil entries are skipped.
+func MultiObserver(observers ...Observer) Observer { return sim.MultiObserver(observers...) }
+
+// NewMetricsObserver returns an Observer recording the run's dynamics into
+// reg under the sim_* metric family (rounds, probes, active/satisfied
+// players, round wall time).
+func NewMetricsObserver(reg *Metrics) Observer { return sim.NewMetricsObserver(reg) }
+
+// NewTraceObserver returns an Observer emitting one RoundEvent per
+// committed round into tr, tagged with label and rep (use them to tell
+// runs apart when several share a trace file).
+func NewTraceObserver(tr *TraceWriter, label string, rep int) Observer {
+	return sim.NewTraceObserver(tr, label, rep)
+}

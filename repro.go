@@ -14,6 +14,20 @@ import (
 	"repro/internal/stats"
 )
 
+// This file is the core facade, organized in sections:
+//
+//   - Model types and constructors: universes, engine, billboard views.
+//   - Algorithms: DISTILL and variants, baselines, adversaries.
+//   - Experiments: the E/A/X registry.
+//   - One-call runs: SearchConfig + Run (with functional RunOptions).
+//
+// The networked substrate lives in facade_systems.go, the options-based
+// client entry point in dial.go, and the observability layer (metrics,
+// traces, observers) in observability.go.
+
+// ---------------------------------------------------------------------------
+// Model types and constructors.
+
 // Re-exported model types. The library's packages live under internal/ so
 // their layout can evolve; the aliases below are the supported surface.
 type (
@@ -86,6 +100,7 @@ func NewZipfUniverse(m int, beta, exponent float64, src *RNG) (*Universe, error)
 	return object.NewZipfTopBeta(m, beta, exponent, src)
 }
 
+// ---------------------------------------------------------------------------
 // Algorithm constructors (the paper's contribution and its variants).
 
 // NewDistill returns Algorithm DISTILL (Figure 1, Theorem 4).
@@ -115,6 +130,7 @@ func NewCostClasses(params DistillParams, k3 float64) Protocol {
 // NewThreePhase returns the illustrative §1.2 algorithm.
 func NewThreePhase() Protocol { return core.NewThreePhase() }
 
+// ---------------------------------------------------------------------------
 // Baseline constructors (the comparison algorithms).
 
 // NewTrivialRandom returns the billboard-oblivious O(1/β) baseline.
@@ -145,6 +161,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) { return sim.NewEngine(cfg) }
 // AggregateResults summarizes replication results.
 func AggregateResults(results []*Result) Aggregate { return sim.AggregateResults(results) }
 
+// ---------------------------------------------------------------------------
+// Experiment registry.
+
 // Experiments returns the E1…E13 registry in index order.
 func Experiments() []Experiment { return expt.All() }
 
@@ -156,6 +175,9 @@ func ExperimentExtensions() []Experiment { return expt.Extensions() }
 
 // ExperimentByID looks up one experiment (e.g. "E3").
 func ExperimentByID(id string) (Experiment, error) { return expt.ByID(id) }
+
+// ---------------------------------------------------------------------------
+// One-call runs.
 
 // SearchConfig is the high-level one-call entry point: build a planted
 // universe, pick an algorithm and adversary by name, and run.
@@ -220,8 +242,19 @@ func ProtocolNames() []string {
 	}
 }
 
+// RunOption customizes one Run call beyond what SearchConfig describes —
+// hooks that take live values (observers) rather than plain parameters.
+type RunOption func(*EngineConfig)
+
+// WithObserver attaches an Observer to the run: it receives a RoundStats
+// snapshot after every committed round. Combine sinks with MultiObserver;
+// observers never perturb the simulation (same seeds, same probes).
+func WithObserver(o Observer) RunOption {
+	return func(ec *EngineConfig) { ec.Observer = o }
+}
+
 // Run executes one search described by cfg and returns the result.
-func Run(cfg SearchConfig) (*Result, error) {
+func Run(cfg SearchConfig, opts ...RunOption) (*Result, error) {
 	if cfg.GoodObjects == 0 {
 		cfg.GoodObjects = 1
 	}
@@ -243,7 +276,7 @@ func Run(cfg SearchConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	engine, err := NewEngine(EngineConfig{
+	ec := EngineConfig{
 		Universe:        u,
 		Protocol:        proto,
 		Adversary:       adv,
@@ -253,7 +286,11 @@ func Run(cfg SearchConfig) (*Result, error) {
 		MaxRounds:       cfg.MaxRounds,
 		VotesPerPlayer:  cfg.VotesPerPlayer,
 		HonestErrorRate: cfg.HonestErrorRate,
-	})
+	}
+	for _, opt := range opts {
+		opt(&ec)
+	}
+	engine, err := NewEngine(ec)
 	if err != nil {
 		return nil, err
 	}
