@@ -1,9 +1,11 @@
 # Developer entry points. `make check` is the gate for hot-path and
 # networking changes: vet, the race detector over the concurrent packages
-# (server, client, dist — including the chaos tests), the packages the
-# perf pass touched (billboard, wire), the metrics registry and its
-# scrape-under-load tests (obs, server metrics), and a 1-iteration bench
-# smoke so a broken benchmark cannot land silently.
+# (server, client, dist — including the chaos, kill/restart recovery, and
+# lease-timer lifecycle tests), the durability layer (journal store,
+# snapshot rotation), the packages the perf pass touched (billboard, wire),
+# the metrics registry and its scrape-under-load tests (obs, server
+# metrics), and a 1-iteration bench smoke so a broken benchmark cannot land
+# silently.
 
 GO ?= go
 
@@ -17,7 +19,8 @@ test:
 
 check: build
 	$(GO) vet ./...
-	$(GO) test -race ./internal/obs/... ./internal/billboard/... ./internal/wire/... ./internal/server/... ./internal/client/... ./internal/dist/...
+	$(GO) test -race ./internal/obs/... ./internal/billboard/... ./internal/wire/... ./internal/journal/... ./internal/server/... ./internal/client/... ./internal/dist/...
+	$(GO) test -race -run 'TestChaosServerKillRestart|TestPersist|TestCloseStopsLeaseTimers|TestResumeStopsLeaseTimer' -count=2 ./internal/server ./internal/dist
 	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/server > /dev/null
 
 # Short fuzz passes over the byte-level decoders (wire frames, journal).

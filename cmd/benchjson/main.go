@@ -93,19 +93,37 @@ func diff(cur *Doc, baselinePath string, maxRegress float64, out io.Writer) erro
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", baselinePath, err)
 	}
+	// A baseline entry without a positive ns/op cannot anchor a delta —
+	// dividing by it would print Inf/NaN, and skipping it would silently
+	// un-gate the benchmark. Track those names and fail loudly when the
+	// current run shares one: the baseline needs re-recording.
 	baseNs := map[string]float64{}
+	baseBad := map[string]bool{}
 	for _, e := range base.Benchmarks {
 		if e.NsPerOp > 0 {
 			baseNs[trimCPUSuffix(e.Name)] = e.NsPerOp
+		} else {
+			baseBad[trimCPUSuffix(e.Name)] = true
 		}
 	}
+	if len(baseNs) == 0 {
+		return fmt.Errorf("baseline %s: no benchmark has a positive ns/op; re-record it", baselinePath)
+	}
 
-	var regressions []string
+	var regressions, unanchored []string
 	fmt.Fprintf(out, "%-40s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
 	for _, e := range cur.Benchmarks {
 		name := trimCPUSuffix(e.Name)
 		b, ok := baseNs[name]
-		if !ok || e.NsPerOp <= 0 {
+		if baseBad[name] && !ok {
+			unanchored = append(unanchored, name)
+			continue
+		}
+		if ok && e.NsPerOp <= 0 {
+			unanchored = append(unanchored, name+" (current run has no ns/op)")
+			continue
+		}
+		if !ok {
 			fmt.Fprintf(out, "%-40s %14s %14.1f %9s\n", name, "-", e.NsPerOp, "new")
 			continue
 		}
@@ -126,6 +144,11 @@ func diff(cur *Doc, baselinePath string, maxRegress float64, out io.Writer) erro
 	sort.Strings(missing)
 	for _, name := range missing {
 		fmt.Fprintf(out, "%-40s %14.1f %14s %9s\n", name, baseNs[name], "-", "not run")
+	}
+	if len(unanchored) > 0 {
+		sort.Strings(unanchored)
+		return fmt.Errorf("cannot compute a delta for %d benchmark(s) — zero or missing ns/op in %s:\n  %s\nre-record the baseline",
+			len(unanchored), baselinePath, strings.Join(unanchored, "\n  "))
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed past %.1f%%:\n  %s",

@@ -123,6 +123,57 @@ func TestDiffNewBenchmarkIsNotRegression(t *testing.T) {
 	}
 }
 
+// A baseline entry with a zero or missing ns/op cannot anchor a delta: the
+// gate must say so instead of printing Inf/NaN or silently skipping the
+// benchmark.
+func TestDiffZeroBaselineNsIsClearError(t *testing.T) {
+	base := writeBaseline(t, `{
+  "benchmarks": [
+    {"name": "BenchmarkFast", "iterations": 100000, "ns_per_op": 100},
+    {"name": "BenchmarkZero", "iterations": 10, "ns_per_op": 0},
+    {"name": "BenchmarkMissing", "iterations": 10}
+  ]
+}`)
+	in := "BenchmarkFast 100000 100 ns/op\nBenchmarkZero 10 50 ns/op\nBenchmarkMissing 10 60 ns/op\n"
+	var out strings.Builder
+	err := run([]string{"-baseline", base}, strings.NewReader(in), &out)
+	if err == nil {
+		t.Fatalf("zero-ns baseline passed silently:\n%s", out.String())
+	}
+	msg := err.Error()
+	for _, want := range []string{"BenchmarkZero", "BenchmarkMissing", "re-record"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "Inf") || strings.Contains(msg, "NaN") {
+		t.Fatalf("error leaked Inf/NaN: %q", msg)
+	}
+}
+
+// A baseline with no usable entry at all is a recording mistake, not a
+// clean pass.
+func TestDiffAllZeroBaselineIsError(t *testing.T) {
+	base := writeBaseline(t, `{"benchmarks": [{"name": "BenchmarkA", "iterations": 5, "ns_per_op": 0}]}`)
+	var out strings.Builder
+	err := run([]string{"-baseline", base}, strings.NewReader("BenchmarkA 5 10 ns/op\n"), &out)
+	if err == nil || !strings.Contains(err.Error(), "re-record") {
+		t.Fatalf("all-zero baseline: err = %v", err)
+	}
+}
+
+// A current run that produced no ns/op for a gated benchmark is equally
+// unanchored — the gate cannot pass it by default.
+func TestDiffZeroCurrentNsIsClearError(t *testing.T) {
+	base := writeBaseline(t, diffBaseline)
+	in := "BenchmarkFast 100000 0 ns/op\n"
+	var out strings.Builder
+	err := run([]string{"-baseline", base}, strings.NewReader(in), &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkFast") {
+		t.Fatalf("zero current ns/op: err = %v", err)
+	}
+}
+
 func TestTrimCPUSuffix(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkFoo-8":        "BenchmarkFoo",

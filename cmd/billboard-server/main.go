@@ -42,6 +42,9 @@ func run(args []string, out io.Writer) error {
 		alpha       = fs.Float64("alpha", 0.75, "advertised assumed honest fraction")
 		seed        = fs.Uint64("seed", 1, "universe/token seed")
 		journalPath = fs.String("journal", "", "append the billboard journal to this file (and recover from it if it exists)")
+		persistDir  = fs.String("persist-dir", "", "run durably from this directory: full service state (board, round, probe ledger, sessions) is journaled and recovered on restart; supersedes -journal")
+		snapEvery   = fs.Int("snapshot-every", 64, "with -persist-dir: rotate the journal behind a full snapshot every k committed rounds (0: never)")
+		fsync       = fs.String("fsync", "commit", "with -persist-dir: journal fsync policy — commit (at round boundaries), none, or always")
 		grace       = fs.Duration("session-grace", 0, "how long a disconnected player's session stays resumable (0: a disconnect deregisters the player immediately)")
 		deadline    = fs.Duration("barrier-deadline", 0, "how long a round barrier waits for stragglers before force-Done'ing them (0: wait forever)")
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics (empty: disabled)")
@@ -78,7 +81,25 @@ func run(args []string, out io.Writer) error {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
 	}
-	if *journalPath != "" {
+	switch {
+	case *persistDir != "":
+		if *journalPath != "" {
+			return fmt.Errorf("-persist-dir supersedes -journal; pass one or the other")
+		}
+		policy, err := journal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		st, err := journal.OpenStore(*persistDir, policy)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		cfg.Persist = st
+		cfg.SnapshotEvery = *snapEvery
+		fmt.Fprintf(out, "durable mode: persist dir %s, snapshot every %d round(s), fsync %s\n",
+			*persistDir, *snapEvery, policy)
+	case *journalPath != "":
 		if prior, err := os.ReadFile(*journalPath); err == nil && len(prior) > 0 {
 			cfg.Recover = bytes.NewReader(prior)
 			fmt.Fprintf(out, "recovering billboard from %s (%d bytes)\n", *journalPath, len(prior))
@@ -93,6 +114,9 @@ func run(args []string, out io.Writer) error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *persistDir != "" && srv.Round() > 0 {
+		fmt.Fprintf(out, "recovered to round %d from %s\n", srv.Round(), *persistDir)
 	}
 	bound, err := srv.Start(*addr)
 	if err != nil {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -53,6 +55,37 @@ func TestMetricsAddrFlag(t *testing.T) {
 	// An unbindable metrics address is an error, not a silent skip.
 	if err := run([]string{"-metrics-addr", "256.0.0.1:99999", "-print-and-exit"}, &out); err == nil {
 		t.Fatal("bad metrics address accepted")
+	}
+}
+
+func TestPersistDirFlag(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	var out strings.Builder
+	err := run([]string{"-n", "2", "-m", "16", "-persist-dir", dir, "-print-and-exit"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "durable mode: persist dir "+dir) ||
+		!strings.Contains(out.String(), "fsync commit") {
+		t.Fatalf("durable-mode line missing:\n%s", out.String())
+	}
+	// The store materialized on disk (segment-0 wal).
+	if _, err := os.Stat(filepath.Join(dir, "wal-00000000.log")); err != nil {
+		t.Fatalf("persist dir has no wal: %v", err)
+	}
+	// A second run recovers from the same directory without complaint.
+	out.Reset()
+	if err := run([]string{"-n", "2", "-m", "16", "-persist-dir", dir, "-print-and-exit"}, &out); err != nil {
+		t.Fatalf("restart from persist dir: %v", err)
+	}
+
+	// Conflicting and malformed configurations fail loudly.
+	if err := run([]string{"-persist-dir", dir, "-journal", "x.log", "-print-and-exit"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "supersedes") {
+		t.Fatalf("persist-dir + journal accepted: %v", err)
+	}
+	if err := run([]string{"-persist-dir", dir, "-fsync", "eventually", "-print-and-exit"}, &out); err == nil {
+		t.Fatal("bogus fsync policy accepted")
 	}
 }
 

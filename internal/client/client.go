@@ -246,14 +246,20 @@ func (c *Client) drop() {
 }
 
 // backoff returns the fully-jittered exponential backoff for an attempt
-// (1-based): uniform in (0, min(base·2^(attempt-1), max)].
+// (1-based): uniform in (0, min(base·2^(attempt-1), max)], or zero for
+// degenerate configs. DialOptions normalizes non-positive knobs, but a
+// zero-valued Options reaching this path directly (or a doubling overflow)
+// must yield an immediate retry, not a panic in Uint64n(0).
 func (c *Client) backoff(attempt int) time.Duration {
 	step := c.opt.BackoffBase
-	for i := 1; i < attempt && step < c.opt.BackoffMax; i++ {
-		step *= 2
+	for i := 1; i < attempt && step > 0 && step < c.opt.BackoffMax; i++ {
+		step *= 2 // overflow drives step non-positive and exits the loop
 	}
-	if step > c.opt.BackoffMax {
+	if step > c.opt.BackoffMax || step < 0 {
 		step = c.opt.BackoffMax
+	}
+	if step <= 0 {
+		return 0
 	}
 	return time.Duration(1 + c.jitter.Uint64n(uint64(step)))
 }
@@ -451,9 +457,20 @@ func (c *Client) Done() error {
 }
 
 // billboard.Reader implementation (RPC-backed). Errors are not expressible
-// through the Reader interface, so transport failures surface as zero
-// values here, are recorded in Err, and re-surface as errors on the next
-// explicit call; the distributed runner additionally checks Err each round.
+// through the Reader interface, so failures surface as zero values here,
+// are recorded in Err, and re-surface as errors on the next explicit call;
+// the distributed runner additionally checks Err each round.
+
+// noteReadErr records a failure observed on the zero-value Reader path.
+// Transport exhaustion is already latched by call; this catches
+// application-level rejections, which call returns without recording — a
+// rejected read silently answering "no votes" would otherwise steer the
+// protocol with fabricated advice and never surface through Err.
+func (c *Client) noteReadErr(err error) {
+	if err != nil && c.lastErr == nil {
+		c.lastErr = err
+	}
+}
 
 // Round returns the last round number observed from the server.
 func (c *Client) Round() int { return c.round }
@@ -462,6 +479,7 @@ func (c *Client) Round() int { return c.round }
 func (c *Client) Votes(player int) []billboard.Vote {
 	resp, err := c.call(wire.Request{Type: wire.ReqVotes, OfPlayer: player})
 	if err != nil {
+		c.noteReadErr(err)
 		return nil
 	}
 	votes := make([]billboard.Vote, len(resp.Votes))
@@ -478,6 +496,7 @@ func (c *Client) HasVote(player int) bool { return len(c.Votes(player)) > 0 }
 func (c *Client) VoteCount(object int) int {
 	resp, err := c.call(wire.Request{Type: wire.ReqVoteCount, Object: object})
 	if err != nil {
+		c.noteReadErr(err)
 		return 0
 	}
 	return resp.Count
@@ -487,6 +506,7 @@ func (c *Client) VoteCount(object int) int {
 func (c *Client) NegativeCount(object int) int {
 	resp, err := c.call(wire.Request{Type: wire.ReqNegCount, Object: object})
 	if err != nil {
+		c.noteReadErr(err)
 		return 0
 	}
 	return resp.Count
@@ -496,6 +516,7 @@ func (c *Client) NegativeCount(object int) int {
 func (c *Client) VotedObjects() []int {
 	resp, err := c.call(wire.Request{Type: wire.ReqVotedObjects})
 	if err != nil {
+		c.noteReadErr(err)
 		return nil
 	}
 	return resp.Objects
@@ -508,6 +529,7 @@ func (c *Client) NumVotedObjects() int { return len(c.VotedObjects()) }
 func (c *Client) CountVotesInWindow(fromRound, toRound int) map[int]int {
 	resp, err := c.call(wire.Request{Type: wire.ReqWindow, From: fromRound, To: toRound})
 	if err != nil {
+		c.noteReadErr(err)
 		return map[int]int{}
 	}
 	if resp.Counts == nil {

@@ -144,6 +144,114 @@ func TestChaosBatchedRoundsExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestChaosServerKillRestartMatchesFaultFree is the durability acceptance
+// test: the server is torn down mid-round — every connection dropped with
+// requests in flight — and restarted from its persist dir (snapshot +
+// write-ahead journal). Honest players must ride through on session resume
+// alone, and the run must be observably identical to the fault-free one:
+// same per-player probe counts and rounds, zero double-charged probes, and
+// a byte-identical final billboard digest.
+func TestChaosServerKillRestartMatchesFaultFree(t *testing.T) {
+	clean, err := RunCluster(chaosBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.AllFound {
+		t.Fatal("fault-free cluster did not finish")
+	}
+
+	crash := chaosBase(t)
+	crash.PersistDir = t.TempDir()
+	crash.SnapshotEvery = 3
+	crash.KillAtRound = 2
+	crash.SessionGrace = 10 * time.Second
+	crash.BarrierDeadline = 30 * time.Second // must never fire here
+	crash.Client = client.Options{
+		Retries: 24, BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		CallTimeout: 10 * time.Second,
+	}
+	crash.Logf = t.Logf
+	faulty, err := RunCluster(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Restarts != 1 {
+		t.Fatalf("expected exactly one server restart, got %d", faulty.Restarts)
+	}
+	if !faulty.AllFound {
+		t.Fatal("cluster did not finish across the server restart")
+	}
+
+	for i, r := range faulty.Honest {
+		if r.Probes != clean.Honest[i].Probes {
+			t.Errorf("player %d: %d probes across restart, %d clean", i, r.Probes, clean.Honest[i].Probes)
+		}
+		if r.Rounds != clean.Honest[i].Rounds {
+			t.Errorf("player %d: halted in round %d across restart, %d clean",
+				i, r.Rounds, clean.Honest[i].Rounds)
+		}
+		// The recovered probe ledger must agree with the clients' books: a
+		// probe retried across the crash is charged exactly once.
+		if faulty.ServerProbes[i] != r.Probes {
+			t.Errorf("player %d: recovered server charged %d probes, client performed %d (double charge)",
+				i, faulty.ServerProbes[i], r.Probes)
+		}
+	}
+	if !bytes.Equal(faulty.BoardDigest, clean.BoardDigest) {
+		t.Fatalf("billboard diverged across server restart:\nclean:\n%s\nrestarted:\n%s",
+			clean.BoardDigest, faulty.BoardDigest)
+	}
+}
+
+// TestChaosKillRestartUnderFaultInjection layers the server crash on top of
+// transport fault injection: drops, delays, and torn writes before, during,
+// and after the restart window. Recovery composes with the retry machinery —
+// the digest and the exactly-once ledger still match the fault-free run.
+func TestChaosKillRestartUnderFaultInjection(t *testing.T) {
+	clean, err := RunCluster(chaosBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crash := chaosBase(t)
+	crash.PersistDir = t.TempDir()
+	crash.SnapshotEvery = 2
+	crash.KillAtRound = 3
+	crash.Fault = &faultnet.Config{
+		Seed:     23,
+		Drop:     0.03,
+		Delay:    0.03,
+		Tear:     0.02,
+		MaxDelay: 2 * time.Millisecond,
+	}
+	crash.SessionGrace = 10 * time.Second
+	crash.BarrierDeadline = 30 * time.Second
+	crash.Client = client.Options{
+		Retries: 32, BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		CallTimeout: 10 * time.Second,
+	}
+	faulty, err := RunCluster(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulty.AllFound {
+		t.Fatal("cluster did not finish across restart + fault injection")
+	}
+	if !bytes.Equal(faulty.BoardDigest, clean.BoardDigest) {
+		t.Fatalf("billboard diverged across restart under fault injection:\nclean:\n%s\nfaulty:\n%s",
+			clean.BoardDigest, faulty.BoardDigest)
+	}
+	for i, r := range faulty.Honest {
+		if faulty.ServerProbes[i] != r.Probes {
+			t.Errorf("player %d: recovered server charged %d probes, client performed %d",
+				i, faulty.ServerProbes[i], r.Probes)
+		}
+		if r.Probes != clean.Honest[i].Probes {
+			t.Errorf("player %d: %d probes, %d clean", i, r.Probes, clean.Honest[i].Probes)
+		}
+	}
+}
+
 // TestChaosDeterministicReplay: the same chaos seed reproduces the same run
 // bit for bit — the debugging contract for failure investigation.
 func TestChaosDeterministicReplay(t *testing.T) {

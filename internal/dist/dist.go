@@ -16,12 +16,14 @@ package dist
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/faultnet"
+	"repro/internal/journal"
 	"repro/internal/object"
 	"repro/internal/rng"
 	"repro/internal/server"
@@ -181,6 +183,18 @@ type ClusterConfig struct {
 	// tolerance (see server.Config).
 	SessionGrace    time.Duration
 	BarrierDeadline time.Duration
+	// PersistDir, when non-empty, runs the server durably: a journal.Store
+	// in that directory records every state change, and a restart recovers
+	// from it (see server.Config.Persist). Required for KillAtRound.
+	PersistDir string
+	// SnapshotEvery rotates the persist store every k committed rounds
+	// (see server.Config.SnapshotEvery).
+	SnapshotEvery int
+	// KillAtRound, when > 0, kills the server the moment its round counter
+	// reaches this value — mid-round, with clients in flight — and restarts
+	// it from PersistDir on the same address. The crash-recovery chaos
+	// hook: honest players must ride through it on session resume alone.
+	KillAtRound int
 	// Client tunes every player's retry/backoff/deadline behavior.
 	Client client.Options
 	// Logf receives server operational events (resume, lease expiry,
@@ -203,6 +217,8 @@ type ClusterResult struct {
 	// (see billboard.Digest): byte-identical across runs that committed the
 	// same posts in the same rounds, faults or not.
 	BoardDigest []byte
+	// Restarts counts server kill/restart cycles performed (KillAtRound).
+	Restarts int
 }
 
 // RunCluster starts a billboard server on a loopback port, runs all players
@@ -223,23 +239,119 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	for i := range tokens {
 		tokens[i] = fmt.Sprintf("tok-%d-%016x", i, tokenRng.Uint64())
 	}
-	srv, err := server.New(server.Config{
-		Universe:        cfg.Universe,
-		Tokens:          tokens,
-		Alpha:           float64(cfg.Honest) / float64(n),
-		Beta:            cfg.Universe.Beta(),
-		SessionGrace:    cfg.SessionGrace,
-		BarrierDeadline: cfg.BarrierDeadline,
-		Logf:            cfg.Logf,
-	})
+	if cfg.KillAtRound > 0 && cfg.PersistDir == "" {
+		return nil, fmt.Errorf("dist: KillAtRound requires PersistDir")
+	}
+	// newServer builds one server generation; with a PersistDir each
+	// generation recovers from (and journals into) the same store, which is
+	// what makes kill/restart cycles transparent to the players.
+	newServer := func() (*server.Server, *journal.Store, error) {
+		sc := server.Config{
+			Universe:        cfg.Universe,
+			Tokens:          tokens,
+			Alpha:           float64(cfg.Honest) / float64(n),
+			Beta:            cfg.Universe.Beta(),
+			SessionGrace:    cfg.SessionGrace,
+			BarrierDeadline: cfg.BarrierDeadline,
+			Logf:            cfg.Logf,
+		}
+		if cfg.PersistDir != "" {
+			st, err := journal.OpenStore(cfg.PersistDir, journal.SyncCommit)
+			if err != nil {
+				return nil, nil, err
+			}
+			sc.Persist = st
+			sc.SnapshotEvery = cfg.SnapshotEvery
+		}
+		srv, err := server.New(sc)
+		if err != nil {
+			if sc.Persist != nil {
+				sc.Persist.Close()
+			}
+			return nil, nil, err
+		}
+		return srv, sc.Persist, nil
+	}
+	srv, store, err := newServer()
 	if err != nil {
 		return nil, err
+	}
+	// current guards the live server generation: the watcher swaps it at a
+	// restart; teardown and final stats always address the newest one.
+	var srvMu sync.Mutex
+	closeCurrent := func() {
+		srvMu.Lock()
+		cs, cst := srv, store
+		srvMu.Unlock()
+		cs.Close()
+		if cst != nil {
+			cst.Close()
+		}
 	}
 	addr, err := srv.Start("")
 	if err != nil {
+		closeCurrent()
 		return nil, err
 	}
-	defer srv.Close()
+	defer closeCurrent()
+
+	// KillAtRound watcher: the moment the round counter reaches the target,
+	// the server is torn down with every connection in flight (the
+	// in-process stand-in for kill -9: no goodbye, no extra journal state
+	// beyond what the WAL already holds) and a fresh generation recovers
+	// from the persist dir onto the same address.
+	restarts := 0
+	var restartErr error
+	watcherStop := make(chan struct{})
+	watcherDone := make(chan struct{})
+	if cfg.KillAtRound > 0 {
+		go func() {
+			defer close(watcherDone)
+			for {
+				select {
+				case <-watcherStop:
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+				srvMu.Lock()
+				cs := srv
+				srvMu.Unlock()
+				if cs.Round() < cfg.KillAtRound {
+					continue
+				}
+				closeCurrent()
+				nsrv, nst, err := newServer()
+				if err == nil {
+					var ln net.Listener
+					// The freed port can linger briefly; Go listeners set
+					// SO_REUSEADDR, so a short retry loop suffices.
+					for i := 0; i < 400; i++ {
+						ln, err = net.Listen("tcp", addr)
+						if err == nil {
+							break
+						}
+						time.Sleep(5 * time.Millisecond)
+					}
+					if err == nil {
+						nsrv.Serve(ln)
+						srvMu.Lock()
+						srv, store = nsrv, nst
+						srvMu.Unlock()
+						restarts++
+						return
+					}
+					nsrv.Close()
+					if nst != nil {
+						nst.Close()
+					}
+				}
+				restartErr = fmt.Errorf("dist: server restart: %w", err)
+				return
+			}
+		}()
+	} else {
+		close(watcherDone)
+	}
 
 	// Per-player client options; with fault injection each player's dialer
 	// carries its own deterministic fault stream (label = player id), so
@@ -291,16 +403,24 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	honestWG.Wait()
 	close(stop)
 	byzWG.Wait()
+	close(watcherStop)
+	<-watcherDone
+	if restartErr != nil {
+		return nil, restartErr
+	}
 
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	out := &ClusterResult{Honest: results, AllFound: true}
-	sProbes, _, _, _ := srv.Stats()
+	srvMu.Lock()
+	final := srv
+	srvMu.Unlock()
+	out := &ClusterResult{Honest: results, AllFound: true, Restarts: restarts}
+	sProbes, _, _, _ := final.Stats()
 	out.ServerProbes = sProbes
-	out.BoardDigest = srv.Digest()
+	out.BoardDigest = final.Digest()
 	total := 0
 	for _, r := range results {
 		if !r.Found {

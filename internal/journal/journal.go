@@ -12,6 +12,27 @@
 // final partial frame. Posts are grouped into rounds by marker frames; a
 // round without its marker was never visible to players (the synchrony
 // contract) and is discarded on rebuild.
+//
+// Write-ahead records (durable restart). Beyond posts and round markers,
+// the journal carries the operational records a server needs to restart
+// mid-run with no observable effect on honest players:
+//
+//   - probe records (session, seq, player, object): the charged-probe
+//     ledger. A probe is charged if and only if its record reached the
+//     journal, so a recovered server re-derives per-player probe counts
+//     and costs exactly — a retried probe is never double-billed across a
+//     restart.
+//   - barrier and done records (session, seq): round/membership state. A
+//     barrier record is round-buffered like a post (an uncommitted round's
+//     arrivals are discarded and re-arrive on retry); a done record
+//     applies immediately (deregistration is idempotent).
+//   - rollback markers: appended by a recovering server after it discards
+//     an uncommitted tail, so a later recovery of the same file discards
+//     that orphan prefix too instead of double-applying re-executed posts.
+//
+// Session-scoped records let recovery rebuild each session's dedup window
+// (last executed sequence number), which is what makes a server restart
+// look like an ordinary long reconnect to a resuming client.
 package journal
 
 import (
@@ -33,31 +54,97 @@ const (
 	kindPost entryKind = iota + 1
 	kindEndRound
 	kindForceDone
+	kindProbe
+	kindDone
+	kindBarrier
+	kindRollback
 )
 
-// entry is one journal record.
+// entry is one journal record. Session/Seq are zero in journals written
+// before the write-ahead extension; gob decodes old frames with the new
+// fields absent, so both generations replay through the same path.
 type entry struct {
-	Kind   entryKind
-	Post   billboard.Post // valid when Kind == kindPost
-	Player int            // valid when Kind == kindForceDone
+	Kind    entryKind
+	Post    billboard.Post // valid when Kind == kindPost
+	Player  int            // valid for kindForceDone, kindProbe, kindDone, kindBarrier
+	Session uint64         // session the record belongs to (0: none recorded)
+	Seq     uint64         // per-session request sequence number (0: none)
+	Object  int            // valid when Kind == kindProbe
 }
 
 // maxFrame bounds a frame's declared size; anything larger is corruption.
 const maxFrame = 1 << 20
 
+// SyncPolicy selects when a Writer invokes its sync hook (typically
+// os.File.Sync) — the durability/throughput trade-off of the journal.
+type SyncPolicy int
+
+const (
+	// SyncCommit fsyncs at round markers and rollbacks (the default): a
+	// machine crash loses at most the uncommitted round, which the
+	// synchrony contract discards anyway. Probe records between commits
+	// ride in the OS page cache — durable across a process kill, not
+	// across a power cut.
+	SyncCommit SyncPolicy = iota
+	// SyncNone never fsyncs: the OS flushes on its own schedule. Process
+	// crashes (kill -9) still lose nothing — written bytes survive the
+	// process — but a machine crash can lose committed rounds.
+	SyncNone
+	// SyncAlways fsyncs after every record: full durability, one disk
+	// flush per probe/post on the hot path.
+	SyncAlways
+)
+
+// String returns the policy name as accepted by ParseSyncPolicy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncCommit:
+		return "commit"
+	case SyncNone:
+		return "none"
+	case SyncAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses "commit", "none", or "always".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "commit":
+		return SyncCommit, nil
+	case "none":
+		return SyncNone, nil
+	case "always":
+		return SyncAlways, nil
+	default:
+		return 0, fmt.Errorf("journal: unknown sync policy %q (want commit, none, or always)", s)
+	}
+}
+
 // Writer appends billboard events to an underlying stream. Not safe for
 // concurrent use; callers serialize (the billboard server holds its lock
 // across Append/EndRound).
 type Writer struct {
-	w    io.Writer
-	buf  bytes.Buffer
-	lenb [binary.MaxVarintLen64]byte
-	err  error // first write error; subsequent calls fail fast
+	w      io.Writer
+	buf    bytes.Buffer
+	lenb   [binary.MaxVarintLen64]byte
+	err    error // first write error; subsequent calls fail fast
+	sync   func() error
+	policy SyncPolicy
 }
 
 // NewWriter wraps w.
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: w}
+}
+
+// SetSync installs a sync hook (typically os.File.Sync) invoked per the
+// policy: after every frame (SyncAlways) or after round markers and
+// rollbacks only (SyncCommit). SyncNone never invokes it.
+func (w *Writer) SetSync(sync func() error, policy SyncPolicy) {
+	w.sync, w.policy = sync, policy
 }
 
 func (w *Writer) write(e entry) error {
@@ -80,12 +167,28 @@ func (w *Writer) write(e entry) error {
 		w.err = fmt.Errorf("journal: %w", err)
 		return w.err
 	}
+	if w.sync != nil &&
+		(w.policy == SyncAlways ||
+			(w.policy == SyncCommit && (e.Kind == kindEndRound || e.Kind == kindRollback))) {
+		if err := w.sync(); err != nil {
+			w.err = fmt.Errorf("journal: sync: %w", err)
+			return w.err
+		}
+	}
 	return nil
 }
 
-// Append records one committed post.
+// Append records one committed post with no session attribution (legacy
+// callers); see AppendFrom for the write-ahead form.
 func (w *Writer) Append(post billboard.Post) error {
 	return w.write(entry{Kind: kindPost, Post: post})
+}
+
+// AppendFrom records one accepted post under the session and sequence
+// number that produced it, so recovery can rebuild the session's dedup
+// window alongside the board.
+func (w *Writer) AppendFrom(session, seq uint64, post billboard.Post) error {
+	return w.write(entry{Kind: kindPost, Post: post, Session: session, Seq: seq})
 }
 
 // EndRound records a round boundary.
@@ -101,6 +204,61 @@ func (w *Writer) ForceDone(player int) error {
 	return w.write(entry{Kind: kindForceDone, Player: player})
 }
 
+// Probe records a charged probe before its response is sent — the
+// write-ahead half of the exactly-once billing contract: a probe is
+// charged iff its record is in the journal.
+func (w *Writer) Probe(session, seq uint64, player, object int) error {
+	return w.write(entry{Kind: kindProbe, Session: session, Seq: seq, Player: player, Object: object})
+}
+
+// Done records a player's voluntary deregistration.
+func (w *Writer) Done(session, seq uint64, player int) error {
+	return w.write(entry{Kind: kindDone, Session: session, Seq: seq, Player: player})
+}
+
+// Barrier records a player's arrival at the round barrier. Buffered like a
+// post: it binds only when the round's marker follows.
+func (w *Writer) Barrier(session, seq uint64, player int) error {
+	return w.write(entry{Kind: kindBarrier, Session: session, Seq: seq, Player: player})
+}
+
+// Rollback marks that a recovering server discarded the records since the
+// last round marker (the uncommitted tail of a crashed run). Replays honor
+// it by dropping their pending buffers, so posts re-executed after the
+// restart are not double-applied by the next recovery.
+func (w *Writer) Rollback() error {
+	return w.write(entry{Kind: kindRollback})
+}
+
+// Err returns the Writer's first write error (nil while healthy).
+func (w *Writer) Err() error { return w.err }
+
+// RecordKind discriminates replayed journal records.
+type RecordKind uint8
+
+// Record kinds, mirroring the Writer's vocabulary.
+const (
+	RecordPost      = RecordKind(kindPost)
+	RecordEndRound  = RecordKind(kindEndRound)
+	RecordForceDone = RecordKind(kindForceDone)
+	RecordProbe     = RecordKind(kindProbe)
+	RecordDone      = RecordKind(kindDone)
+	RecordBarrier   = RecordKind(kindBarrier)
+	RecordRollback  = RecordKind(kindRollback)
+)
+
+// Record is one decoded journal record. Round is the number of round
+// markers read before it — the round the record belongs to.
+type Record struct {
+	Kind    RecordKind
+	Post    billboard.Post // valid when Kind == RecordPost
+	Session uint64
+	Seq     uint64
+	Player  int // valid for force-done, probe, done, barrier
+	Object  int // valid when Kind == RecordProbe
+	Round   int
+}
+
 // Event is an operational decision recorded in the journal alongside posts
 // (today: a barrier-deadline force-done). Round is the round the decision
 // committed with.
@@ -113,20 +271,12 @@ type Event struct {
 // rebuilt before the truncation point is still valid.
 var ErrTruncated = errors.New("journal: truncated or corrupt tail")
 
-// Replay reads a journal and invokes apply for each post and endRound at
-// each round boundary, stopping cleanly at EOF. A torn or corrupt tail is
-// reported as ErrTruncated after every complete preceding frame has been
-// applied. Operational events (force-done records) are skipped; use
-// ReplayEvents to observe them.
-func Replay(r io.Reader, apply func(billboard.Post) error, endRound func() error) error {
-	return ReplayEvents(r, apply, endRound, nil)
-}
-
-// ReplayEvents is Replay with an additional callback for operational
-// events. Event.Round is the number of round markers read before the
-// event — the round the decision was taken in. A nil event callback
-// ignores events.
-func ReplayEvents(r io.Reader, apply func(billboard.Post) error, endRound func() error, event func(Event) error) error {
+// ReplayRecords reads a journal and invokes fn for every record, stopping
+// cleanly at EOF. A torn or corrupt tail is reported as ErrTruncated after
+// every complete preceding frame has been delivered. This is the low-level
+// replay; Rebuild/Apply add the round-buffering semantics a billboard
+// needs.
+func ReplayRecords(r io.Reader, fn func(Record) error) error {
 	br := bufio.NewReader(r)
 	round := 0
 	for {
@@ -148,42 +298,76 @@ func ReplayEvents(r io.Reader, apply func(billboard.Post) error, endRound func()
 		if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(&e); err != nil {
 			return fmt.Errorf("%w: %v", ErrTruncated, err)
 		}
-		switch e.Kind {
-		case kindPost:
-			if err := apply(e.Post); err != nil {
-				return err
-			}
-		case kindEndRound:
-			if err := endRound(); err != nil {
-				return err
-			}
-			round++
-		case kindForceDone:
-			if event != nil {
-				if err := event(Event{Player: e.Player, Round: round}); err != nil {
-					return err
-				}
-			}
-		default:
+		if e.Kind < kindPost || e.Kind > kindRollback {
 			return fmt.Errorf("%w: unknown entry kind %d", ErrTruncated, e.Kind)
 		}
+		rec := Record{
+			Kind:    RecordKind(e.Kind),
+			Post:    e.Post,
+			Session: e.Session,
+			Seq:     e.Seq,
+			Player:  e.Player,
+			Object:  e.Object,
+			Round:   round,
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		if e.Kind == kindEndRound {
+			round++
+		}
 	}
+}
+
+// Replay reads a journal and invokes apply for each post and endRound at
+// each round boundary, stopping cleanly at EOF. A torn or corrupt tail is
+// reported as ErrTruncated after every complete preceding frame has been
+// applied. Operational events (force-done records) are skipped; use
+// ReplayEvents to observe them.
+func Replay(r io.Reader, apply func(billboard.Post) error, endRound func() error) error {
+	return ReplayEvents(r, apply, endRound, nil)
+}
+
+// ReplayEvents is Replay with an additional callback for operational
+// events. Event.Round is the number of round markers read before the
+// event — the round the decision was taken in. A nil event callback
+// ignores events. Write-ahead records (probes, barriers, dones, rollbacks)
+// are board-neutral and skipped here; use ReplayRecords to observe them.
+func ReplayEvents(r io.Reader, apply func(billboard.Post) error, endRound func() error, event func(Event) error) error {
+	return ReplayRecords(r, func(rec Record) error {
+		switch rec.Kind {
+		case RecordPost:
+			return apply(rec.Post)
+		case RecordEndRound:
+			return endRound()
+		case RecordForceDone:
+			if event != nil {
+				return event(Event{Player: rec.Player, Round: rec.Round})
+			}
+		}
+		return nil
+	})
 }
 
 // replayOnto buffers each round's posts and events and applies them only
 // once the round marker arrives, so a truncated final round — and any
 // force-done decision taken in it — is discarded rather than leaking into
 // the recovered board, matching the synchrony contract (an uncommitted
-// round was never visible).
+// round was never visible). A rollback record drops the pending buffers
+// the same way a truncation would.
 func replayOnto(r io.Reader, board *billboard.Board) ([]Event, error) {
 	var pending []billboard.Post
 	var pendingEv, events []Event
-	err := ReplayEvents(r,
-		func(p billboard.Post) error {
-			pending = append(pending, p)
-			return nil
-		},
-		func() error {
+	err := ReplayRecords(r, func(rec Record) error {
+		switch rec.Kind {
+		case RecordPost:
+			pending = append(pending, rec.Post)
+		case RecordForceDone:
+			pendingEv = append(pendingEv, Event{Player: rec.Player, Round: rec.Round})
+		case RecordRollback:
+			pending = pending[:0]
+			pendingEv = pendingEv[:0]
+		case RecordEndRound:
 			for _, p := range pending {
 				if err := board.Post(billboard.Post{
 					Player:   p.Player,
@@ -198,13 +382,9 @@ func replayOnto(r io.Reader, board *billboard.Board) ([]Event, error) {
 			events = append(events, pendingEv...)
 			pendingEv = pendingEv[:0]
 			board.EndRound()
-			return nil
-		},
-		func(e Event) error {
-			pendingEv = append(pendingEv, e)
-			return nil
-		},
-	)
+		}
+		return nil
+	})
 	return events, err
 }
 

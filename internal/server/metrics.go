@@ -32,6 +32,10 @@ type serverMetrics struct {
 	barrierWait *obs.Histogram
 	rounds      *obs.Counter
 	forceDone   *obs.Counter
+
+	snapshots       *obs.Counter
+	journalReplayed *obs.Counter
+	replaySeconds   *obs.Histogram
 }
 
 // newServerMetrics registers the server_* metric family in reg. A nil reg
@@ -59,6 +63,10 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		barrierWait: reg.Histogram("server_barrier_wait_seconds", "time a player blocked at the round barrier", nil),
 		rounds:      reg.Counter("server_rounds_total", "rounds committed"),
 		forceDone:   reg.Counter("server_force_done_total", "players expelled by a barrier deadline"),
+
+		snapshots:       reg.Counter("server_snapshots_total", "service snapshots taken at journal rotation"),
+		journalReplayed: reg.Counter("server_journal_replayed_total", "journal records replayed at recovery"),
+		replaySeconds:   reg.Histogram("server_journal_replay_seconds", "recovery replay latency (snapshot restore + journal tail)", nil),
 	}
 	for t := wire.ReqHello; t <= wire.ReqPostBatch; t++ {
 		m.requests[t] = reg.Counter(

@@ -1,0 +1,297 @@
+package server
+
+// Durable restart (Config.Persist): full-service snapshots, write-ahead
+// replay, and journal rotation. The contract is exact equivalence — a
+// server killed mid-run and rebuilt from its persist store must be
+// indistinguishable, to every honest client, from one that merely dropped
+// connections for a while:
+//
+//   - the committed billboard is byte-identical (snapshot + round-buffered
+//     replay of committed posts; an uncommitted round is discarded, as the
+//     synchrony contract demands, and re-arrives via client retries);
+//   - the charged-probe ledger is exact (a probe is charged iff its record
+//     is journaled, so replay re-derives counts and costs with no double
+//     billing);
+//   - every session's dedup window (lastSeq, last response) is restored, so
+//     a retried in-flight request either replays its recorded outcome or
+//     re-executes exactly once.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/billboard"
+	"repro/internal/journal"
+	"repro/internal/wire"
+)
+
+// sessionSnap is one session's dedup window inside a server snapshot.
+type sessionSnap struct {
+	ID       uint64
+	Player   int
+	LastSeq  uint64
+	LastResp wire.Response
+}
+
+// serverSnap is the serialized form of the whole service state at a round
+// boundary: the billboard plus everything the billboard alone does not
+// capture (membership, expulsions, the probe ledger, session windows).
+type serverSnap struct {
+	Board      []byte
+	Round      int
+	Registered []int
+	Active     []int
+	ForceDone  map[int]int
+	Probes     []int
+	Cost       []float64
+	Satisfied  []bool
+	Sessions   []sessionSnap
+}
+
+// snapshotLocked serializes the full service state. Only called at a round
+// boundary (advanceLocked), so the billboard has no pending posts and
+// every in-flight request is one the just-committed round is about to
+// answer.
+func (s *Server) snapshotLocked() ([]byte, error) {
+	boardBytes, err := s.board.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	sn := serverSnap{
+		Board:     boardBytes,
+		Round:     s.round,
+		ForceDone: make(map[int]int, len(s.forceDone)),
+		Probes:    append([]int(nil), s.probes...),
+		Cost:      append([]float64(nil), s.cost...),
+		Satisfied: append([]bool(nil), s.satisfied...),
+	}
+	for p := range s.registered {
+		sn.Registered = append(sn.Registered, p)
+	}
+	for p := range s.active {
+		sn.Active = append(sn.Active, p)
+	}
+	for p, r := range s.forceDone {
+		sn.ForceDone[p] = r
+	}
+	for _, sess := range s.sessions {
+		resp := sess.lastResp
+		if sess.executing {
+			// The only requests that can be mid-execution at a round commit
+			// are the ones this commit answers (blocked barriers, the
+			// committing Done): their response is the new round. lastResp
+			// still holds the previous request's reply, so substitute.
+			resp = wire.Response{Round: s.round}
+		}
+		sn.Sessions = append(sn.Sessions, sessionSnap{
+			ID: sess.id, Player: sess.player, LastSeq: sess.lastSeq, LastResp: resp,
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&sn); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// rotateLocked snapshots the service and rotates the persist store so
+// recovery replays at most SnapshotEvery rounds of journal. Failures are
+// logged, not fatal: rotation bounds replay time, it is never needed for
+// correctness (the current segment keeps growing and keeps working).
+func (s *Server) rotateLocked() {
+	snap, err := s.snapshotLocked()
+	if err != nil {
+		s.logf("snapshot at round %d failed: %v", s.round, err)
+		return
+	}
+	if err := s.cfg.Persist.Rotate(snap); err != nil {
+		s.logf("journal rotation at round %d failed: %v", s.round, err)
+		return
+	}
+	s.m.snapshots.Inc()
+	s.logf("snapshot at round %d (%d bytes): journal truncated", s.round, len(snap))
+}
+
+// restoreSnapshot loads a serverSnap into a fresh server (construction
+// time, no lock needed).
+func (s *Server) restoreSnapshot(data []byte) error {
+	var sn serverSnap
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&sn); err != nil {
+		return err
+	}
+	if len(sn.Probes) != len(s.cfg.Tokens) {
+		return fmt.Errorf("snapshot describes %d players, server configured for %d",
+			len(sn.Probes), len(s.cfg.Tokens))
+	}
+	board, err := billboard.Restore(sn.Board, nil)
+	if err != nil {
+		return err
+	}
+	s.board = board
+	s.round = board.Round()
+	for _, p := range sn.Registered {
+		s.registered[p] = true
+	}
+	for _, p := range sn.Active {
+		s.active[p] = true
+	}
+	for p, r := range sn.ForceDone {
+		s.forceDone[p] = r
+	}
+	copy(s.probes, sn.Probes)
+	copy(s.cost, sn.Cost)
+	copy(s.satisfied, sn.Satisfied)
+	for _, ss := range sn.Sessions {
+		sess := &session{
+			id: ss.ID, player: ss.Player,
+			lastSeq: ss.LastSeq, lastResp: ss.LastResp,
+			loose: true, // client seq counters also advanced over unjournaled reads
+		}
+		s.sessions[ss.ID] = sess
+		s.byPlayer[ss.Player] = sess
+	}
+	return nil
+}
+
+// recoverFromStore rebuilds the service from Config.Persist: snapshot
+// first, then the write-ahead tail. Replay mirrors live execution record
+// by record — probes and dones apply immediately (they were charged /
+// binding the moment they were journaled), posts, barriers, and force-done
+// decisions bind only with their round marker. A non-empty uncommitted
+// tail is discarded and fenced with a rollback marker so the retries that
+// re-execute it are not double-applied by a second recovery.
+func (s *Server) recoverFromStore(boardCfg billboard.Config) error {
+	st := s.cfg.Persist
+	start := time.Now()
+	hadSnapshot := false
+	if snap := st.Snapshot(); snap != nil {
+		hadSnapshot = true
+		if err := s.restoreSnapshot(snap); err != nil {
+			return fmt.Errorf("server: recover snapshot: %w", err)
+		}
+	} else {
+		board, err := billboard.New(boardCfg)
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		s.board = board
+	}
+
+	u := s.cfg.Universe
+	// touch re-derives registration: any journaled activity proves the
+	// player completed a Hello (expelled players stay expelled).
+	touch := func(player int) {
+		if !s.registered[player] {
+			s.registered[player] = true
+			if _, expelled := s.forceDone[player]; !expelled {
+				s.active[player] = true
+			}
+		}
+	}
+	sessOf := func(rec journal.Record) *session {
+		if rec.Session == 0 {
+			return nil // legacy record with no session attribution
+		}
+		sess := s.sessions[rec.Session]
+		if sess == nil {
+			sess = &session{id: rec.Session, player: rec.Player, loose: true}
+			s.sessions[rec.Session] = sess
+			s.byPlayer[rec.Player] = sess
+		}
+		return sess
+	}
+
+	replayed := 0
+	var pending []journal.Record
+	err := journal.ReplayRecords(st.Tail(), func(rec journal.Record) error {
+		replayed++
+		switch rec.Kind {
+		case journal.RecordPost, journal.RecordBarrier, journal.RecordForceDone:
+			pending = append(pending, rec)
+		case journal.RecordRollback:
+			// A previous recovery already discarded these; their retries
+			// were re-journaled after this marker.
+			pending = pending[:0]
+		case journal.RecordProbe:
+			if rec.Object < 0 || rec.Object >= u.M() {
+				return fmt.Errorf("probe object %d out of range", rec.Object)
+			}
+			touch(rec.Player)
+			s.probes[rec.Player]++
+			s.cost[rec.Player] += u.Cost(rec.Object)
+			good := u.LocalTesting() && u.IsGood(rec.Object)
+			if good {
+				s.satisfied[rec.Player] = true
+			}
+			if sess := sessOf(rec); sess != nil {
+				sess.lastSeq = rec.Seq
+				sess.lastResp = wire.Response{
+					Value: u.Value(rec.Object), Good: good, Cost: u.Cost(rec.Object), Round: s.round,
+				}
+			}
+		case journal.RecordDone:
+			touch(rec.Player)
+			delete(s.active, rec.Player)
+			if sess := sessOf(rec); sess != nil {
+				sess.lastSeq = rec.Seq
+				sess.lastResp = wire.Response{Round: s.round}
+			}
+		case journal.RecordEndRound:
+			var arrivals []*session
+			for _, p := range pending {
+				switch p.Kind {
+				case journal.RecordPost:
+					touch(p.Post.Player)
+					if err := s.board.Post(p.Post); err != nil {
+						return fmt.Errorf("replay post: %v", err)
+					}
+					if sess := sessOf(p); sess != nil {
+						sess.lastSeq = p.Seq
+					}
+				case journal.RecordBarrier:
+					touch(p.Player)
+					if sess := sessOf(p); sess != nil {
+						sess.lastSeq = p.Seq
+						arrivals = append(arrivals, sess)
+					}
+				case journal.RecordForceDone:
+					// Decision taken in the round this marker commits.
+					s.registered[p.Player] = true
+					s.forceDone[p.Player] = s.round
+					delete(s.active, p.Player)
+					if sess := s.byPlayer[p.Player]; sess != nil {
+						delete(s.sessions, sess.id)
+						delete(s.byPlayer, p.Player)
+					}
+				}
+			}
+			pending = pending[:0]
+			s.board.EndRound()
+			s.round++
+			// A committed barrier answers with the round it opened — the
+			// response a live server had recorded for those sessions.
+			for _, sess := range arrivals {
+				sess.lastResp = wire.Response{Round: s.round}
+			}
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, journal.ErrTruncated) {
+		return fmt.Errorf("server: recover: %w", err)
+	}
+	if len(pending) > 0 {
+		if werr := st.Writer().Rollback(); werr != nil {
+			return fmt.Errorf("server: recover: rollback marker: %w", werr)
+		}
+	}
+	s.m.journalReplayed.Add(int64(replayed))
+	s.m.replaySeconds.ObserveSince(start)
+	if hadSnapshot || replayed > 0 {
+		s.logf("recovered round %d from %s: snapshot=%v, %d journal records replayed, %d uncommitted discarded",
+			s.round, st.Dir(), hadSnapshot, replayed, len(pending))
+	}
+	return nil
+}

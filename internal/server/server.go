@@ -91,6 +91,22 @@ type Config struct {
 	// written after that snapshot. Snapshot + tail = exact state, which is
 	// how a long-running service truncates its journal.
 	RecoverSnapshot []byte
+	// Persist, when non-nil, makes the server durable: it recovers the full
+	// service state (billboard, round, membership, the charged-probe
+	// ledger, per-session dedup windows) from the store's snapshot + journal
+	// tail, then journals every state change through the store's writer.
+	// A server killed mid-run and reconstructed from the same store is
+	// indistinguishable from one that suffered a long network outage:
+	// clients resume their sessions and retried requests dedup exactly
+	// once. Mutually exclusive with Journal/Recover/RecoverSnapshot (the
+	// billboard-only durability knobs it supersedes). Pair it with a
+	// SessionGrace so mid-restart clients stay resumable.
+	Persist *journal.Store
+	// SnapshotEvery, with Persist, rotates the store every k committed
+	// rounds: a full server snapshot replaces the journal so far, bounding
+	// recovery replay to at most k rounds of records. Zero never rotates
+	// (the journal grows for the whole run).
+	SnapshotEvery int
 	// SessionGrace is how long a disconnected player's session remains
 	// resumable before the player is deregistered as if it had sent Done.
 	// Zero keeps the legacy behavior: a dropped connection deregisters the
@@ -132,6 +148,16 @@ type session struct {
 	lastSeq   uint64
 	lastResp  wire.Response
 	executing bool
+	// timer is the armed lease-expiry timer while the session is in its
+	// grace window; stopped on resume and at Close so no callback can fire
+	// after the session (or the server) is gone.
+	timer *time.Timer
+	// loose relaxes the sequence-gap check for one request: a session
+	// recovered from the journal has lastSeq at its last *journaled*
+	// operation, while the client's counter also advanced over reads
+	// (which are never journaled) — so the first post-restart request may
+	// legitimately jump forward.
+	loose bool
 }
 
 // Server is a running billboard service. Construct with New, then Start.
@@ -199,6 +225,36 @@ func New(cfg Config) (*Server, error) {
 		Mode:           mode,
 		VotesPerPlayer: cfg.VotesPerPlayer,
 	}
+	if cfg.Persist != nil && (cfg.Journal != nil || cfg.Recover != nil || cfg.RecoverSnapshot != nil) {
+		return nil, fmt.Errorf("server: Persist supersedes Journal/Recover/RecoverSnapshot; set one or the other")
+	}
+	s := &Server{
+		cfg:        cfg,
+		registered: make(map[int]bool),
+		active:     make(map[int]bool),
+		arrived:    make(map[int]bool),
+		forceDone:  make(map[int]int),
+		sessions:   make(map[uint64]*session),
+		byPlayer:   make(map[int]*session),
+		conns:      make(map[net.Conn]struct{}),
+		probes:     make([]int, len(cfg.Tokens)),
+		cost:       make([]float64, len(cfg.Tokens)),
+		satisfied:  make([]bool, len(cfg.Tokens)),
+		armedRound: -1,
+		m:          newServerMetrics(cfg.Metrics), // before recovery: replay is recorded
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if cfg.Persist != nil {
+		if err := s.recoverFromStore(boardCfg); err != nil {
+			return nil, err
+		}
+		s.cfg.Journal = cfg.Persist.Writer()
+		s.board.SetMetrics(cfg.Metrics)
+		return s, nil
+	}
+	// Legacy (billboard-only) recovery: rebuild the board and the journaled
+	// force-done decisions; membership, accounting, and sessions start
+	// fresh, as before the persist store existed.
 	var board *billboard.Board
 	var events []journal.Event
 	var err error
@@ -225,30 +281,14 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
-	s := &Server{
-		cfg:        cfg,
-		round:      board.Round(), // continues from a recovered journal
-		board:      board,
-		registered: make(map[int]bool),
-		active:     make(map[int]bool),
-		arrived:    make(map[int]bool),
-		forceDone:  make(map[int]int),
-		sessions:   make(map[uint64]*session),
-		byPlayer:   make(map[int]*session),
-		conns:      make(map[net.Conn]struct{}),
-		probes:     make([]int, len(cfg.Tokens)),
-		cost:       make([]float64, len(cfg.Tokens)),
-		satisfied:  make([]bool, len(cfg.Tokens)),
-		armedRound: -1,
-		m:          newServerMetrics(cfg.Metrics),
-	}
+	s.board = board
+	s.round = board.Round() // continues from a recovered journal
 	board.SetMetrics(cfg.Metrics)
 	for _, e := range events {
 		// A journaled force-done stays binding after a crash: the round
 		// committed without this player, so it cannot rejoin the run.
 		s.forceDone[e.Player] = e.Round
 	}
-	s.cond = sync.NewCond(&s.mu)
 	return s, nil
 }
 
@@ -270,6 +310,26 @@ func (s *Server) Start(addr string) (string, error) {
 // address.
 func (s *Server) Serve(ln net.Listener) string {
 	s.ln = ln
+	// Sessions recovered from a persist store start disconnected: give each
+	// its grace window now — resume stops the timer, expiry deregisters the
+	// player as usual. With no grace, the crash already counted as their
+	// disconnect, so they are expired immediately (the legacy contract).
+	s.mu.Lock()
+	var orphans []*session
+	for _, sess := range s.sessions {
+		if !sess.connected && sess.timer == nil {
+			orphans = append(orphans, sess)
+		}
+	}
+	for _, sess := range orphans {
+		if s.cfg.SessionGrace > 0 {
+			id, g := sess.id, sess.gen
+			sess.timer = time.AfterFunc(s.cfg.SessionGrace, func() { s.expireSession(id, g) })
+		} else {
+			s.expireLocked(sess)
+		}
+	}
+	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return ln.Addr().String()
@@ -282,6 +342,14 @@ func (s *Server) Close() error {
 	s.closed = true
 	if s.barrierTimer != nil {
 		s.barrierTimer.Stop()
+	}
+	// Stop pending lease timers: an expiry callback firing after Close
+	// would race the teardown (and log into a closed harness).
+	for _, sess := range s.sessions {
+		if sess.timer != nil {
+			sess.timer.Stop()
+			sess.timer = nil
+		}
 	}
 	// Force-close open connections: handlers blocked reading a request
 	// would otherwise pin the WaitGroup until every client hangs up.
@@ -438,11 +506,22 @@ func (s *Server) handle(conn net.Conn) {
 			resp = s.dispatch(sess, req)
 		}
 		s.m.rpcSeconds.ObserveSince(start)
+		if resp.Err == errServerClosed {
+			// Shutting down: drop the connection instead of answering, as a
+			// killed process would. The client sees a transport failure and
+			// retries against whatever (restarted) server binds the address —
+			// an application error here would wrongly end its session.
+			return
+		}
 		if err := wire.EncodeResponse(rw, &resp); err != nil {
 			return
 		}
 	}
 }
+
+// errServerClosed marks a request caught mid-shutdown. It never goes on the
+// wire: handle drops the connection when it sees it.
+const errServerClosed = "server closed"
 
 // disconnect runs when a connection dies. The session enters its lease
 // window (or is expired immediately when SessionGrace is zero — the legacy
@@ -466,7 +545,7 @@ func (s *Server) disconnect(sess *session, gen int) {
 		s.logf("player %d disconnected; session resumable for %v", sess.player, s.cfg.SessionGrace)
 	}
 	id, g := sess.id, sess.gen
-	time.AfterFunc(s.cfg.SessionGrace, func() { s.expireSession(id, g) })
+	sess.timer = time.AfterFunc(s.cfg.SessionGrace, func() { s.expireSession(id, g) })
 }
 
 // expireSession ends a lease that was never resumed.
@@ -487,6 +566,10 @@ func (s *Server) expireSession(id uint64, gen int) {
 // barriers (a no-op if the player already sent Done).
 func (s *Server) expireLocked(sess *session) {
 	s.m.sessionsExpired.Inc()
+	if sess.timer != nil {
+		sess.timer.Stop()
+		sess.timer = nil
+	}
 	delete(s.sessions, sess.id)
 	if s.byPlayer[sess.player] == sess {
 		delete(s.byPlayer, sess.player)
@@ -513,10 +596,11 @@ func (s *Server) dispatch(sess *session, req *wire.Request) wire.Response {
 			s.cond.Wait()
 		}
 		if sess.executing {
-			return wire.Response{Err: "server closed"}
+			return wire.Response{Err: errServerClosed}
 		}
+		sess.loose = false
 		return sess.lastResp
-	case req.Seq > sess.lastSeq+1:
+	case req.Seq > sess.lastSeq+1 && !sess.loose:
 		return wire.Response{Err: fmt.Sprintf("sequence gap: got %d, want %d", req.Seq, sess.lastSeq+1)}
 	}
 	if sess.executing {
@@ -525,8 +609,9 @@ func (s *Server) dispatch(sess *session, req *wire.Request) wire.Response {
 		return wire.Response{Err: "previous request still executing"}
 	}
 	sess.lastSeq = req.Seq
+	sess.loose = false
 	sess.executing = true
-	resp := s.executeLocked(sess.player, req)
+	resp := s.executeLocked(sess, req)
 	sess.lastResp = resp
 	sess.executing = false
 	s.cond.Broadcast()
@@ -535,14 +620,14 @@ func (s *Server) dispatch(sess *session, req *wire.Request) wire.Response {
 
 // executeLocked performs one authenticated request (s.mu held; barrier may
 // temporarily release it via cond.Wait).
-func (s *Server) executeLocked(player int, req *wire.Request) wire.Response {
+func (s *Server) executeLocked(sess *session, req *wire.Request) wire.Response {
 	switch req.Type {
 	case wire.ReqProbe:
-		return s.probeLocked(player, req.Object)
+		return s.probeLocked(sess, req.Seq, req.Object)
 	case wire.ReqPost:
-		return s.postLocked(player, req)
+		return s.postLocked(sess, req)
 	case wire.ReqPostBatch:
-		return s.postBatchLocked(player, req)
+		return s.postBatchLocked(sess, req)
 	case wire.ReqVotes:
 		return s.votesLocked(req.OfPlayer)
 	case wire.ReqVotedObjects:
@@ -554,9 +639,14 @@ func (s *Server) executeLocked(player int, req *wire.Request) wire.Response {
 	case wire.ReqWindow:
 		return wire.Response{Counts: s.windowLocked(req.From, req.To), Round: s.round}
 	case wire.ReqBarrier:
-		return s.barrierLocked(player)
+		return s.barrierLocked(sess, req.Seq)
 	case wire.ReqDone:
-		s.leaveLocked(player)
+		if s.cfg.Journal != nil {
+			if err := s.cfg.Journal.Done(sess.id, req.Seq, sess.player); err != nil {
+				return wire.Response{Err: fmt.Sprintf("journal: %v", err)}
+			}
+		}
+		s.leaveLocked(sess.player)
 		return wire.Response{Round: s.round}
 	default:
 		return wire.Response{Err: fmt.Sprintf("unknown request type %v", req.Type)}
@@ -588,6 +678,13 @@ func (s *Server) hello(req *wire.Request) (wire.Response, *session) {
 			return wire.Response{Err: "session belongs to another player"}, nil
 		}
 		sess.gen++
+		if sess.timer != nil {
+			// The resume beat the lease: the old timer must never fire (the
+			// gen bump also defuses it, but a stopped timer frees the
+			// runtime entry and keeps Close's timer sweep exhaustive).
+			sess.timer.Stop()
+			sess.timer = nil
+		}
 		if !sess.connected {
 			sess.connected = true
 			s.m.sessionsResumed.Inc()
@@ -628,10 +725,20 @@ func (s *Server) helloPayloadLocked() wire.Response {
 	}
 }
 
-func (s *Server) probeLocked(player, obj int) wire.Response {
+func (s *Server) probeLocked(sess *session, seq uint64, obj int) wire.Response {
 	u := s.cfg.Universe
+	player := sess.player
 	if obj < 0 || obj >= u.M() {
 		return wire.Response{Err: fmt.Sprintf("object %d out of range", obj)}
+	}
+	// Write-ahead: a probe is charged iff its record reached the journal.
+	// Journal first — if the record cannot be written, nothing is charged
+	// and the client may retry; never charge a probe a recovery would
+	// forget.
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Probe(sess.id, seq, player, obj); err != nil {
+			return wire.Response{Err: fmt.Sprintf("journal: %v", err)}
+		}
 	}
 	s.probes[player]++
 	s.cost[player] += u.Cost(obj)
@@ -643,10 +750,11 @@ func (s *Server) probeLocked(player, obj int) wire.Response {
 }
 
 // appendPostLocked validates and buffers one post under the authenticated
-// identity, journaling it on acceptance.
-func (s *Server) appendPostLocked(player, object int, value float64, positive bool) error {
+// identity, journaling it on acceptance. The journal record carries the
+// session and sequence number so recovery can rebuild the dedup window.
+func (s *Server) appendPostLocked(sess *session, seq uint64, object int, value float64, positive bool) error {
 	post := billboard.Post{
-		Player:   player, // authenticated identity, not client-claimed
+		Player:   sess.player, // authenticated identity, not client-claimed
 		Object:   object,
 		Value:    value,
 		Positive: positive,
@@ -655,15 +763,15 @@ func (s *Server) appendPostLocked(player, object int, value float64, positive bo
 		return err
 	}
 	if s.cfg.Journal != nil {
-		if err := s.cfg.Journal.Append(post); err != nil {
+		if err := s.cfg.Journal.AppendFrom(sess.id, seq, post); err != nil {
 			return fmt.Errorf("journal: %v", err)
 		}
 	}
 	return nil
 }
 
-func (s *Server) postLocked(player int, req *wire.Request) wire.Response {
-	if err := s.appendPostLocked(player, req.Object, req.Value, req.Positive); err != nil {
+func (s *Server) postLocked(sess *session, req *wire.Request) wire.Response {
+	if err := s.appendPostLocked(sess, req.Seq, req.Object, req.Value, req.Positive); err != nil {
 		return wire.Response{Err: err.Error()}
 	}
 	return wire.Response{Round: s.round}
@@ -675,14 +783,14 @@ func (s *Server) postLocked(player int, req *wire.Request) wire.Response {
 // an error, leaving earlier posts buffered; since the whole batch executed
 // under one sequence number, a retry replays the recorded response and
 // never re-applies any of them.
-func (s *Server) postBatchLocked(player int, req *wire.Request) wire.Response {
+func (s *Server) postBatchLocked(sess *session, req *wire.Request) wire.Response {
 	for i, p := range req.Posts {
-		if err := s.appendPostLocked(player, p.Object, p.Value, p.Positive); err != nil {
+		if err := s.appendPostLocked(sess, req.Seq, p.Object, p.Value, p.Positive); err != nil {
 			return wire.Response{Err: fmt.Sprintf("batch post %d/%d: %v", i+1, len(req.Posts), err)}
 		}
 	}
 	if req.EndRound {
-		return s.barrierLocked(player)
+		return s.barrierLocked(sess, req.Seq)
 	}
 	return wire.Response{Round: s.round}
 }
@@ -764,12 +872,21 @@ func (s *Server) negCountLocked(obj int) wire.Response {
 // barrierLocked marks the player as arrived and blocks until the round
 // advances (or the server closes). The first arrival of a round arms the
 // barrier deadline, if one is configured.
-func (s *Server) barrierLocked(player int) wire.Response {
+func (s *Server) barrierLocked(sess *session, seq uint64) wire.Response {
+	player := sess.player
 	if !s.active[player] {
 		return wire.Response{Err: "player is done; no barrier"}
 	}
 	if s.arrived[player] {
 		return wire.Response{Err: "double barrier in one round"}
+	}
+	// Journaled (round-buffered, like the posts): a committed round's
+	// arrivals bind the session's dedup window across a restart; an
+	// uncommitted round's are rolled back and re-arrive on retry.
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Barrier(sess.id, seq, player); err != nil {
+			return wire.Response{Err: fmt.Sprintf("journal: %v", err)}
+		}
 	}
 	s.arrived[player] = true
 	target := s.round + 1
@@ -788,7 +905,7 @@ func (s *Server) barrierLocked(player int) wire.Response {
 	}
 	s.m.barrierWait.ObserveSince(waitStart)
 	if s.closed && s.round < target {
-		return wire.Response{Err: "server closed"}
+		return wire.Response{Err: errServerClosed}
 	}
 	return wire.Response{Round: s.round}
 }
@@ -862,6 +979,14 @@ func (s *Server) advanceLocked() {
 	if s.barrierTimer != nil && s.armedRound >= 0 {
 		s.barrierTimer.Stop()
 		s.armedRound = -1
+	}
+	// Never rotate once shutdown has begun: Close's broadcast makes barrier
+	// waiters record the errServerClosed sentinel in their dedup windows, and
+	// a snapshot taken after that would persist those sentinels — a recovered
+	// server would then replay "server closed" to every retry, forever. The
+	// EndRound marker above already made this commit durable in the journal.
+	if s.cfg.Persist != nil && !s.closed && s.cfg.SnapshotEvery > 0 && s.round%s.cfg.SnapshotEvery == 0 {
+		s.rotateLocked()
 	}
 	s.cond.Broadcast()
 }
