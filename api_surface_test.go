@@ -1,0 +1,129 @@
+package repro_test
+
+// Golden test for the public API surface of package repro. The facade is
+// the module's compatibility contract: anything exported here is supported,
+// and nothing should appear or disappear silently. The test parses the
+// package's root *.go files (no build step, declarations only) and compares
+// the sorted list of exported top-level identifiers against
+// testdata/api_surface.golden.
+//
+// After an intentional API change, regenerate with:
+//
+//	go test -run TestPublicAPISurface -update .
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api_surface.golden")
+
+const goldenPath = "testdata/api_surface.golden"
+
+// publicSurface parses every non-test .go file in the package root and
+// returns one line per exported top-level declaration, sorted.
+func publicSurface(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var out []string
+	for _, name := range files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil {
+					continue // methods ride on their type's line
+				}
+				if d.Name.IsExported() {
+					out = append(out, "func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							out = append(out, "type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								out = append(out, kind+" "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	got := strings.Join(publicSurface(t), "\n") + "\n"
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d exported declarations)", goldenPath, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed; run `go test -run TestPublicAPISurface -update .` if intentional.\n%s",
+			surfaceDiff(string(want), got))
+	}
+}
+
+// surfaceDiff renders the symmetric difference between two golden bodies —
+// enough to see exactly which declarations appeared or vanished.
+func surfaceDiff(want, got string) string {
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool)
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for l := range gotSet {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	for l := range wantSet {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	return b.String()
+}

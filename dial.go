@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"net"
 	"time"
 
@@ -9,12 +10,13 @@ import (
 
 // This file is the options-based entry point to the networked billboard:
 //
-//	c, err := repro.Dial(addr, player, token,
+//	c, err := repro.Dial(ctx, addr, player, token,
 //		repro.WithRetries(16),
 //		repro.WithMetrics(reg))
 //
-// The legacy DialBillboard / DialBillboardOptions constructors (see
-// facade_systems.go) remain as thin wrappers over this call.
+// The context cancels the dial and every later reconnect/backoff loop on
+// the returned client. This is the one supported constructor; the legacy
+// deprecated dial wrappers are gone.
 
 // DialOption customizes one Dial call. Options apply in order over the
 // zero ClientOptions value; unset knobs keep the documented defaults.
@@ -71,12 +73,16 @@ func WithClientOptions(opt ClientOptions) DialOption {
 }
 
 // Dial connects and authenticates to a billboard server as the given
-// player. With no options it behaves exactly like the legacy
-// DialBillboard: sane fault-tolerance defaults, no metrics.
-func Dial(addr string, player int, token string, opts ...DialOption) (*BillboardClient, error) {
+// player. With no options it uses sane fault-tolerance defaults and no
+// metrics. The context bounds the dial's retry/backoff loop and stays
+// attached to the client, cancelling every later reconnect and backoff
+// sleep; pass context.Background() when no cancellation is needed. A dial
+// that exhausts its retries without completing a handshake returns an
+// error matching ErrServerClosed.
+func Dial(ctx context.Context, addr string, player int, token string, opts ...DialOption) (*BillboardClient, error) {
 	var o ClientOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return client.DialOptions(addr, player, token, o)
+	return client.DialContext(ctx, addr, player, token, o)
 }

@@ -32,8 +32,9 @@
 //
 //	reg := repro.NewMetrics()
 //
-//	// Networked: a client fleet sharing one registry.
-//	c, err := repro.Dial(addr, player, token,
+//	// Networked: a client fleet sharing one registry. The context cancels
+//	// the dial and every later reconnect/backoff loop on the client.
+//	c, err := repro.Dial(ctx, addr, player, token,
 //		repro.WithRetries(16),
 //		repro.WithMetrics(reg))
 //
@@ -50,4 +51,17 @@
 //	// Prometheus text form via repro.MetricsHandler(reg).
 //	snap := reg.Snapshot()
 //	fmt.Println(snap["sim_rounds_total"], snap["client_retries_total"])
+//
+// # Error contract
+//
+// The networked API reports terminal conditions through three sentinel
+// errors, matched with errors.Is: [ErrServerClosed] (the endpoint is dead
+// or unreachable — the dial or a reconnect exhausted its retries without
+// completing a handshake), [ErrSessionExpired] (the server no longer holds
+// the client's session; its votes and dedup window are gone), and
+// [ErrBarrierDeadline] (the server's barrier deadline expelled the player
+// as a straggler). Everything short of these — dropped connections, torn
+// frames, lost responses, server restarts, shard-lane restarts — is
+// absorbed by the client's reconnect/resume/dedup machinery and never
+// surfaces to callers.
 package repro

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -128,7 +129,7 @@ func main() {
 // the protocol's schedule, batch the round's posts with the barrier into
 // one frame, and halt upon probing a good object.
 func runHonest(addr string, player int, token string, reg *repro.Metrics) (probes, rounds int, found bool, err error) {
-	c, err := repro.Dial(addr, player, token,
+	c, err := repro.Dial(context.Background(), addr, player, token,
 		repro.WithRetries(8),
 		repro.WithMetrics(reg))
 	if err != nil {
@@ -184,7 +185,7 @@ func runHonest(addr string, player int, token string, reg *repro.Metrics) (probe
 // runLiar is a Byzantine player: it posts a false positive for a bad
 // object and then keeps arriving at barriers until stop closes.
 func runLiar(addr string, player int, token string, reg *repro.Metrics, stop <-chan struct{}) error {
-	c, err := repro.Dial(addr, player, token, repro.WithMetrics(reg))
+	c, err := repro.Dial(context.Background(), addr, player, token, repro.WithMetrics(reg))
 	if err != nil {
 		return err
 	}

@@ -90,22 +90,6 @@ func NewBillboardServer(cfg BillboardServerConfig) (*BillboardServer, error) {
 // metrics registry. Usually built implicitly via Dial's options.
 type ClientOptions = client.Options
 
-// DialBillboard connects and authenticates to a billboard server.
-//
-// Deprecated: use Dial, which takes the same required arguments plus
-// functional options.
-func DialBillboard(addr string, player int, token string) (*BillboardClient, error) {
-	return Dial(addr, player, token)
-}
-
-// DialBillboardOptions is DialBillboard with an explicit options struct.
-//
-// Deprecated: use Dial with WithClientOptions(opt), or the individual
-// With* options.
-func DialBillboardOptions(addr string, player int, token string, opt ClientOptions) (*BillboardClient, error) {
-	return Dial(addr, player, token, WithClientOptions(opt))
-}
-
 // NewCachedReader wraps a client with a per-round read cache; call
 // Invalidate after each Barrier.
 func NewCachedReader(c *BillboardClient) *CachedReader { return client.NewCached(c) }

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -56,12 +57,12 @@ func TestFacadeBillboardService(t *testing.T) {
 	}
 	defer srv.Close()
 
-	c0, err := repro.DialBillboard(addr, 0, "a")
+	c0, err := repro.Dial(context.Background(), addr, 0, "a")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c0.Close()
-	c1, err := repro.DialBillboard(addr, 1, "b")
+	c1, err := repro.Dial(context.Background(), addr, 1, "b")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -96,6 +96,70 @@ func (b *Board) Digest() []byte {
 	return buf.Bytes()
 }
 
+// MergeDigest returns the canonical digest of the union of several boards
+// that partition one object space: every board is configured with the full
+// (Players, Objects) dimensions, agrees on mode, vote budget, and round,
+// and holds the committed state of a disjoint subset of objects. This is
+// how a sharded billboard service digests itself — the output is
+// byte-identical to Digest on the single board an unsharded server would
+// hold, because Digest's canonical ordering (votes by (round, object) per
+// player, negative counts by object, events by (round, player, object))
+// never depends on which lane a record lived in. MergeDigest of one board
+// is exactly that board's Digest.
+func MergeDigest(boards ...*Board) []byte {
+	if len(boards) == 0 {
+		return nil
+	}
+	if len(boards) == 1 {
+		return boards[0].Digest()
+	}
+	b0 := boards[0]
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "round %d mode %d f %d\n", b0.round, b0.cfg.Mode, b0.cfg.VotesPerPlayer)
+	for p := 0; p < b0.cfg.Players; p++ {
+		var sorted []Vote
+		for _, b := range boards {
+			sorted = append(sorted, b.votesByPlayer[p]...)
+		}
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].Round != sorted[j].Round {
+				return sorted[i].Round < sorted[j].Round
+			}
+			return sorted[i].Object < sorted[j].Object
+		})
+		for _, v := range sorted {
+			fmt.Fprintf(&buf, "vote p%d o%d r%d v%g\n", p, v.Object, v.Round, v.Value)
+		}
+	}
+	for obj := 0; obj < b0.cfg.Objects; obj++ {
+		n := 0
+		for _, b := range boards {
+			n += b.negCount[obj]
+		}
+		if n != 0 {
+			fmt.Fprintf(&buf, "neg o%d %d\n", obj, n)
+		}
+	}
+	var events []VoteEvent
+	for _, b := range boards {
+		events = append(events, b.events...)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, c := events[i], events[j]
+		if a.Round != c.Round {
+			return a.Round < c.Round
+		}
+		if a.Player != c.Player {
+			return a.Player < c.Player
+		}
+		return a.Object < c.Object
+	})
+	for _, e := range events {
+		fmt.Fprintf(&buf, "event p%d o%d r%d\n", e.Player, e.Object, e.Round)
+	}
+	return buf.Bytes()
+}
+
 // Restore rebuilds a board from a Snapshot. The VoteFilter (a function,
 // not serializable) must be re-supplied via filter; pass nil when none was
 // in use.

@@ -15,6 +15,7 @@ package client
 
 import (
 	"bufio"
+	"context"
 	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -116,6 +117,7 @@ type Client struct {
 	player int
 	opt    Options
 
+	ctx     context.Context // cancels backoff sleeps and retry loops
 	session uint64
 	seq     uint64
 	conn    net.Conn
@@ -126,6 +128,10 @@ type Client struct {
 	lastErr error // first unrecovered transport failure; sticky
 	resumed bool  // a Hello has succeeded before: later connects are resumes
 	met     clientMetrics
+
+	shards  int           // server-advertised shard count (from Hello)
+	lanes   []*clientLane // one per shard when shards > 1
+	postSeq int           // running index stamped on every sharded post
 
 	n, m         int
 	localTesting bool
@@ -149,18 +155,30 @@ func (e *serverError) Unwrap() error { return e.err }
 // Dial connects and authenticates as the given player with default
 // Options.
 func Dial(addr string, player int, token string) (*Client, error) {
-	return DialOptions(addr, player, token, Options{})
+	return DialContext(context.Background(), addr, player, token, Options{})
 }
 
 // DialOptions connects and authenticates as the given player, retrying
 // transport failures per opt.
 func DialOptions(addr string, player int, token string, opt Options) (*Client, error) {
+	return DialContext(context.Background(), addr, player, token, opt)
+}
+
+// DialContext is DialOptions under a context: cancellation interrupts the
+// dial's backoff sleeps, and the context stays attached to the client,
+// cutting short every later reconnect/retry loop. A nil ctx means
+// context.Background().
+func DialContext(ctx context.Context, addr string, player int, token string, opt Options) (*Client, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt = opt.withDefaults(player)
 	c := &Client{
 		addr:    addr,
 		token:   token,
 		player:  player,
 		opt:     opt,
+		ctx:     ctx,
 		session: newSessionID(player),
 		jitter:  rng.New(opt.Seed).Split(uint64(player)),
 		met:     newClientMetrics(opt.Metrics),
@@ -169,7 +187,9 @@ func DialOptions(addr string, player int, token string, opt Options) (*Client, e
 	for attempt := 0; attempt <= opt.Retries; attempt++ {
 		if attempt > 0 {
 			c.met.retries.Inc()
-			c.sleepBackoff(attempt)
+			if err := c.sleepBackoff(attempt); err != nil {
+				return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+			}
 		}
 		if err := c.connect(); err != nil {
 			var perm *serverError
@@ -181,7 +201,9 @@ func DialOptions(addr string, player int, token string, opt Options) (*Client, e
 		}
 		return c, nil
 	}
-	return nil, fmt.Errorf("client: dial %s: retries exhausted: %w", addr, last)
+	// Every attempt failed to complete a handshake: classify the endpoint
+	// as dead so callers can match with errors.Is(err, wire.ErrServerClosed).
+	return nil, fmt.Errorf("client: dial %s: retries exhausted: %w (%w)", addr, last, wire.ErrServerClosed)
 }
 
 // connect dials and performs the Hello handshake. Because the session id is
@@ -234,6 +256,11 @@ func (c *Client) connect() error {
 	if resp.Round > c.round {
 		c.round = resp.Round
 	}
+	sh := resp.Shards
+	if sh < 1 {
+		sh = 1
+	}
+	c.setupLanes(sh)
 	return nil
 }
 
@@ -251,6 +278,12 @@ func (c *Client) drop() {
 // zero-valued Options reaching this path directly (or a doubling overflow)
 // must yield an immediate retry, not a panic in Uint64n(0).
 func (c *Client) backoff(attempt int) time.Duration {
+	return c.backoffWith(c.jitter, attempt)
+}
+
+// backoffWith is backoff drawing jitter from an explicit source — shard
+// lanes each carry their own so concurrent retries never share RNG state.
+func (c *Client) backoffWith(src *rng.Source, attempt int) time.Duration {
 	step := c.opt.BackoffBase
 	for i := 1; i < attempt && step > 0 && step < c.opt.BackoffMax; i++ {
 		step *= 2 // overflow drives step non-positive and exits the loop
@@ -261,15 +294,34 @@ func (c *Client) backoff(attempt int) time.Duration {
 	if step <= 0 {
 		return 0
 	}
-	return time.Duration(1 + c.jitter.Uint64n(uint64(step)))
+	return time.Duration(1 + src.Uint64n(uint64(step)))
 }
 
-// sleepBackoff sleeps the jittered backoff for an attempt, attributing the
-// wait to client_backoff_seconds_total.
-func (c *Client) sleepBackoff(attempt int) {
-	d := c.backoff(attempt)
+// pause sleeps for d, attributing the wait to client_backoff_seconds_total,
+// and returns early with the context's error if it is canceled first.
+func (c *Client) pause(d time.Duration) error {
 	c.met.backoffSeconds.Add(d.Seconds())
-	time.Sleep(d)
+	if c.ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	if d <= 0 {
+		return c.ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.ctx.Done():
+		return c.ctx.Err()
+	}
+}
+
+// sleepBackoff sleeps the jittered backoff for an attempt; a non-nil error
+// means the client's context was canceled mid-wait.
+func (c *Client) sleepBackoff(attempt int) error {
+	return c.pause(c.backoff(attempt))
 }
 
 // Close tears down the connection without Done. With a session grace
@@ -278,6 +330,7 @@ func (c *Client) sleepBackoff(attempt int) {
 // closing mid-round cannot wedge the barrier.
 func (c *Client) Close() error {
 	c.closed = true
+	c.closeLanes()
 	if c.conn == nil {
 		return nil
 	}
@@ -289,10 +342,13 @@ func (c *Client) Close() error {
 // ErrClosed is returned by calls made after Close.
 var ErrClosed = errors.New("client: closed")
 
-// Abort severs the transport abruptly — as a crash or network fault would —
+// Abort severs the transports abruptly — as a crash or network fault would —
 // leaving the client usable: the next call reconnects and resumes the
-// session (within the server's grace window). Test and chaos hook.
-func (c *Client) Abort() { c.drop() }
+// sessions (within the server's grace window). Test and chaos hook.
+func (c *Client) Abort() {
+	c.drop()
+	c.closeLanes()
+}
 
 // Err reports the first transport failure that retries could not recover
 // (nil while the session is healthy). The billboard.Reader methods cannot
@@ -331,10 +387,13 @@ func (c *Client) call(req wire.Request) (*wire.Response, error) {
 		timeout = c.opt.BarrierTimeout
 	}
 	var last error
+	dialFailed := false
 	for attempt := 0; attempt <= c.opt.Retries; attempt++ {
 		if attempt > 0 {
 			c.met.retries.Inc()
-			c.sleepBackoff(attempt)
+			if err := c.sleepBackoff(attempt); err != nil {
+				return nil, err // context canceled mid-backoff
+			}
 		}
 		if c.conn == nil {
 			if err := c.connect(); err != nil {
@@ -345,10 +404,12 @@ func (c *Client) call(req wire.Request) (*wire.Response, error) {
 					c.lastErr = fmt.Errorf("client: resume %v: %w", req.Type, perm.err)
 					return nil, c.lastErr
 				}
+				dialFailed = true
 				last = err
 				continue
 			}
 		}
+		dialFailed = false
 		if timeout > 0 {
 			c.conn.SetDeadline(time.Now().Add(timeout))
 		}
@@ -375,7 +436,13 @@ func (c *Client) call(req wire.Request) (*wire.Response, error) {
 		}
 		return resp, nil
 	}
-	c.lastErr = fmt.Errorf("client: %v: retries exhausted: %w", req.Type, last)
+	if dialFailed {
+		// The final attempt never reached a live server: best-effort
+		// dead-endpoint classification (errors.Is(err, wire.ErrServerClosed)).
+		c.lastErr = fmt.Errorf("client: %v: retries exhausted: %w (%w)", req.Type, last, wire.ErrServerClosed)
+	} else {
+		c.lastErr = fmt.Errorf("client: %v: retries exhausted: %w", req.Type, last)
+	}
 	return nil, c.lastErr
 }
 
@@ -408,8 +475,21 @@ func (c *Client) Probe(obj int) (ProbeResult, error) {
 	return ProbeResult{Value: resp.Value, Good: resp.Good, Cost: resp.Cost}, nil
 }
 
-// Post appends a report under the client's authenticated identity.
+// Post appends a report under the client's authenticated identity. Against
+// a sharded server the post travels on the owning shard's lane, stamped
+// with the client's running index so commit order follows posting order.
 func (c *Client) Post(obj int, value float64, positive bool) error {
+	if c.shards > 1 {
+		if c.closed {
+			return ErrClosed
+		}
+		if c.lastErr != nil {
+			return c.lastErr
+		}
+		msgs := []wire.PostMsg{{Object: obj, Value: value, Positive: positive}}
+		c.stampIndices(msgs)
+		return c.scatterPosts(msgs)
+	}
 	_, err := c.call(wire.Request{Type: wire.ReqPost, Object: obj, Value: value, Positive: positive})
 	return err
 }
@@ -428,10 +508,33 @@ type BatchPost struct {
 // replays the recorded outcome and never re-applies any post. It returns
 // the round number after the call (the new round when endRound is set).
 // An empty batch with endRound is exactly a Barrier.
+//
+// Against a sharded server the batch is split by the shard map and the
+// per-shard sub-batches are pipelined concurrently over the lane
+// connections; the end-of-round then travels as a plain Barrier on the
+// primary connection once every sub-batch is acknowledged.
 func (c *Client) PostBatch(posts []BatchPost, endRound bool) (int, error) {
 	msgs := make([]wire.PostMsg, len(posts))
 	for i, p := range posts {
 		msgs[i] = wire.PostMsg{Object: p.Object, Value: p.Value, Positive: p.Positive}
+	}
+	if c.shards > 1 {
+		if c.closed {
+			return 0, ErrClosed
+		}
+		if c.lastErr != nil {
+			return 0, c.lastErr
+		}
+		if len(msgs) > 0 {
+			c.stampIndices(msgs)
+			if err := c.scatterPosts(msgs); err != nil {
+				return 0, err
+			}
+		}
+		if !endRound {
+			return c.round, nil
+		}
+		return c.Barrier()
 	}
 	resp, err := c.call(wire.Request{Type: wire.ReqPostBatch, Posts: msgs, EndRound: endRound})
 	if err != nil {

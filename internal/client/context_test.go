@@ -1,0 +1,52 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// refusingDialer always fails, as a dead endpoint would.
+func refusingDialer(addr string) (net.Conn, error) {
+	return nil, errors.New("connection refused")
+}
+
+// TestDialContextCanceledStopsBackoff pins the cancellation contract: a
+// canceled context cuts the dial's retry/backoff loop short and surfaces
+// context.Canceled instead of grinding through every attempt.
+func TestDialContextCanceledStopsBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := DialContext(ctx, "127.0.0.1:1", 0, "tok", Options{
+		Dialer:  refusingDialer,
+		Retries: 1000,
+		// Without cancellation this schedule would sleep for minutes.
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  time.Second,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled dial still took %v", elapsed)
+	}
+}
+
+// TestDialExhaustionClassifiesDeadEndpoint pins the error contract: a dial
+// that never completes a handshake wraps wire.ErrServerClosed.
+func TestDialExhaustionClassifiesDeadEndpoint(t *testing.T) {
+	_, err := DialContext(context.Background(), "127.0.0.1:1", 0, "tok", Options{
+		Dialer:      refusingDialer,
+		Retries:     2,
+		BackoffBase: time.Microsecond,
+		BackoffMax:  time.Microsecond,
+	})
+	if !errors.Is(err, wire.ErrServerClosed) {
+		t.Fatalf("err = %v, want it to wrap wire.ErrServerClosed", err)
+	}
+}

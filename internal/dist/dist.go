@@ -195,6 +195,19 @@ type ClusterConfig struct {
 	// it from PersistDir on the same address. The crash-recovery chaos
 	// hook: honest players must ride through it on session resume alone.
 	KillAtRound int
+	// Shards partitions the billboard by object id into this many
+	// independent shard lanes (see server.Config.Shards); clients batch and
+	// pipeline their posts per shard automatically. 0 or 1 is the classic
+	// single-board server.
+	Shards int
+	// KillShardAtRound, when > 0, kills one shard lane (index 1) the moment
+	// the round counter reaches this value and restarts it from its
+	// per-shard store shortly after — the partial-failure chaos hook: posts
+	// and reads for that shard's objects stall and resume, every other
+	// shard keeps serving. Requires Shards > 1 and PersistDir; mutually
+	// exclusive with KillAtRound (a whole-server restart would race the
+	// shard bounce).
+	KillShardAtRound int
 	// Client tunes every player's retry/backoff/deadline behavior.
 	Client client.Options
 	// Logf receives server operational events (resume, lease expiry,
@@ -219,6 +232,9 @@ type ClusterResult struct {
 	BoardDigest []byte
 	// Restarts counts server kill/restart cycles performed (KillAtRound).
 	Restarts int
+	// ShardRestarts counts shard lane kill/restart cycles performed
+	// (KillShardAtRound).
+	ShardRestarts int
 }
 
 // RunCluster starts a billboard server on a loopback port, runs all players
@@ -242,6 +258,17 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if cfg.KillAtRound > 0 && cfg.PersistDir == "" {
 		return nil, fmt.Errorf("dist: KillAtRound requires PersistDir")
 	}
+	if cfg.KillShardAtRound > 0 {
+		if cfg.Shards < 2 {
+			return nil, fmt.Errorf("dist: KillShardAtRound requires Shards > 1")
+		}
+		if cfg.PersistDir == "" {
+			return nil, fmt.Errorf("dist: KillShardAtRound requires PersistDir")
+		}
+		if cfg.KillAtRound > 0 {
+			return nil, fmt.Errorf("dist: KillShardAtRound and KillAtRound are mutually exclusive")
+		}
+	}
 	// newServer builds one server generation; with a PersistDir each
 	// generation recovers from (and journals into) the same store, which is
 	// what makes kill/restart cycles transparent to the players.
@@ -253,6 +280,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 			Beta:            cfg.Universe.Beta(),
 			SessionGrace:    cfg.SessionGrace,
 			BarrierDeadline: cfg.BarrierDeadline,
+			Shards:          cfg.Shards,
 			Logf:            cfg.Logf,
 		}
 		if cfg.PersistDir != "" {
@@ -353,6 +381,45 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		close(watcherDone)
 	}
 
+	// KillShardAtRound watcher: one shard lane is torn down mid-run — its
+	// board, pending posts, and lane sessions dropped, its store closed —
+	// and rebuilt from its per-shard journal while every other shard keeps
+	// serving. Lane traffic for the dead shard stalls (dropped connections,
+	// client retries) and resumes transparently after the restart.
+	shardRestarts := 0
+	var shardErr error
+	shardStop := make(chan struct{})
+	shardDone := make(chan struct{})
+	if cfg.KillShardAtRound > 0 {
+		go func() {
+			defer close(shardDone)
+			const victim = 1
+			for {
+				select {
+				case <-shardStop:
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+				if srv.Round() < cfg.KillShardAtRound {
+					continue
+				}
+				if err := srv.KillShard(victim); err != nil {
+					shardErr = fmt.Errorf("dist: kill shard: %w", err)
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+				if err := srv.RestartShard(victim); err != nil {
+					shardErr = fmt.Errorf("dist: restart shard: %w", err)
+					return
+				}
+				shardRestarts++
+				return
+			}
+		}()
+	} else {
+		close(shardDone)
+	}
+
 	// Per-player client options; with fault injection each player's dialer
 	// carries its own deterministic fault stream (label = player id), so
 	// the chaos schedule is reproducible from Fault.Seed alone.
@@ -405,8 +472,13 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	byzWG.Wait()
 	close(watcherStop)
 	<-watcherDone
+	close(shardStop)
+	<-shardDone
 	if restartErr != nil {
 		return nil, restartErr
+	}
+	if shardErr != nil {
+		return nil, shardErr
 	}
 
 	for _, err := range errs {
@@ -417,7 +489,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	srvMu.Lock()
 	final := srv
 	srvMu.Unlock()
-	out := &ClusterResult{Honest: results, AllFound: true, Restarts: restarts}
+	out := &ClusterResult{Honest: results, AllFound: true, Restarts: restarts, ShardRestarts: shardRestarts}
 	sProbes, _, _, _ := final.Stats()
 	out.ServerProbes = sProbes
 	out.BoardDigest = final.Digest()

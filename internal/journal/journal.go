@@ -62,7 +62,12 @@ const (
 
 // entry is one journal record. Session/Seq are zero in journals written
 // before the write-ahead extension; gob decodes old frames with the new
-// fields absent, so both generations replay through the same path.
+// fields absent, so both generations replay through the same path. Index
+// and Admits are the sharding extension: a sharded server's lanes journal
+// each post with its global batch index, and round markers carry the
+// round's admitted (player, object) vote pairs so a single lane's journal
+// replays to exactly the votes the global admission pass granted, without
+// consulting the other lanes.
 type entry struct {
 	Kind    entryKind
 	Post    billboard.Post // valid when Kind == kindPost
@@ -70,6 +75,15 @@ type entry struct {
 	Session uint64         // session the record belongs to (0: none recorded)
 	Seq     uint64         // per-session request sequence number (0: none)
 	Object  int            // valid when Kind == kindProbe
+	Index   int            // valid when Kind == kindPost: client batch order
+	Admits  []Admit        // valid when Kind == kindEndRound on a sharded store
+}
+
+// Admit is one admitted vote pair recorded on a sharded round marker: in
+// the round it closes, player's positive post on Object became a vote.
+type Admit struct {
+	Player int
+	Object int
 }
 
 // maxFrame bounds a frame's declared size; anything larger is corruption.
@@ -191,9 +205,24 @@ func (w *Writer) AppendFrom(session, seq uint64, post billboard.Post) error {
 	return w.write(entry{Kind: kindPost, Post: post, Session: session, Seq: seq})
 }
 
+// AppendAt is AppendFrom plus the post's client batch order index — the
+// write-ahead form used by a sharded lane, where the commit order across
+// lanes is (player, index) rather than single-log arrival order.
+func (w *Writer) AppendAt(session, seq uint64, index int, post billboard.Post) error {
+	return w.write(entry{Kind: kindPost, Post: post, Session: session, Seq: seq, Index: index})
+}
+
 // EndRound records a round boundary.
 func (w *Writer) EndRound() error {
 	return w.write(entry{Kind: kindEndRound})
+}
+
+// EndRoundAdmits records a round boundary carrying the round's admitted
+// vote pairs (sharded stores). Replaying a single lane honors the recorded
+// admissions instead of re-deriving them, which keeps lane replay exact
+// even though the global vote budget was consumed across all lanes.
+func (w *Writer) EndRoundAdmits(admits []Admit) error {
+	return w.write(entry{Kind: kindEndRound, Admits: admits})
 }
 
 // ForceDone records a barrier-deadline decision: the server deregistered
@@ -254,8 +283,10 @@ type Record struct {
 	Post    billboard.Post // valid when Kind == RecordPost
 	Session uint64
 	Seq     uint64
-	Player  int // valid for force-done, probe, done, barrier
-	Object  int // valid when Kind == RecordProbe
+	Player  int     // valid for force-done, probe, done, barrier
+	Object  int     // valid when Kind == RecordProbe
+	Index   int     // valid when Kind == RecordPost: client batch order
+	Admits  []Admit // valid when Kind == RecordEndRound on a sharded store
 	Round   int
 }
 
@@ -308,6 +339,8 @@ func ReplayRecords(r io.Reader, fn func(Record) error) error {
 			Seq:     e.Seq,
 			Player:  e.Player,
 			Object:  e.Object,
+			Index:   e.Index,
+			Admits:  e.Admits,
 			Round:   round,
 		}
 		if err := fn(rec); err != nil {

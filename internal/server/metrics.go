@@ -36,6 +36,8 @@ type serverMetrics struct {
 	snapshots       *obs.Counter
 	journalReplayed *obs.Counter
 	replaySeconds   *obs.Histogram
+
+	shardRestarts *obs.Counter
 }
 
 // newServerMetrics registers the server_* metric family in reg. A nil reg
@@ -67,6 +69,8 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		snapshots:       reg.Counter("server_snapshots_total", "service snapshots taken at journal rotation"),
 		journalReplayed: reg.Counter("server_journal_replayed_total", "journal records replayed at recovery"),
 		replaySeconds:   reg.Histogram("server_journal_replay_seconds", "recovery replay latency (snapshot restore + journal tail)", nil),
+
+		shardRestarts: reg.Counter("server_shard_restarts_total", "shard lanes rebuilt by RestartShard"),
 	}
 	for t := wire.ReqHello; t <= wire.ReqPostBatch; t++ {
 		m.requests[t] = reg.Counter(

@@ -56,9 +56,15 @@ type serverSnap struct {
 // every in-flight request is one the just-committed round is about to
 // answer.
 func (s *Server) snapshotLocked() ([]byte, error) {
-	boardBytes, err := s.board.Snapshot()
-	if err != nil {
-		return nil, err
+	// A sharded coordinator has no board of its own (Board stays nil in the
+	// snapshot); the lane boards snapshot into their per-shard stores.
+	var boardBytes []byte
+	if s.board != nil {
+		var err error
+		boardBytes, err = s.board.Snapshot()
+		if err != nil {
+			return nil, err
+		}
 	}
 	sn := serverSnap{
 		Board:     boardBytes,
@@ -126,12 +132,17 @@ func (s *Server) restoreSnapshot(data []byte) error {
 		return fmt.Errorf("snapshot describes %d players, server configured for %d",
 			len(sn.Probes), len(s.cfg.Tokens))
 	}
-	board, err := billboard.Restore(sn.Board, nil)
-	if err != nil {
-		return err
+	if sn.Board != nil {
+		board, err := billboard.Restore(sn.Board, nil)
+		if err != nil {
+			return err
+		}
+		s.board = board
+		s.round = board.Round()
+	} else {
+		// Sharded coordinator snapshot: the boards live in the lane stores.
+		s.round = sn.Round
 	}
-	s.board = board
-	s.round = board.Round()
 	for _, p := range sn.Registered {
 		s.registered[p] = true
 	}
@@ -172,7 +183,7 @@ func (s *Server) recoverFromStore(boardCfg billboard.Config) error {
 		if err := s.restoreSnapshot(snap); err != nil {
 			return fmt.Errorf("server: recover snapshot: %w", err)
 		}
-	} else {
+	} else if s.cfg.Shards <= 1 {
 		board, err := billboard.New(boardCfg)
 		if err != nil {
 			return fmt.Errorf("server: %w", err)
@@ -245,6 +256,9 @@ func (s *Server) recoverFromStore(boardCfg billboard.Config) error {
 				switch p.Kind {
 				case journal.RecordPost:
 					touch(p.Post.Player)
+					if s.board == nil {
+						return fmt.Errorf("post record in a sharded coordinator journal")
+					}
 					if err := s.board.Post(p.Post); err != nil {
 						return fmt.Errorf("replay post: %v", err)
 					}
@@ -269,8 +283,15 @@ func (s *Server) recoverFromStore(boardCfg billboard.Config) error {
 				}
 			}
 			pending = pending[:0]
-			s.board.EndRound()
+			if s.board != nil {
+				s.board.EndRound()
+			}
 			s.round++
+			if s.recoveredAdmits != nil {
+				// Keep the round's admitted vote pairs: lane recovery tops up
+				// a lane that missed this round's seal from exactly this set.
+				s.recoveredAdmits[s.round] = rec.Admits
+			}
 			// A committed barrier answers with the round it opened — the
 			// response a live server had recorded for those sessions.
 			for _, sess := range arrivals {

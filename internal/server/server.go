@@ -102,6 +102,18 @@ type Config struct {
 	// billboard-only durability knobs it supersedes). Pair it with a
 	// SessionGrace so mid-restart clients stay resumable.
 	Persist *journal.Store
+	// Shards, when greater than 1, partitions the billboard by object id
+	// across that many independent shard lanes (protocol v4): each lane has
+	// its own mutex, board partition, read cache, and — with Persist — its
+	// own journal store under Persist.Dir()/shard-%03d. Clients learn the
+	// count at Hello and pipeline per-shard post batches over dedicated lane
+	// connections; rounds commit through a per-round shard barrier (see
+	// shard.go). Requires a LocalTesting universe (FirstPositive voting; the
+	// BestValue mode's single movable vote is inherently global) and is
+	// mutually exclusive with the legacy Journal/Recover/RecoverSnapshot
+	// knobs. Zero or 1 keeps the classic single-lane server, byte-identical
+	// to previous versions at fixed seeds.
+	Shards int
 	// SnapshotEvery, with Persist, rotates the store every k committed
 	// rounds: a full server snapshot replaces the journal so far, bounding
 	// recovery replay to at most k rounds of records. Zero never rotates
@@ -158,6 +170,10 @@ type session struct {
 	// (which are never journaled) — so the first post-restart request may
 	// legitimately jump forward.
 	loose bool
+	// nextIdx stamps primary-connection posts with a running order index on
+	// a sharded server, preserving the player's arrival order across lanes
+	// (lane batches carry client-assigned indices instead).
+	nextIdx int
 }
 
 // Server is a running billboard service. Construct with New, then Start.
@@ -179,6 +195,20 @@ type Server struct {
 	cost       []float64
 	satisfied  []bool
 	closed     bool
+
+	// Sharding state (Config.Shards > 1; see shard.go). lanes is immutable
+	// after New. The admission maps implement the global vote budget across
+	// lanes; roundA/closedA mirror round/closed for the lane data plane,
+	// which answers without taking s.mu.
+	lanes           []*lane
+	votesTaken      []int
+	votedPair       map[admitKey]bool
+	admitSet        map[admitKey]bool
+	lastAdmits      []journal.Admit
+	lastAdmitsRound int
+	recoveredAdmits map[int][]journal.Admit // transient, New-time only
+	roundA          atomic.Int64
+	closedA         atomic.Bool
 
 	barrierTimer *time.Timer
 	armedRound   int // round the barrier timer is armed for; -1 when idle
@@ -228,6 +258,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Persist != nil && (cfg.Journal != nil || cfg.Recover != nil || cfg.RecoverSnapshot != nil) {
 		return nil, fmt.Errorf("server: Persist supersedes Journal/Recover/RecoverSnapshot; set one or the other")
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("server: Shards %d must be non-negative", cfg.Shards)
+	}
+	if cfg.Shards > 1 {
+		if mode != billboard.FirstPositive {
+			return nil, fmt.Errorf("server: Shards > 1 requires a LocalTesting universe (BestValue's single movable vote is global)")
+		}
+		if cfg.Journal != nil || cfg.Recover != nil || cfg.RecoverSnapshot != nil {
+			return nil, fmt.Errorf("server: Shards > 1 is incompatible with the legacy Journal/Recover/RecoverSnapshot knobs; use Persist")
+		}
+	}
 	s := &Server{
 		cfg:        cfg,
 		registered: make(map[int]bool),
@@ -244,12 +285,31 @@ func New(cfg Config) (*Server, error) {
 		m:          newServerMetrics(cfg.Metrics), // before recovery: replay is recorded
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.Shards > 1 {
+		// The coordinator keeps no board of its own: posts live in the shard
+		// lanes. Its store (when durable) carries probes, barriers, dones,
+		// and the round markers whose admitted vote pairs anchor lane replay.
+		if cfg.Persist != nil {
+			s.recoveredAdmits = make(map[int][]journal.Admit)
+			if err := s.recoverFromStore(boardCfg); err != nil {
+				return nil, err
+			}
+			s.cfg.Journal = cfg.Persist.Writer()
+		}
+		if err := s.setupShards(boardCfg, s.recoveredAdmits); err != nil {
+			return nil, err
+		}
+		s.recoveredAdmits = nil
+		s.roundA.Store(int64(s.round))
+		return s, nil
+	}
 	if cfg.Persist != nil {
 		if err := s.recoverFromStore(boardCfg); err != nil {
 			return nil, err
 		}
 		s.cfg.Journal = cfg.Persist.Writer()
 		s.board.SetMetrics(cfg.Metrics)
+		s.roundA.Store(int64(s.round))
 		return s, nil
 	}
 	// Legacy (billboard-only) recovery: rebuild the board and the journaled
@@ -289,6 +349,7 @@ func New(cfg Config) (*Server, error) {
 		// committed without this player, so it cannot rejoin the run.
 		s.forceDone[e.Player] = e.Round
 	}
+	s.roundA.Store(int64(s.round))
 	return s, nil
 }
 
@@ -338,6 +399,7 @@ func (s *Server) Serve(ln net.Listener) string {
 // Close stops the listener, wakes blocked barrier waiters, and waits for
 // connection handlers to drain.
 func (s *Server) Close() error {
+	s.closedA.Store(true)
 	s.mu.Lock()
 	s.closed = true
 	if s.barrierTimer != nil {
@@ -363,6 +425,17 @@ func (s *Server) Close() error {
 		err = s.ln.Close()
 	}
 	s.wg.Wait()
+	// Lane stores are owned by the server (opened in setupShards), unlike
+	// the caller-owned coordinator store; close them once handlers drained.
+	for _, ln := range s.lanes {
+		ln.lock()
+		if ln.store != nil && !ln.down {
+			if cerr := ln.store.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		ln.unlock()
+	}
 	return err
 }
 
@@ -380,6 +453,9 @@ func (s *Server) Round() int {
 func (s *Server) Compact() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sharded() {
+		return nil, fmt.Errorf("server: Compact is single-board; a sharded server snapshots per lane via SnapshotEvery rotation")
+	}
 	return s.board.Snapshot()
 }
 
@@ -389,6 +465,18 @@ func (s *Server) Compact() ([]byte, error) {
 func (s *Server) Digest() []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sharded() {
+		boards := make([]*billboard.Board, len(s.lanes))
+		for i, ln := range s.lanes {
+			if !s.waitLaneUpLocked(ln) {
+				return nil
+			}
+			boards[i] = ln.board
+		}
+		// MergeDigest is byte-identical to the single board an unsharded
+		// server would digest — canonical ordering is lane-oblivious.
+		return billboard.MergeDigest(boards...)
+	}
 	return s.board.Digest()
 }
 
@@ -466,6 +554,8 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReader(rw)
 
 	var sess *session
+	var laneSess *session
+	var laneOf *lane
 	gen := 0
 	defer func() {
 		if sess != nil {
@@ -489,7 +579,24 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		var resp wire.Response
 		switch {
+		case req.Type == wire.ReqHello && req.Lane:
+			// Data-plane lane binding (protocol v4): no membership, no
+			// lease; the connection serves only shard-local post batches.
+			if sess != nil || laneSess != nil {
+				resp.Err = "connection already bound"
+				break
+			}
+			var ns *session
+			var ln *lane
+			resp, ns, ln = s.laneHello(req)
+			if resp.Err == "" {
+				laneSess, laneOf = ns, ln
+			}
 		case req.Type == wire.ReqHello:
+			if laneSess != nil {
+				resp.Err = "connection already bound to a shard lane"
+				break
+			}
 			if sess != nil && req.Session != sess.id {
 				resp.Err = "connection already bound to another session"
 				break
@@ -500,6 +607,8 @@ func (s *Server) handle(conn net.Conn) {
 				sess = ns
 				gen = ns.gen
 			}
+		case laneSess != nil:
+			resp = s.laneDispatch(laneOf, laneSess, req)
 		case sess == nil:
 			resp.Err = "not authenticated: send hello first"
 		default:
@@ -693,10 +802,19 @@ func (s *Server) hello(req *wire.Request) (wire.Response, *session) {
 		return s.helloPayloadLocked(), sess
 	}
 	if r, ok := s.forceDone[p]; ok {
-		return wire.Response{Err: fmt.Sprintf("player %d was force-done in round %d", p, r)}, nil
+		return wire.Response{
+			Err:  fmt.Sprintf("player %d was force-done in round %d", p, r),
+			Code: wire.CodeBarrierDeadline,
+		}, nil
 	}
 	if s.registered[p] {
-		return wire.Response{Err: fmt.Sprintf("player %d already registered", p)}, nil
+		// The player exists but the presented session does not: its lease
+		// expired (or the server restarted without it). Terminal for the
+		// old client — its votes and dedup window are gone.
+		return wire.Response{
+			Err:  fmt.Sprintf("player %d already registered", p),
+			Code: wire.CodeSessionExpired,
+		}, nil
 	}
 	s.registered[p] = true
 	s.active[p] = true
@@ -722,6 +840,7 @@ func (s *Server) helloPayloadLocked() wire.Response {
 		Beta:         s.cfg.Beta,
 		Costs:        costs,
 		Round:        s.round,
+		Shards:       s.ShardCount(),
 	}
 }
 
@@ -753,6 +872,11 @@ func (s *Server) probeLocked(sess *session, seq uint64, obj int) wire.Response {
 // identity, journaling it on acceptance. The journal record carries the
 // session and sequence number so recovery can rebuild the dedup window.
 func (s *Server) appendPostLocked(sess *session, seq uint64, object int, value float64, positive bool) error {
+	if s.sharded() {
+		// Route to the owning lane, stamped with the session's running
+		// index so commit order preserves this player's arrival order.
+		return s.shardAppendLocked(sess, seq, object, value, positive)
+	}
 	post := billboard.Post{
 		Player:   sess.player, // authenticated identity, not client-claimed
 		Object:   object,
@@ -804,10 +928,15 @@ func (s *Server) votesLocked(ofPlayer int) wire.Response {
 		return wire.Response{Votes: msgs, Round: s.round}
 	}
 	s.m.cacheMisses.Inc()
-	votes := s.board.Votes(ofPlayer)
-	msgs := make([]wire.VoteMsg, len(votes))
-	for i, v := range votes {
-		msgs[i] = wire.VoteMsg{Player: v.Player, Object: v.Object, Round: v.Round, Value: v.Value}
+	var msgs []wire.VoteMsg
+	if s.sharded() {
+		msgs = s.shardVotesLocked(ofPlayer)
+	} else {
+		votes := s.board.Votes(ofPlayer)
+		msgs = make([]wire.VoteMsg, len(votes))
+		for i, v := range votes {
+			msgs[i] = wire.VoteMsg{Player: v.Player, Object: v.Object, Round: v.Round, Value: v.Value}
+		}
 	}
 	if s.cacheVotes == nil {
 		s.cacheVotes = make(map[int][]wire.VoteMsg)
@@ -821,7 +950,11 @@ func (s *Server) votesLocked(ofPlayer int) wire.Response {
 func (s *Server) votedObjectsLocked() []int {
 	if !s.cacheHasVoted {
 		s.m.cacheMisses.Inc()
-		s.cacheVoted = s.board.VotedObjects()
+		if s.sharded() {
+			s.cacheVoted = s.shardVotedObjectsLocked()
+		} else {
+			s.cacheVoted = s.board.VotedObjects()
+		}
 		s.cacheHasVoted = true
 	} else {
 		s.m.cacheHits.Inc()
@@ -838,7 +971,12 @@ func (s *Server) windowLocked(from, to int) map[int]int {
 		return counts
 	}
 	s.m.cacheMisses.Inc()
-	counts := s.board.CountVotesInWindow(from, to)
+	var counts map[int]int
+	if s.sharded() {
+		counts = s.shardWindowLocked(from, to)
+	} else {
+		counts = s.board.CountVotesInWindow(from, to)
+	}
 	if s.cacheWindows == nil {
 		s.cacheWindows = make(map[[2]int]map[int]int)
 	}
@@ -859,12 +997,26 @@ func (s *Server) voteCountLocked(obj int) wire.Response {
 	if obj < 0 || obj >= s.cfg.Universe.M() {
 		return wire.Response{Err: fmt.Sprintf("object %d out of range", obj)}
 	}
+	if s.sharded() {
+		ln := s.laneFor(obj)
+		if !s.waitLaneUpLocked(ln) {
+			return wire.Response{Err: errServerClosed}
+		}
+		return wire.Response{Count: ln.board.VoteCount(obj), Round: s.round}
+	}
 	return wire.Response{Count: s.board.VoteCount(obj), Round: s.round}
 }
 
 func (s *Server) negCountLocked(obj int) wire.Response {
 	if obj < 0 || obj >= s.cfg.Universe.M() {
 		return wire.Response{Err: fmt.Sprintf("object %d out of range", obj)}
+	}
+	if s.sharded() {
+		ln := s.laneFor(obj)
+		if !s.waitLaneUpLocked(ln) {
+			return wire.Response{Err: errServerClosed}
+		}
+		return wire.Response{Count: ln.board.NegativeCount(obj), Round: s.round}
 	}
 	return wire.Response{Count: s.board.NegativeCount(obj), Round: s.round}
 }
@@ -964,14 +1116,24 @@ func (s *Server) advanceLocked() {
 	if len(s.active) == 0 || len(s.arrived) < len(s.active) {
 		return
 	}
-	s.board.EndRound()
-	s.round++
-	s.m.rounds.Inc()
-	s.invalidateReadCacheLocked()
-	if s.cfg.Journal != nil {
-		// A marker failure is logged into the error path on the next post;
-		// the in-memory board stays authoritative for this process.
-		_ = s.cfg.Journal.EndRound()
+	if s.sharded() {
+		// The per-round shard barrier: every lane must seal before the round
+		// is observable. A down lane leaves the round open (waiters stay
+		// blocked); RestartShard re-runs this advance.
+		if !s.commitShardedLocked() {
+			return
+		}
+	} else {
+		s.board.EndRound()
+		s.round++
+		s.roundA.Store(int64(s.round))
+		s.m.rounds.Inc()
+		s.invalidateReadCacheLocked()
+		if s.cfg.Journal != nil {
+			// A marker failure is logged into the error path on the next post;
+			// the in-memory board stays authoritative for this process.
+			_ = s.cfg.Journal.EndRound()
+		}
 	}
 	for p := range s.arrived {
 		delete(s.arrived, p)
@@ -985,7 +1147,8 @@ func (s *Server) advanceLocked() {
 	// a snapshot taken after that would persist those sentinels — a recovered
 	// server would then replay "server closed" to every retry, forever. The
 	// EndRound marker above already made this commit durable in the journal.
-	if s.cfg.Persist != nil && !s.closed && s.cfg.SnapshotEvery > 0 && s.round%s.cfg.SnapshotEvery == 0 {
+	// (A sharded commit rotates inside its own critical section instead.)
+	if !s.sharded() && s.cfg.Persist != nil && !s.closed && s.cfg.SnapshotEvery > 0 && s.round%s.cfg.SnapshotEvery == 0 {
 		s.rotateLocked()
 	}
 	s.cond.Broadcast()

@@ -1,0 +1,119 @@
+package server_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/server"
+)
+
+// benchShardCluster mirrors benchSetup but brings the server up with the
+// given shard count and a client per player, so the 1/4/16-shard variants
+// below differ only in lane count and the posting load actually contends.
+func benchShardCluster(b *testing.B, shards, players int) []*client.Client {
+	b.Helper()
+	u, err := object.NewPlanted(object.Planted{M: 1024, Good: 1}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tokens := make([]string, players)
+	for i := range tokens {
+		tokens[i] = fmt.Sprintf("t%d", i)
+	}
+	srv, err := server.New(server.Config{
+		Universe: u, Tokens: tokens, Alpha: 1, Beta: u.Beta(),
+		Shards: shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.Start("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	clients := make([]*client.Client, players)
+	for p := range clients {
+		c, err := client.Dial(addr, p, tokens[p])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		clients[p] = c
+	}
+	return clients
+}
+
+// BenchmarkShardedPostBatch measures one full posting round per iteration:
+// eight players concurrently scatter a 128-report batch across the shard
+// lanes and arrive at the round barrier, which commits via the per-round
+// shard barrier. The shards-1 case is the classic single-frame v3 path
+// serialized under the coordinator mutex; the sharded cases pipeline one
+// frame per lane, each accepted under its own lane mutex. The spread is the
+// scaling the parallel lane data plane buys under contention — on a
+// single-CPU box (GOMAXPROCS=1) concurrent frames cannot overlap, so the
+// sharded points instead price the per-lane framing overhead; run with
+// multiple CPUs to see the contention win.
+func BenchmarkShardedPostBatch(b *testing.B) {
+	const players, perPlayer = 8, 128
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			clients := benchShardCluster(b, shards, players)
+			batches := make([][]client.BatchPost, players)
+			for p := range batches {
+				batch := make([]client.BatchPost, perPlayer)
+				for i := range batch {
+					batch[i] = client.BatchPost{Object: (p*perPlayer + i*17) % 1024, Value: 1}
+				}
+				batches[p] = batch
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, players)
+				for p, c := range clients {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						_, errs[p] = c.PostBatch(batches[p], true)
+					}()
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedWindowQuery measures the committed-round window read after
+// a few sealed rounds: on a sharded server the count is a scatter-gather
+// merge of per-lane windows (served from the per-lane read caches once warm).
+func BenchmarkShardedWindowQuery(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			c := benchShardCluster(b, shards, 1)[0]
+			const rounds = 8
+			for r := 0; r < rounds; r++ {
+				batch := make([]client.BatchPost, 32)
+				for i := range batch {
+					batch[i] = client.BatchPost{Object: (r*32 + i) % 1024, Value: 1, Positive: true}
+				}
+				if _, err := c.PostBatch(batch, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = c.CountVotesInWindow(0, rounds)
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/billboard"
@@ -136,6 +137,11 @@ type Config struct {
 	// after every committed round (for metrics/tracing/plotting). Wrap a
 	// plain function with FuncObserver; combine sinks with MultiObserver.
 	Observer Observer
+	// Context, when non-nil, cancels the run: the engine checks it at every
+	// round boundary and returns its error once it is done. Cancellation is
+	// cooperative and round-aligned, so a canceled run never tears a round
+	// in half.
+	Context context.Context
 	// Board, when non-nil, reuses an existing billboard instead of creating
 	// a fresh one — the "after effects" mechanism of §5.1 (spent votes and
 	// stale recommendations persist across phases) and the substrate of the
@@ -381,6 +387,11 @@ func (e *Engine) Run() (*Result, error) {
 	start := e.board.Round()
 	round := start
 	for {
+		if cfg.Context != nil {
+			if err := cfg.Context.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run canceled at round %d: %w", round, err)
+			}
+		}
 		if prescribed > 0 {
 			if round-start >= prescribed {
 				break

@@ -18,6 +18,10 @@ func FuzzDecodeRequest(f *testing.F) {
 		{Type: ReqProbe, Object: 5, Session: 1, Seq: 1},
 		{Type: ReqPost, Object: 5, Value: -1.5, Positive: true, Session: 1, Seq: 2},
 		{Type: ReqBarrier, Session: 1, Seq: 3},
+		// Protocol v4: lane hello and shard-routed indexed batch.
+		{Type: ReqHello, Player: 1, Token: "tok", Version: Version, Session: 2, Lane: true, Shard: 3},
+		{Type: ReqPostBatch, Session: 2, Seq: 4, Shard: 3,
+			Posts: []PostMsg{{Object: 9, Value: 1, Positive: true, Index: 17}}},
 	} {
 		var buf bytes.Buffer
 		if err := EncodeRequest(&buf, &req); err != nil {
@@ -66,6 +70,12 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add(buf.Bytes()[:buf.Len()/2])
 	f.Add([]byte{0x03, 0x01, 0x02, 0x03})
+	// Protocol v4: shard-count payload and a coded error.
+	buf.Reset()
+	if err := EncodeResponse(&buf, &Response{Round: 3, Shards: 4, Code: CodeSessionExpired, Err: "gone"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = DecodeResponse(bytes.NewReader(data))

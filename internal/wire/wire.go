@@ -34,6 +34,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -104,10 +105,30 @@ func (t ReqType) String() string {
 // Version is the wire protocol version. Hello carries it; the server
 // rejects mismatches so that incompatible binaries fail loudly at
 // connection time instead of corrupting a run. Version 2 introduced framed
-// messages, session ids, and request sequence numbers; version 3 adds
+// messages, session ids, and request sequence numbers; version 3 added
 // batched round posts (ReqPostBatch) and server-side read caching, cutting
-// a player's round to O(1) frames.
-const Version = 3
+// a player's round to O(1) frames; version 4 adds shard routing (the server
+// advertises its shard count at Hello, lane connections carry a shard id,
+// batch posts carry a client-assigned order index) and typed error codes.
+const Version = 4
+
+// Shard maps an object id onto one of shards lanes. It is the single
+// shard-map definition shared by client and server: deterministic, seedless,
+// and stable across processes, so both sides always agree on which lane owns
+// an object. The mix is a splitmix64-style finalizer so that consecutive
+// object ids spread across lanes instead of striping.
+func Shard(object, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint64(object)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(shards))
+}
 
 // MaxFrame bounds one framed message's declared size; anything larger is
 // treated as corruption, never allocated.
@@ -151,6 +172,15 @@ type Request struct {
 	// gives it the same exactly-once retry semantics as a single request.
 	Posts    []PostMsg
 	EndRound bool
+
+	// Shard routing (protocol v4). A lane Hello (Lane true) authenticates
+	// the connection as a data-plane lane onto shard Shard: it shares the
+	// primary session's player identity but registers no membership, and
+	// accepts only shard-local post batches. On a lane ReqPostBatch, Shard
+	// names the lane the batch targets; the server rejects posts whose
+	// objects the shard map assigns elsewhere.
+	Shard int
+	Lane  bool
 }
 
 // PostMsg is one post inside a ReqPostBatch frame. The player identity is
@@ -159,6 +189,15 @@ type PostMsg struct {
 	Object   int
 	Value    float64
 	Positive bool
+
+	// Index (protocol v4) is the post's position in the player's original
+	// round batch, assigned by the client before the batch is split across
+	// shard lanes. The server commits a round's posts in (player, index)
+	// order, so the global vote budget is consumed in the order the player
+	// issued the posts regardless of which lanes carried them. Single-post
+	// and v3-style requests leave it zero; the server then stamps arrival
+	// order.
+	Index int
 }
 
 // VoteMsg mirrors billboard.Vote on the wire.
@@ -169,10 +208,52 @@ type VoteMsg struct {
 	Value  float64
 }
 
+// Typed error sentinels (protocol v4). The server tags failure responses
+// with a Code; Response.Error wraps the matching sentinel so callers can
+// errors.Is instead of string-matching. The sentinels are re-exported on
+// the public facade as repro.ErrSessionExpired etc.
+var (
+	// ErrSessionExpired marks a resume attempt whose session the server no
+	// longer recognizes — the lease lapsed (or another session took the
+	// player) and the player's registration is gone.
+	ErrSessionExpired = errors.New("session expired")
+	// ErrBarrierDeadline marks a player the barrier deadline force-Done'd
+	// as a straggler: its round arrived too late and it may not rejoin.
+	ErrBarrierDeadline = errors.New("barrier deadline exceeded")
+	// ErrServerClosed marks a call that exhausted its retries without ever
+	// reaching a live server. The server itself never answers "closed" — a
+	// closing server drops connections so that a restarted generation can
+	// pick the retry up transparently — so this sentinel is the client's
+	// best-effort classification of a dead endpoint.
+	ErrServerClosed = errors.New("server closed")
+)
+
+// Code values carried by Response.Code.
+const (
+	CodeNone           uint8 = 0
+	CodeSessionExpired uint8 = 1
+	CodeBarrierDeadline uint8 = 2
+)
+
+// sentinelFor maps a response code to its sentinel (nil for CodeNone and
+// unknown codes, which higher layers treat as plain server errors).
+func sentinelFor(code uint8) error {
+	switch code {
+	case CodeSessionExpired:
+		return ErrSessionExpired
+	case CodeBarrierDeadline:
+		return ErrBarrierDeadline
+	default:
+		return nil
+	}
+}
+
 // Response is the server→client message. Err is non-empty on failure; all
 // other fields are request-specific.
 type Response struct {
 	Err string
+	// Code (protocol v4) classifies Err for errors.Is; see sentinelFor.
+	Code uint8
 
 	// Hello reply: run configuration.
 	N            int
@@ -195,12 +276,21 @@ type Response struct {
 
 	// Barrier / round info (also set on Hello: the current round).
 	Round int
+
+	// Shards (protocol v4) is the server's lane count, advertised on the
+	// Hello reply so the client can route posts with Shard(object, Shards).
+	Shards int
 }
 
-// Error materializes the response error, if any.
+// Error materializes the response error, if any. Responses tagged with a
+// v4 code wrap the matching sentinel, so errors.Is(err, ErrSessionExpired)
+// and friends work across the wire.
 func (r *Response) Error() error {
 	if r.Err == "" {
 		return nil
+	}
+	if s := sentinelFor(r.Code); s != nil {
+		return fmt.Errorf("billboard server: %s: %w", r.Err, s)
 	}
 	return fmt.Errorf("billboard server: %s", r.Err)
 }

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adversary"
@@ -251,6 +252,14 @@ type RunOption func(*EngineConfig)
 // observers never perturb the simulation (same seeds, same probes).
 func WithObserver(o Observer) RunOption {
 	return func(ec *EngineConfig) { ec.Observer = o }
+}
+
+// WithContext lets ctx cancel the run: the engine checks it at every round
+// boundary and stops with its error once it is done. Cancellation is
+// cooperative and round-aligned — a canceled run never tears a round in
+// half, and a run that completes first is unaffected.
+func WithContext(ctx context.Context) RunOption {
+	return func(ec *EngineConfig) { ec.Context = ctx }
 }
 
 // Run executes one search described by cfg and returns the result.
