@@ -5,8 +5,10 @@
 # snapshot rotation), the packages the perf pass touched (billboard, wire),
 # the metrics registry and its scrape-under-load tests (obs, server
 # metrics), the shard chaos + scatter-gather suite (sharded digests,
-# single-shard kill/restart, lane data plane) doubled under -race, and a
-# 1-iteration bench smoke so a broken benchmark cannot land silently.
+# single-shard kill/restart, lane data plane) doubled under -race, the
+# replicated-coordinator election + failover suite (quorum commit, leader
+# kill, isolation step-down, failover chaos digests) doubled under -race,
+# and a 1-iteration bench smoke so a broken benchmark cannot land silently.
 
 GO ?= go
 
@@ -23,6 +25,7 @@ check: build
 	$(GO) test -race ./internal/obs/... ./internal/billboard/... ./internal/wire/... ./internal/journal/... ./internal/server/... ./internal/client/... ./internal/dist/...
 	$(GO) test -race -run 'TestChaosServerKillRestart|TestPersist|TestCloseStopsLeaseTimers|TestResumeStopsLeaseTimer' -count=2 ./internal/server ./internal/dist
 	$(GO) test -race -run 'TestChaosShard|TestSharded|TestKillRestartShard' -count=2 ./internal/server ./internal/dist
+	$(GO) test -race -run 'TestReplica|TestLeader|TestChaosReplica|TestChaosLeader' -count=2 ./internal/server ./internal/dist
 	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/server > /dev/null
 
 # Short fuzz passes over the byte-level decoders (wire frames, journal).
@@ -50,11 +53,18 @@ bench:
 # allocating WindowCountMap variant is deliberately left out: its time is
 # dominated by map allocation, which drifts well past 5% run to run on the
 # same commit. Alongside the gate, the sharded service benchmarks are
-# re-timed and recorded as BENCH_PR5.json: 1/4/16-shard post-round and
-# scatter-gather window-query throughput points.
+# re-timed and recorded as BENCH_PR5.json (1/4/16-shard post-round and
+# scatter-gather window-query throughput points), and the replicated
+# coordinator's post-round commit latency is recorded as BENCH_PR6.json:
+# the replicas-1 point is the repLog bookkeeping with a quorum of self, the
+# replicas-3 point adds one follower's durable ack per round — the
+# replication tax, priced, not gated.
 bench-diff:
 	$(GO) test -run xxx -bench 'BenchmarkEngineRoundDistill$$|BenchmarkBillboardPostCommit$$|BenchmarkBillboardWindowCount$$' -benchmem . \
 	  | $(GO) run ./cmd/benchjson -baseline BENCH_PR2.json -max-regress 5
 	$(GO) test -run xxx -bench 'BenchmarkSharded' -benchmem ./internal/server \
 	  | $(GO) run ./cmd/benchjson -o BENCH_PR5.json
 	@echo "wrote BENCH_PR5.json"
+	$(GO) test -run xxx -bench 'BenchmarkReplicated' -benchmem ./internal/server \
+	  | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
+	@echo "wrote BENCH_PR6.json"

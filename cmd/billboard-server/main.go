@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -28,6 +30,12 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "billboard-server:", err)
+		// Replica misconfiguration is an operator error with a stable code;
+		// exit 2 so wrappers can tell it from runtime failures.
+		var ce *server.ReplicaConfigError
+		if errors.As(err, &ce) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -50,6 +58,12 @@ func run(args []string, out io.Writer) error {
 		shards      = fs.Int("shards", 0, "partition the billboard by object id into this many independent shard lanes; v4 clients batch and pipeline posts per shard (0 or 1: single board)")
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics (empty: disabled)")
 		once        = fs.Bool("print-and-exit", false, "print config and exit (for tests)")
+
+		replicas     = fs.Int("replicas", 0, "run the coordinator as a replica group of this size (odd, >= 3); every round is quorum-committed before clients observe it, and a follower takes over if the leader dies. 0 or 1: classic single coordinator")
+		replicaID    = fs.Int("replica-id", 0, "with -replicas: this process's index into the peer lists")
+		replicaPeers = fs.String("replica-peers", "", "with -replicas: comma-separated replication addresses, one per member, in id order")
+		replicaCli   = fs.String("replica-client-addrs", "", "with -replicas: comma-separated client-facing addresses, one per member, in id order")
+		replicaQuo   = fs.Int("replica-quorum", 0, "with -replicas: durable-commit quorum, self included (0: majority)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +99,43 @@ func run(args []string, out io.Writer) error {
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
 		cfg.Metrics = reg
+	}
+	if *replicas <= 1 {
+		if *replicaPeers != "" || *replicaCli != "" || *replicaID != 0 || *replicaQuo != 0 {
+			return server.NewReplicaConfigError("missing-replicas",
+				"-replica-id/-replica-peers/-replica-client-addrs/-replica-quorum require -replicas > 1")
+		}
+	} else {
+		// Replicated coordinator: the node owns persistence (one journal set
+		// per member under -persist-dir), so the single-server persistence
+		// flags must not double up.
+		if *journalPath != "" {
+			return server.NewReplicaConfigError("persist-conflict",
+				"-replicas journals per member under -persist-dir; drop -journal")
+		}
+		if *persistDir == "" {
+			return server.NewReplicaConfigError("missing-dir",
+				"-replicas requires -persist-dir (each member journals its replicated state there)")
+		}
+		peers := splitAddrs(*replicaPeers)
+		if len(peers) == 0 {
+			return server.NewReplicaConfigError("empty-group",
+				"-replica-peers must list one replication address per member")
+		}
+		if len(peers) != *replicas {
+			return server.NewReplicaConfigError("group-size-mismatch",
+				"-replica-peers lists %d address(es) for -replicas %d", len(peers), *replicas)
+		}
+		cfg.SnapshotEvery = *snapEvery
+		rc := server.ReplicaConfig{
+			ID:          *replicaID,
+			Peers:       peers,
+			ClientAddrs: splitAddrs(*replicaCli),
+			Quorum:      *replicaQuo,
+			Dir:         *persistDir,
+			Logf:        logf,
+		}
+		return runReplicaNode(rc, cfg, reg, *metricsAddr, tokens, out, *once)
 	}
 	switch {
 	case *persistDir != "":
@@ -163,6 +214,65 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(out, "shutting down")
+	return nil
+}
+
+// splitAddrs parses a comma-separated address list, trimming blanks.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// runReplicaNode runs one member of a coordinator replica group (the
+// -replicas branch of run).
+func runReplicaNode(rc server.ReplicaConfig, scfg server.Config, reg *obs.Registry, metricsAddr string, tokens []string, out io.Writer, once bool) error {
+	// Validate up front so the quorum default (majority) is filled in for
+	// the banner below; StartReplica re-validates the same config.
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	node, err := server.StartReplica(rc, scfg)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	role := "follower"
+	if leading, _ := node.Leader(); leading {
+		role = "leader (bootstrap)"
+	}
+	fmt.Fprintf(out, "replica %d/%d %s: replication on %s, clients on %s\n",
+		rc.ID, len(rc.Peers), role, node.RepAddr(), node.ClientAddr())
+	fmt.Fprintf(out, "quorum %d/%d, fsync commit (replicated rounds are always durable)\n",
+		rc.Quorum, len(rc.Peers))
+	if reg != nil {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer mln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		msrv := &http.Server{Handler: mux}
+		go msrv.Serve(mln)
+		defer msrv.Close()
+		fmt.Fprintf(out, "metrics on http://%s/metrics\n", mln.Addr())
+	}
+	for i, tok := range tokens {
+		fmt.Fprintf(out, "player %3d token %s\n", i, tok)
+	}
+	if once {
+		return nil
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig

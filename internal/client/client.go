@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +59,12 @@ type Options struct {
 	BarrierTimeout time.Duration
 	// Seed drives the backoff jitter (default: derived from the player id).
 	Seed uint64
+	// Fallbacks lists additional server addresses (the other members of a
+	// replicated coordinator group). A not-leader rejection steers the
+	// client straight to the address the rejection names; a dial failure
+	// rotates to the next address in the ring. Empty keeps the classic
+	// single-address behavior.
+	Fallbacks []string
 	// Metrics, when non-nil, receives the client_* metric family (dials,
 	// reconnects, retries, backoff time, frames and bytes sent). Share one
 	// registry across a fleet of clients to aggregate. Nil disables
@@ -112,7 +119,13 @@ func newSessionID(player int) uint64 {
 // Client is one player's authenticated connection to a billboard server.
 // It is not safe for concurrent use; each player goroutine owns one Client.
 type Client struct {
-	addr   string
+	// addrMu guards the address state: concurrent lane calls share it when
+	// a failover steers the whole client to a new leader.
+	addrMu  sync.Mutex
+	addr    string   // current target: the last leader hint or rotation pick
+	addrs   []string // rotation ring: primary + Options.Fallbacks
+	addrIdx int
+
 	token  string
 	player int
 	opt    Options
@@ -175,6 +188,7 @@ func DialContext(ctx context.Context, addr string, player int, token string, opt
 	opt = opt.withDefaults(player)
 	c := &Client{
 		addr:    addr,
+		addrs:   []string{addr},
 		token:   token,
 		player:  player,
 		opt:     opt,
@@ -182,6 +196,11 @@ func DialContext(ctx context.Context, addr string, player int, token string, opt
 		session: newSessionID(player),
 		jitter:  rng.New(opt.Seed).Split(uint64(player)),
 		met:     newClientMetrics(opt.Metrics),
+	}
+	for _, fb := range opt.Fallbacks {
+		if fb != "" && fb != addr {
+			c.addrs = append(c.addrs, fb)
+		}
 	}
 	var last error
 	for attempt := 0; attempt <= opt.Retries; attempt++ {
@@ -206,16 +225,54 @@ func DialContext(ctx context.Context, addr string, player int, token string, opt
 	return nil, fmt.Errorf("client: dial %s: retries exhausted: %w (%w)", addr, last, wire.ErrServerClosed)
 }
 
+// curAddr returns the address calls currently target.
+func (c *Client) curAddr() string {
+	c.addrMu.Lock()
+	defer c.addrMu.Unlock()
+	return c.addr
+}
+
+// adoptLeader steers the client to the address a not-leader rejection named
+// (or rotates when the rejecting replica did not know the leader).
+func (c *Client) adoptLeader(addr string) {
+	c.addrMu.Lock()
+	defer c.addrMu.Unlock()
+	if addr != "" {
+		c.addr = addr
+		return
+	}
+	c.rotateAddrLocked()
+}
+
+// rotateAddr advances to the next address in the fallback ring.
+func (c *Client) rotateAddr() {
+	c.addrMu.Lock()
+	defer c.addrMu.Unlock()
+	c.rotateAddrLocked()
+}
+
+func (c *Client) rotateAddrLocked() {
+	if len(c.addrs) <= 1 {
+		return
+	}
+	c.addrIdx = (c.addrIdx + 1) % len(c.addrs)
+	c.addr = c.addrs[c.addrIdx]
+}
+
 // connect dials and performs the Hello handshake. Because the session id is
 // fixed at construction, a reconnect resumes the session: registration,
-// vote state, and the server-side dedup window all survive.
+// vote state, and the server-side dedup window all survive. Address
+// steering lives here: a dial failure rotates the fallback ring, a
+// not-leader rejection adopts the leader it names — both return retryable
+// errors so the caller's loop tries the new address.
 func (c *Client) connect() error {
 	c.met.dials.Inc()
 	if c.resumed {
 		c.met.reconnects.Inc()
 	}
-	nc, err := c.opt.Dialer(c.addr)
+	nc, err := c.opt.Dialer(c.curAddr())
 	if err != nil {
+		c.rotateAddr()
 		return fmt.Errorf("client: %w", err)
 	}
 	var w io.Writer = nc
@@ -243,6 +300,10 @@ func (c *Client) connect() error {
 	nc.SetDeadline(time.Time{})
 	if e := resp.Error(); e != nil {
 		nc.Close()
+		if errors.Is(e, wire.ErrNotLeader) {
+			c.adoptLeader(resp.Leader)
+			return fmt.Errorf("client: hello: %w", e) // retryable: try the leader
+		}
 		return &serverError{e}
 	}
 	c.conn, c.w, c.br = nc, w, br
@@ -432,6 +493,14 @@ func (c *Client) call(req wire.Request) (*wire.Response, error) {
 			c.round = resp.Round
 		}
 		if err := resp.Error(); err != nil {
+			if errors.Is(err, wire.ErrNotLeader) {
+				// The server we were talking to lost its leadership between
+				// our requests: follow the redirect and retry there.
+				c.adoptLeader(resp.Leader)
+				c.drop()
+				last = err
+				continue
+			}
 			return nil, err
 		}
 		return resp, nil

@@ -56,8 +56,9 @@ func (c *Client) setupLanes(shards int) {
 // lane's session on reconnect, exactly like the primary).
 func (c *Client) laneConnect(l *clientLane) error {
 	c.met.dials.Inc()
-	nc, err := c.opt.Dialer(c.addr)
+	nc, err := c.opt.Dialer(c.curAddr())
 	if err != nil {
+		c.rotateAddr()
 		return fmt.Errorf("client: lane %d: %w", l.shard, err)
 	}
 	var w io.Writer = nc
@@ -86,6 +87,10 @@ func (c *Client) laneConnect(l *clientLane) error {
 	nc.SetDeadline(time.Time{})
 	if e := resp.Error(); e != nil {
 		nc.Close()
+		if errors.Is(e, wire.ErrNotLeader) {
+			c.adoptLeader(resp.Leader)
+			return fmt.Errorf("client: lane %d hello: %w", l.shard, e) // retryable
+		}
 		return &serverError{e}
 	}
 	l.conn, l.w, l.br = nc, w, br
@@ -152,6 +157,12 @@ func (c *Client) laneCall(l *clientLane, req wire.Request) (*wire.Response, erro
 			l.conn.SetDeadline(time.Time{})
 		}
 		if err := resp.Error(); err != nil {
+			if errors.Is(err, wire.ErrNotLeader) {
+				c.adoptLeader(resp.Leader)
+				l.drop()
+				last = err
+				continue
+			}
 			return nil, err
 		}
 		return resp, nil

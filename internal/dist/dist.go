@@ -208,6 +208,23 @@ type ClusterConfig struct {
 	// exclusive with KillAtRound (a whole-server restart would race the
 	// shard bounce).
 	KillShardAtRound int
+	// Replicas, when > 1, runs the coordinator as a replica group of this
+	// size (odd, >= 3; see server.StartReplica) instead of a single server:
+	// the leader quorum-commits every round into the group before clients
+	// observe it, and a follower takes over if the leader dies. Requires
+	// PersistDir (each member journals under its own subdirectory). 0 or 1
+	// is the classic single coordinator — same code path, byte-identical
+	// behavior.
+	Replicas int
+	// ReplicaQuorum overrides the commit quorum (default: majority).
+	ReplicaQuorum int
+	// KillLeaderAtRound, when > 0, crash-stops the replica-group leader the
+	// moment its committed round counter reaches this value — mid-round,
+	// with clients in flight. The failover chaos hook: the survivors elect
+	// a new leader which replays the quorum-committed prefix, discards the
+	// uncommitted tail, and serves the retried requests. Requires
+	// Replicas > 1; composable with KillShardAtRound in the same round.
+	KillLeaderAtRound int
 	// Client tunes every player's retry/backoff/deadline behavior.
 	Client client.Options
 	// Logf receives server operational events (resume, lease expiry,
@@ -235,6 +252,9 @@ type ClusterResult struct {
 	// ShardRestarts counts shard lane kill/restart cycles performed
 	// (KillShardAtRound).
 	ShardRestarts int
+	// Failovers counts leaders crash-stopped by KillLeaderAtRound; each one
+	// forced a quorum takeover by a surviving replica.
+	Failovers int
 }
 
 // RunCluster starts a billboard server on a loopback port, runs all players
@@ -245,6 +265,12 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	}
 	if cfg.Honest < 1 {
 		return nil, fmt.Errorf("dist: need at least one honest player")
+	}
+	if cfg.Replicas > 1 {
+		return runReplicated(cfg)
+	}
+	if cfg.KillLeaderAtRound > 0 {
+		return nil, fmt.Errorf("dist: KillLeaderAtRound requires Replicas > 1")
 	}
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 4096

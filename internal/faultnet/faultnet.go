@@ -62,6 +62,7 @@ type Injector struct {
 
 	mu       sync.Mutex
 	ordinals map[uint64]uint64 // label → connections opened so far
+	isolated map[uint64]bool   // label → outbound writes swallowed (Isolate)
 }
 
 // New validates cfg and builds an Injector.
@@ -77,7 +78,36 @@ func New(cfg Config) (*Injector, error) {
 	if cfg.MaxDelay <= 0 {
 		cfg.MaxDelay = time.Millisecond
 	}
-	return &Injector{cfg: cfg, ordinals: make(map[uint64]uint64)}, nil
+	return &Injector{cfg: cfg, ordinals: make(map[uint64]uint64), isolated: make(map[uint64]bool)}, nil
+}
+
+// Isolate puts every current and future connection under label into an
+// asymmetric (one-way) partition: writes report success but deliver
+// nothing, while reads keep working. Unlike the probabilistic Partition
+// knob — which latches a single connection — Isolate is a deterministic,
+// injector-wide switch covering a whole labeled endpoint, which is what a
+// leader-isolation scenario needs: the replica still hears its peers but
+// none of its own heartbeats or appends escape. Heal reverses it.
+func (in *Injector) Isolate(label uint64) {
+	in.mu.Lock()
+	in.isolated[label] = true
+	in.mu.Unlock()
+}
+
+// Heal lifts an Isolate on label. Connections latched by the probabilistic
+// Partition fault stay partitioned — Heal only clears the injector-level
+// switch.
+func (in *Injector) Heal(label uint64) {
+	in.mu.Lock()
+	delete(in.isolated, label)
+	in.mu.Unlock()
+}
+
+// isIsolated reports whether label is currently under an Isolate.
+func (in *Injector) isIsolated(label uint64) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.isolated[label]
 }
 
 // wrap builds the fault stream for the next connection under label.
@@ -87,9 +117,11 @@ func (in *Injector) wrap(nc net.Conn, label uint64) net.Conn {
 	in.ordinals[label]++
 	in.mu.Unlock()
 	return &conn{
-		Conn: nc,
-		cfg:  in.cfg,
-		src:  rng.New(in.cfg.Seed).Split(label).Split(ord),
+		Conn:  nc,
+		cfg:   in.cfg,
+		in:    in,
+		label: label,
+		src:   rng.New(in.cfg.Seed).Split(label).Split(ord),
 	}
 }
 
@@ -142,7 +174,9 @@ const (
 // deterministic for the protocol's strictly serial request/response use.
 type conn struct {
 	net.Conn
-	cfg Config
+	cfg   Config
+	in    *Injector
+	label uint64
 
 	mu      sync.Mutex
 	src     *rng.Source
@@ -195,6 +229,12 @@ func (c *conn) Read(b []byte) (int, error) {
 }
 
 func (c *conn) Write(b []byte) (int, error) {
+	// The Isolate switch is checked before the probabilistic draw and does
+	// not consume the rng stream, so healing an isolation leaves the
+	// connection's fault schedule exactly where it would otherwise be.
+	if c.in != nil && c.in.isIsolated(c.label) {
+		return len(b), nil
+	}
 	switch kind, delay, prefix := c.decide(true, len(b)); kind {
 	case fDrop:
 		c.Conn.Close()

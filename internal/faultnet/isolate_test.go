@@ -1,0 +1,137 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestIsolateOneWay pins the asymmetric-partition semantics: while a label
+// is isolated its writes report success but deliver nothing, reads keep
+// working, and Heal restores delivery — on existing and new connections.
+func TestIsolateOneWay(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	received := make(chan []byte, 16)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				if _, err := conn.Write([]byte("hi")); err != nil {
+					return
+				}
+				buf := make([]byte, 64)
+				for {
+					n, err := conn.Read(buf)
+					if err != nil {
+						return
+					}
+					received <- append([]byte(nil), buf[:n]...)
+				}
+			}(conn)
+		}
+	}()
+
+	inj, err := New(Config{Seed: 3}) // zero fault probabilities: Isolate only
+	if err != nil {
+		t.Fatal(err)
+	}
+	const label = 7
+	dial := inj.Dialer(label, nil)
+	conn, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	inj.Isolate(label)
+	// Outbound is swallowed — but reported as a full successful write.
+	if n, err := conn.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("isolated write = (%d, %v), want (4, nil) — the write must look successful", n, err)
+	}
+	// Inbound still flows: the one-way partition does not touch reads.
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("read under isolation = %q, %v; want \"hi\"", buf, err)
+	}
+	// A connection dialed while isolated is isolated too.
+	conn2, err := dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("also lost")); err != nil {
+		t.Fatalf("isolated write on new conn: %v", err)
+	}
+	select {
+	case got := <-received:
+		t.Fatalf("server received %q through an isolated label", got)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	inj.Heal(label)
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-received:
+		if string(got) != "ping" {
+			t.Fatalf("after heal server received %q, want \"ping\"", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("healed write never arrived")
+	}
+}
+
+// TestIsolateIsLabelScoped ensures Isolate only covers its own label: other
+// labels on the same injector keep delivering.
+func TestIsolateIsLabelScoped(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	received := make(chan []byte, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 64)
+		n, err := conn.Read(buf)
+		if err != nil {
+			return
+		}
+		received <- append([]byte(nil), buf[:n]...)
+	}()
+	inj, err := New(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Isolate(1)
+	conn, err := inj.Dialer(2, nil)(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-received:
+		if string(got) != "ok" {
+			t.Fatalf("received %q, want \"ok\"", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write on a non-isolated label never arrived")
+	}
+}

@@ -77,6 +77,14 @@ type entry struct {
 	Object  int            // valid when Kind == kindProbe
 	Index   int            // valid when Kind == kindPost: client batch order
 	Admits  []Admit        // valid when Kind == kindEndRound on a sharded store
+
+	// Term and Quorum annotate a round marker written by a replicated
+	// coordinator (kindEndRound): the leader term that proposed the round
+	// and the number of durable replica acknowledgements (leader included)
+	// the commit waited for. Zero on single-coordinator journals — gob
+	// omits zero fields, so unreplicated journals stay byte-identical.
+	Term   uint64
+	Quorum int
 }
 
 // Admit is one admitted vote pair recorded on a sharded round marker: in
@@ -225,6 +233,15 @@ func (w *Writer) EndRoundAdmits(admits []Admit) error {
 	return w.write(entry{Kind: kindEndRound, Admits: admits})
 }
 
+// EndRoundQuorum records a round boundary annotated with the replication
+// facts of its commit: the leader term that proposed it and the quorum of
+// durable replica acknowledgements it waited for. A replicated coordinator
+// seals every round with this marker; replay treats it exactly like
+// EndRoundAdmits and surfaces the annotation on Record.Term/Quorum.
+func (w *Writer) EndRoundQuorum(admits []Admit, term uint64, quorum int) error {
+	return w.write(entry{Kind: kindEndRound, Admits: admits, Term: term, Quorum: quorum})
+}
+
 // ForceDone records a barrier-deadline decision: the server deregistered
 // player as a straggler so the round could commit. Journaling the decision
 // keeps crash recovery consistent — a recovered server refuses to let a
@@ -287,7 +304,11 @@ type Record struct {
 	Object  int     // valid when Kind == RecordProbe
 	Index   int     // valid when Kind == RecordPost: client batch order
 	Admits  []Admit // valid when Kind == RecordEndRound on a sharded store
-	Round   int
+	// Term and Quorum surface a replicated round marker's annotation
+	// (EndRoundQuorum); zero on single-coordinator journals.
+	Term   uint64
+	Quorum int
+	Round  int
 }
 
 // Event is an operational decision recorded in the journal alongside posts
@@ -341,6 +362,8 @@ func ReplayRecords(r io.Reader, fn func(Record) error) error {
 			Object:  e.Object,
 			Index:   e.Index,
 			Admits:  e.Admits,
+			Term:    e.Term,
+			Quorum:  e.Quorum,
 			Round:   round,
 		}
 		if err := fn(rec); err != nil {

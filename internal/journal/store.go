@@ -33,12 +33,13 @@ type Store struct {
 	dir    string
 	policy SyncPolicy
 
-	mu   sync.Mutex
-	seg  uint64
-	f    *os.File
-	w    *Writer
-	snap []byte
-	tail []byte
+	mu     sync.Mutex
+	seg    uint64
+	f      *os.File
+	w      *Writer
+	snap   []byte
+	tail   []byte
+	mirror func(p []byte)
 }
 
 const (
@@ -137,7 +138,28 @@ func (s *Store) Write(p []byte) (int, error) {
 	if s.f == nil {
 		return 0, fmt.Errorf("journal: store: closed")
 	}
-	return s.f.Write(p)
+	n, err := s.f.Write(p)
+	if err == nil && s.mirror != nil {
+		s.mirror(p)
+	}
+	return n, err
+}
+
+// SetMirror installs a tee invoked with every byte slice successfully
+// appended to the wal, under the store's lock and in append order — the
+// hook a replicated coordinator uses to stream its journal to followers.
+// The callback must not call back into the store. A nil fn uninstalls it.
+func (s *Store) SetMirror(fn func(p []byte)) {
+	s.mu.Lock()
+	s.mirror = fn
+	s.mu.Unlock()
+}
+
+// Sync flushes the current wal file to stable storage regardless of the
+// store's sync policy — followers call it after applying replicated bytes
+// so an acknowledged record is durable before the ack leaves the machine.
+func (s *Store) Sync() error {
+	return s.syncFile()
 }
 
 func (s *Store) syncFile() error {
@@ -170,9 +192,10 @@ func (s *Store) Policy() SyncPolicy { return s.policy }
 
 // Rotate begins a new segment whose snapshot is the given bytes: the
 // snapshot is written tmp+fsync+rename, a fresh wal starts, and the old
-// segment is deleted. On error the store keeps appending to the current
-// segment — rotation is an optimization (bounded replay), never a
-// correctness requirement.
+// segment is deleted. A nil snapshot starts a snapshot-less segment (no
+// snap file) — the truncate-to-empty reset a replication resync uses. On
+// error the store keeps appending to the current segment — rotation is an
+// optimization (bounded replay), never a correctness requirement.
 func (s *Store) Rotate(snapshot []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -180,25 +203,27 @@ func (s *Store) Rotate(snapshot []byte) error {
 		return fmt.Errorf("journal: store: closed")
 	}
 	next := s.seg + 1
-	tmp := s.snapPath(next) + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("journal: store: rotate: %w", err)
+	if snapshot != nil {
+		tmp := s.snapPath(next) + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return fmt.Errorf("journal: store: rotate: %w", err)
+		}
+		if _, err = f.Write(snapshot); err == nil {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp, s.snapPath(next))
+		}
+		if err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("journal: store: rotate: %w", err)
+		}
 	}
-	if _, err := f.Write(snapshot); err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp, s.snapPath(next))
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("journal: store: rotate: %w", err)
-	}
-	nf, err := os.OpenFile(s.walPath(next), os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	nf, err := os.OpenFile(s.walPath(next), os.O_WRONLY|os.O_APPEND|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		// The next snapshot exists but its wal does not; OpenStore would
 		// still pick the old segment (wal presence defines a segment), so

@@ -117,8 +117,35 @@ func (s *Server) rotateLocked() {
 		s.logf("journal rotation at round %d failed: %v", s.round, err)
 		return
 	}
+	if s.replLog != nil {
+		s.replLog.noteRotate(0, snap)
+	}
 	s.m.snapshots.Inc()
 	s.logf("snapshot at round %d (%d bytes): journal truncated", s.round, len(snap))
+}
+
+// ForceRotate snapshots and rotates the persist store(s) immediately — the
+// replica bootstrap path uses it so a leader starting over recovered state
+// folds that state into a snapshot its followers can be seeded from. Only
+// meaningful on a durable server at a round boundary (which construction
+// time always is).
+func (s *Server) ForceRotate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.Persist == nil {
+		return
+	}
+	if s.sharded() {
+		for _, ln := range s.lanes {
+			ln.lock()
+		}
+		s.rotateShardedLocked()
+		for _, ln := range s.lanes {
+			ln.unlock()
+		}
+		return
+	}
+	s.rotateLocked()
 }
 
 // restoreSnapshot loads a serverSnap into a fresh server (construction

@@ -1,0 +1,76 @@
+package server_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/server"
+)
+
+// BenchmarkReplicatedPostRound prices the quorum commit: one full posting
+// round per iteration — four players scatter a 64-report batch and arrive
+// at the barrier — against a 1-member group (quorum of self: the repLog
+// bookkeeping with no network round trip) and a 3-member group (every
+// round waits for one follower's durable ack). The replicas-1/replicas-3
+// spread is the replication tax on post-round latency that BENCH_PR6.json
+// records; the single-coordinator hot paths stay gated against
+// BENCH_PR2.json separately.
+func BenchmarkReplicatedPostRound(b *testing.B) {
+	const players, perPlayer = 4, 64
+	for _, replicas := range []int{1, 3} {
+		b.Run(fmt.Sprintf("replicas-%d", replicas), func(b *testing.B) {
+			u, err := object.NewPlanted(object.Planted{M: 1024, Good: 1}, rng.New(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tokens := make([]string, players)
+			for i := range tokens {
+				tokens[i] = fmt.Sprintf("t%d", i)
+			}
+			g := startReplicaGroup(b, replicas, server.Config{
+				Universe: u, Tokens: tokens, Alpha: 1, Beta: u.Beta(),
+			}, func(i int, rc *server.ReplicaConfig) {
+				rc.Logf = nil // benchmark iterations should not log
+			})
+			clients := make([]*client.Client, players)
+			for p := range clients {
+				c, err := client.Dial(g.clientAddrs[0], p, tokens[p])
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { c.Close() })
+				clients[p] = c
+			}
+			batches := make([][]client.BatchPost, players)
+			for p := range batches {
+				batch := make([]client.BatchPost, perPlayer)
+				for i := range batch {
+					batch[i] = client.BatchPost{Object: (p*perPlayer + i*17) % 1024, Value: 1}
+				}
+				batches[p] = batch
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, players)
+				for p, c := range clients {
+					wg.Add(1)
+					go func(p int, c *client.Client) {
+						defer wg.Done()
+						_, errs[p] = c.PostBatch(batches[p], true)
+					}(p, c)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -141,6 +141,12 @@ type Config struct {
 	// is handed to the billboard for the billboard_* family. Nil disables
 	// recording at the cost of one branch per event.
 	Metrics *obs.Registry
+
+	// laneStore, when non-nil, is called with every shard lane's freshly
+	// opened journal store before any recovery write lands in it — the hook
+	// a replicated coordinator uses to install its journal mirrors.
+	// Unexported: only the replica node (same package) sets it.
+	laneStore func(k int, st *journal.Store)
 }
 
 // session is the server half of one client session: the dedup state that
@@ -227,6 +233,14 @@ type Server struct {
 
 	conns map[net.Conn]struct{} // open connections, force-closed on Close
 	wg    sync.WaitGroup
+
+	// Replication hooks (set by ReplicaNode on promotion, before any client
+	// connection is served): every journaled response waits on replLog until
+	// replQuorum replicas durably hold the bytes it produced, and round
+	// markers carry replTerm/replQuorum annotations.
+	replLog    *repLog
+	replTerm   uint64
+	replQuorum int
 
 	m serverMetrics
 }
@@ -371,10 +385,20 @@ func (s *Server) Start(addr string) (string, error) {
 // address.
 func (s *Server) Serve(ln net.Listener) string {
 	s.ln = ln
-	// Sessions recovered from a persist store start disconnected: give each
-	// its grace window now — resume stops the timer, expiry deregisters the
-	// player as usual. With no grace, the crash already counted as their
-	// disconnect, so they are expired immediately (the legacy contract).
+	s.ArmSessionGrace()
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String()
+}
+
+// ArmSessionGrace starts the lease clocks of sessions recovered from a
+// persist store: each disconnected session gets its grace window now —
+// resume stops the timer, expiry deregisters the player as usual. With no
+// grace, the crash already counted as their disconnect, so they are expired
+// immediately (the legacy contract). Serve calls this itself; a replicated
+// coordinator, which serves connections via ServeConn instead, calls it at
+// promotion.
+func (s *Server) ArmSessionGrace() {
 	s.mu.Lock()
 	var orphans []*session
 	for _, sess := range s.sessions {
@@ -391,9 +415,15 @@ func (s *Server) Serve(ln net.Listener) string {
 		}
 	}
 	s.mu.Unlock()
+}
+
+// ServeConn hands the server one already-accepted connection — the entry
+// point of a replica node, which owns the listener itself so it can redirect
+// clients while not leading. The connection is served like any accepted one
+// and force-closed at Close.
+func (s *Server) ServeConn(conn net.Conn) {
 	s.wg.Add(1)
-	go s.acceptLoop()
-	return ln.Addr().String()
+	go s.handle(conn)
 }
 
 // Close stops the listener, wakes blocked barrier waiters, and waits for
@@ -721,6 +751,15 @@ func (s *Server) dispatch(sess *session, req *wire.Request) wire.Response {
 	sess.loose = false
 	sess.executing = true
 	resp := s.executeLocked(sess, req)
+	if s.replLog != nil && resp.Err != errServerClosed {
+		// Replicated commit: the response leaves this leader only after a
+		// quorum of replicas durably holds every journal byte the request
+		// (and, via the barrier, its round) produced. An aborted wait means
+		// this node was deposed — drop the connection like a dying server.
+		if err := s.replLog.commitWait(s.replQuorum); err != nil {
+			resp = wire.Response{Err: errServerClosed}
+		}
+	}
 	sess.lastResp = resp
 	sess.executing = false
 	s.cond.Broadcast()
@@ -1132,7 +1171,11 @@ func (s *Server) advanceLocked() {
 		if s.cfg.Journal != nil {
 			// A marker failure is logged into the error path on the next post;
 			// the in-memory board stays authoritative for this process.
-			_ = s.cfg.Journal.EndRound()
+			if s.replLog != nil {
+				_ = s.cfg.Journal.EndRoundQuorum(nil, s.replTerm, s.replQuorum)
+			} else {
+				_ = s.cfg.Journal.EndRound()
+			}
 		}
 	}
 	for p := range s.arrived {

@@ -204,6 +204,11 @@ func (s *Server) recoverLane(ln *lane, boardCfg billboard.Config, admitHist map[
 	if err != nil {
 		return err
 	}
+	if s.cfg.laneStore != nil {
+		// Replication mirror, installed before the top-up writes below so a
+		// lane's recovery seals replicate like any other journal byte.
+		s.cfg.laneStore(ln.k, st)
+	}
 	ln.store, ln.jw = st, st.Writer()
 	ln.sessions = make(map[uint64]*session)
 	var board *billboard.Board
@@ -366,7 +371,11 @@ func (s *Server) commitShardedLocked() bool {
 	// Durable commit point: the coordinator's marker carries the admitted
 	// pairs, so recovery can top up a lane that misses its seal below.
 	if s.cfg.Journal != nil {
-		_ = s.cfg.Journal.EndRoundAdmits(admits)
+		if s.replLog != nil {
+			_ = s.cfg.Journal.EndRoundQuorum(admits, s.replTerm, s.replQuorum)
+		} else {
+			_ = s.cfg.Journal.EndRoundAdmits(admits)
+		}
 	}
 	for _, sp := range all {
 		// Validated at accept; the board re-checks ranges only.
@@ -424,6 +433,9 @@ func (s *Server) rotateShardedLocked() {
 		if err := ln.store.Rotate(buf.Bytes()); err != nil {
 			s.logf("shard %d rotation at round %d failed: %v", ln.k, s.round, err)
 			return
+		}
+		if s.replLog != nil {
+			s.replLog.noteRotate(1+ln.k, buf.Bytes())
 		}
 	}
 	s.rotateLocked() // coordinator snapshot (board-less) + rotation
@@ -500,6 +512,14 @@ func (s *Server) laneDispatch(ln *lane, sess *session, req *wire.Request) wire.R
 	sess.lastSeq = req.Seq
 	sess.loose = false
 	resp := s.lanePostBatch(ln, sess, req)
+	if s.replLog != nil && resp.Err != errServerClosed {
+		// Same replicated-commit rule as the primary dispatch: the batch's
+		// journal bytes must be durable on a quorum before the ack that
+		// stops the client from resending them.
+		if err := s.replLog.commitWait(s.replQuorum); err != nil {
+			resp = wire.Response{Err: errServerClosed}
+		}
+	}
 	sess.lastResp = resp
 	return resp
 }

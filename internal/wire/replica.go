@@ -1,0 +1,153 @@
+package wire
+
+// Replica-to-replica frames (protocol v5). A coordinator group replicates
+// the leader's journal stores as raw byte streams: stream 0 is the
+// coordinator store, stream 1+k is shard lane k's store. The leader dials
+// each follower and drives a strictly serial request/ack conversation —
+// sync, appends, rotations, heartbeats — while candidates dial peers for
+// votes and catch-up fetches during an election. Every frame carries the
+// sender's term; a receiver holding a higher term refuses, which is the
+// fencing rule that makes a deposed leader step down instead of splitting
+// the group.
+//
+// The framing is the same uvarint-length + fresh-gob scheme as the client
+// protocol, but with a larger size cap: a rotation frame carries a full
+// service snapshot, which can legitimately exceed the 1 MiB client-frame
+// bound.
+
+import (
+	"fmt"
+	"io"
+)
+
+// RepType enumerates replica-to-replica message kinds.
+type RepType uint8
+
+const (
+	// RepSync opens a leader→follower conversation: the follower answers
+	// with its per-stream positions so the leader can plan catch-up.
+	RepSync RepType = iota + 1
+	// RepAppend carries journal bytes for one stream, starting at Offset;
+	// the follower appends them to its store iff Offset matches its
+	// position, and acks its new position.
+	RepAppend
+	// RepRotate resets one stream to a new segment: the follower rotates
+	// its store behind the carried snapshot (possibly nil) and adopts
+	// Offset as its position. Sent at leader-side journal rotation and as
+	// the full-resync path for a follower too far behind the retained tail.
+	RepRotate
+	// RepHeartbeat asserts leadership while no appends are flowing; the
+	// follower resets its election timer.
+	RepHeartbeat
+	// RepVoteReq asks for a vote in Term: granted iff the term is newer and
+	// the candidate's per-stream positions are at least the voter's.
+	RepVoteReq
+	// RepFetch asks a peer for its journal bytes from Offset on one stream —
+	// the catch-up path of a candidate whose vote was denied on log length.
+	RepFetch
+)
+
+// String returns the message kind name.
+func (t RepType) String() string {
+	switch t {
+	case RepSync:
+		return "sync"
+	case RepAppend:
+		return "append"
+	case RepRotate:
+		return "rotate"
+	case RepHeartbeat:
+		return "heartbeat"
+	case RepVoteReq:
+		return "vote-req"
+	case RepFetch:
+		return "fetch"
+	default:
+		return fmt.Sprintf("RepType(%d)", uint8(t))
+	}
+}
+
+// MaxRepFrame bounds one replication frame's declared size. Rotation frames
+// carry whole service snapshots, so the cap is far above the client-facing
+// MaxFrame; anything larger is still treated as corruption.
+const MaxRepFrame = 1 << 26
+
+// RepMsg is one replica-to-replica message (leader→follower appends and
+// heartbeats, candidate→peer votes and fetches).
+type RepMsg struct {
+	Type RepType
+	// Term is the sender's current term; receivers holding a newer term
+	// refuse the message (and leaders seeing the refusal step down).
+	Term uint64
+	// From is the sending replica's id.
+	From int
+
+	// Stream addresses one replicated store: 0 = coordinator, 1+k = lane k.
+	Stream int
+	// Offset is the stream position the payload starts at (RepAppend), the
+	// new segment's base position (RepRotate), or the position to read from
+	// (RepFetch).
+	Offset int64
+	// Data is the journal byte payload (RepAppend).
+	Data []byte
+	// Snapshot is the new segment's snapshot bytes (RepRotate; nil for a
+	// snapshot-less segment).
+	Snapshot []byte
+
+	// Offsets is the candidate's per-stream position vector (RepVoteReq).
+	Offsets []int64
+}
+
+// RepAck is the reply to any RepMsg.
+type RepAck struct {
+	// OK reports acceptance. A refusal carries the responder's Term (the
+	// fencing signal) and, for votes, its Offsets (the catch-up hint).
+	OK bool
+	// Term is the responder's current term after processing the message.
+	Term uint64
+	// Offset is the responder's position on the addressed stream after an
+	// append/rotate, or the base position of the returned Data on a fetch.
+	Offset int64
+	// Offsets is the responder's full per-stream position vector (RepSync
+	// replies and vote denials).
+	Offsets []int64
+	// Data is the requested journal bytes (RepFetch replies).
+	Data []byte
+	// Snapshot, on a RepFetch reply, is non-nil when the requested offset
+	// predates the responder's retained segment: the responder returns its
+	// whole segment (snapshot + Data from Offset) and Reset is true.
+	Snapshot []byte
+	Reset    bool
+	// Err describes a structural failure (unknown stream, store error).
+	Err string
+}
+
+// EncodeRep writes msg as one replication frame.
+func EncodeRep(w io.Writer, msg *RepMsg) error {
+	return encodeFrame(w, msg)
+}
+
+// DecodeRep reads one replication message, tolerating frames up to
+// MaxRepFrame.
+func DecodeRep(r io.Reader) (*RepMsg, error) {
+	var msg RepMsg
+	if err := decodeFrameCap(r, &msg, MaxRepFrame); err != nil {
+		return nil, err
+	}
+	return &msg, nil
+}
+
+// EncodeRepAck writes ack as one replication frame.
+func EncodeRepAck(w io.Writer, ack *RepAck) error {
+	return encodeFrame(w, ack)
+}
+
+// DecodeRepAck reads one replication ack, tolerating frames up to
+// MaxRepFrame (fetch replies carry segment payloads).
+func DecodeRepAck(r io.Reader) (*RepAck, error) {
+	var ack RepAck
+	if err := decodeFrameCap(r, &ack, MaxRepFrame); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}

@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+func TestRepMsgRoundTrip(t *testing.T) {
+	msgs := []RepMsg{
+		{Type: RepSync, Term: 3, From: 1},
+		{Type: RepAppend, Term: 3, From: 0, Stream: 2, Offset: 4096, Data: []byte("journal bytes")},
+		{Type: RepRotate, Term: 4, From: 0, Stream: 0, Offset: 9000, Snapshot: []byte("snap")},
+		{Type: RepHeartbeat, Term: 4, From: 0},
+		{Type: RepVoteReq, Term: 5, From: 2, Offsets: []int64{100, 0, 250}},
+		{Type: RepFetch, Term: 5, From: 2, Stream: 1, Offset: 128},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := EncodeRep(&buf, &m); err != nil {
+			t.Fatalf("%s: encode: %v", m.Type, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := DecodeRep(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", want.Type, err)
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Fatalf("%s: round trip mismatch:\ngot  %+v\nwant %+v", want.Type, got, want)
+		}
+	}
+}
+
+func TestRepAckRoundTrip(t *testing.T) {
+	acks := []RepAck{
+		{OK: true, Term: 3, Offset: 512},
+		{OK: false, Term: 9, Err: "already leading this term"},
+		{OK: true, Term: 3, Offsets: []int64{10, 20}},
+		{OK: true, Term: 3, Offset: 64, Data: []byte("tail"), Snapshot: []byte("seg"), Reset: true},
+	}
+	var buf bytes.Buffer
+	for _, a := range acks {
+		if err := EncodeRepAck(&buf, &a); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	for _, want := range acks {
+		got, err := DecodeRepAck(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(*got, want) {
+			t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+// FuzzDecodeRep feeds arbitrary byte streams to the replication decoder.
+// Replica links are authenticated by deployment topology, not by handshake,
+// so the decoder still faces whatever a confused or half-dead peer writes:
+// it must error out cleanly, never panic, never allocate beyond MaxRepFrame.
+func FuzzDecodeRep(f *testing.F) {
+	for _, m := range []RepMsg{
+		{Type: RepSync, Term: 3, From: 1},
+		{Type: RepAppend, Term: 3, From: 0, Stream: 2, Offset: 4096, Data: []byte("journal bytes")},
+		{Type: RepRotate, Term: 4, From: 0, Stream: 0, Offset: 9000, Snapshot: []byte("snap")},
+		{Type: RepHeartbeat, Term: 4, From: 0},
+		{Type: RepVoteReq, Term: 5, From: 2, Offsets: []int64{100, 0, 250}},
+		{Type: RepFetch, Term: 5, From: 2, Stream: 1, Offset: 128},
+	} {
+		var buf bytes.Buffer
+		if err := EncodeRep(&buf, &m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 2 {
+			f.Add(buf.Bytes()[:buf.Len()/2])
+			f.Add(buf.Bytes()[:1])
+		}
+	}
+	var lenb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenb[:], MaxRepFrame+1)
+	f.Add(append([]byte(nil), lenb[:n]...))
+	n = binary.PutUvarint(lenb[:], 1<<62)
+	f.Add(append([]byte(nil), lenb[:n]...))
+	f.Add([]byte{0x00})
+	f.Add([]byte("not a frame at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 4; i++ {
+			if _, err := DecodeRep(r); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzDecodeRepAck does the same for the acknowledgment side of the link.
+func FuzzDecodeRepAck(f *testing.F) {
+	for _, a := range []RepAck{
+		{OK: true, Term: 3, Offset: 512},
+		{OK: false, Term: 9, Err: "already leading this term"},
+		{OK: true, Term: 3, Offsets: []int64{10, 20}},
+		{OK: true, Term: 3, Offset: 64, Data: []byte("tail"), Snapshot: []byte("seg"), Reset: true},
+	} {
+		var buf bytes.Buffer
+		if err := EncodeRepAck(&buf, &a); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 2 {
+			f.Add(buf.Bytes()[:buf.Len()/2])
+		}
+	}
+	var lenb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenb[:], MaxRepFrame+1)
+	f.Add(append([]byte(nil), lenb[:n]...))
+	f.Add([]byte{0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 4; i++ {
+			if _, err := DecodeRepAck(r); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// TestRepFrameCaps pins the two size bounds: replication frames may exceed
+// the client MaxFrame (snapshots ride in rotations), but a declared length
+// beyond MaxRepFrame is corruption.
+func TestRepFrameCaps(t *testing.T) {
+	big := RepMsg{Type: RepRotate, Term: 1, Snapshot: make([]byte, MaxFrame+1024)}
+	var buf bytes.Buffer
+	if err := EncodeRep(&buf, &big); err != nil {
+		t.Fatalf("encode oversized-for-client frame: %v", err)
+	}
+	if got, err := DecodeRep(&buf); err != nil || len(got.Snapshot) != MaxFrame+1024 {
+		t.Fatalf("decode snapshot frame: %v (snapshot %d bytes)", err, len(got.Snapshot))
+	}
+
+	buf.Reset()
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], MaxRepFrame+1)
+	buf.Write(hdr[:n])
+	if _, err := DecodeRep(&buf); err == nil {
+		t.Fatal("declared frame above MaxRepFrame accepted")
+	}
+
+	// Truncated payload: header promises more bytes than follow.
+	buf.Reset()
+	n = binary.PutUvarint(hdr[:], 100)
+	buf.Write(hdr[:n])
+	buf.Write([]byte("short"))
+	if _, err := DecodeRepAck(&buf); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}

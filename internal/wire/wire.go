@@ -109,8 +109,12 @@ func (t ReqType) String() string {
 // batched round posts (ReqPostBatch) and server-side read caching, cutting
 // a player's round to O(1) frames; version 4 adds shard routing (the server
 // advertises its shard count at Hello, lane connections carry a shard id,
-// batch posts carry a client-assigned order index) and typed error codes.
-const Version = 4
+// batch posts carry a client-assigned order index) and typed error codes;
+// version 5 adds coordinator replication — replica-to-replica append / ack /
+// heartbeat / vote / fetch frames (RepMsg, RepAck) and the NotLeader
+// redirect (CodeNotLeader plus Response.Leader), which lets a client that
+// reached a follower re-dial the advertised leader instead of failing.
+const Version = 5
 
 // Shard maps an object id onto one of shards lanes. It is the single
 // shard-map definition shared by client and server: deterministic, seedless,
@@ -226,13 +230,19 @@ var (
 	// pick the retry up transparently — so this sentinel is the client's
 	// best-effort classification of a dead endpoint.
 	ErrServerClosed = errors.New("server closed")
+	// ErrNotLeader marks a request that reached a replica which is not the
+	// current leader of its coordinator group (protocol v5). The response's
+	// Leader field, when non-empty, names the client address to re-dial; the
+	// client library follows it transparently.
+	ErrNotLeader = errors.New("not the leader")
 )
 
 // Code values carried by Response.Code.
 const (
-	CodeNone           uint8 = 0
-	CodeSessionExpired uint8 = 1
+	CodeNone            uint8 = 0
+	CodeSessionExpired  uint8 = 1
 	CodeBarrierDeadline uint8 = 2
+	CodeNotLeader       uint8 = 3
 )
 
 // sentinelFor maps a response code to its sentinel (nil for CodeNone and
@@ -243,6 +253,8 @@ func sentinelFor(code uint8) error {
 		return ErrSessionExpired
 	case CodeBarrierDeadline:
 		return ErrBarrierDeadline
+	case CodeNotLeader:
+		return ErrNotLeader
 	default:
 		return nil
 	}
@@ -280,6 +292,12 @@ type Response struct {
 	// Shards (protocol v4) is the server's lane count, advertised on the
 	// Hello reply so the client can route posts with Shard(object, Shards).
 	Shards int
+
+	// Leader (protocol v5) accompanies a CodeNotLeader rejection: the client
+	// address of the replica currently leading the coordinator group, when
+	// the answering follower knows it (empty otherwise — the client then
+	// falls back to probing its configured fallback addresses).
+	Leader string
 }
 
 // Error materializes the response error, if any. Responses tagged with a
@@ -332,7 +350,14 @@ func (o oneByteReader) ReadByte() (byte, error) {
 // surfaces as an error, never a panic: gob's decoder is guarded so a
 // hostile frame cannot kill the per-connection goroutine. A stream that
 // ends cleanly before the first length byte returns io.EOF.
-func decodeFrame(r io.Reader, v any) (err error) {
+func decodeFrame(r io.Reader, v any) error {
+	return decodeFrameCap(r, v, MaxFrame)
+}
+
+// decodeFrameCap is decodeFrame under an explicit size cap — the
+// replication path (internal/wire/replica.go) carries whole snapshots and
+// needs a larger bound than client frames.
+func decodeFrameCap(r io.Reader, v any, maxSize uint64) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("wire: decode panic: %v", p)
@@ -349,7 +374,7 @@ func decodeFrame(r io.Reader, v any) (err error) {
 		}
 		return fmt.Errorf("wire: frame length: %w", err)
 	}
-	if size == 0 || size > MaxFrame {
+	if size == 0 || size > maxSize {
 		return fmt.Errorf("wire: implausible frame size %d", size)
 	}
 	frame := make([]byte, size)
