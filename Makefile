@@ -6,6 +6,8 @@
 # the metrics registry and its scrape-under-load tests (obs, server
 # metrics), the shard chaos + scatter-gather suite (sharded digests,
 # single-shard kill/restart, lane data plane) doubled under -race, the
+# parallel-commit suite (the serial-vs-parallel determinism golden and the
+# seal-race shard-bounce stress) doubled under -race, the
 # replicated-coordinator election + failover suite (quorum commit, leader
 # kill, isolation step-down, failover chaos digests) doubled under -race,
 # and a 1-iteration bench smoke so a broken benchmark cannot land silently.
@@ -25,6 +27,7 @@ check: build
 	$(GO) test -race ./internal/obs/... ./internal/billboard/... ./internal/wire/... ./internal/journal/... ./internal/server/... ./internal/client/... ./internal/dist/...
 	$(GO) test -race -run 'TestChaosServerKillRestart|TestPersist|TestCloseStopsLeaseTimers|TestResumeStopsLeaseTimer' -count=2 ./internal/server ./internal/dist
 	$(GO) test -race -run 'TestChaosShard|TestSharded|TestKillRestartShard' -count=2 ./internal/server ./internal/dist
+	$(GO) test -race -run 'TestShardCommitDeterminismGolden|TestSealRaceShardBounce' -count=2 ./internal/server
 	$(GO) test -race -run 'TestReplica|TestLeader|TestChaosReplica|TestChaosLeader' -count=2 ./internal/server ./internal/dist
 	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/server > /dev/null
 
@@ -53,18 +56,28 @@ bench:
 # allocating WindowCountMap variant is deliberately left out: its time is
 # dominated by map allocation, which drifts well past 5% run to run on the
 # same commit. Alongside the gate, the sharded service benchmarks are
-# re-timed and recorded as BENCH_PR5.json (1/4/16-shard post-round and
-# scatter-gather window-query throughput points), and the replicated
-# coordinator's post-round commit latency is recorded as BENCH_PR6.json:
-# the replicas-1 point is the repLog bookkeeping with a quorum of self, the
-# replicas-3 point adds one follower's durable ack per round — the
-# replication tax, priced, not gated.
+# re-timed and recorded as BENCH_PR7.json (1/4/16-shard post-round and
+# scatter-gather window-query points; BENCH_PR5.json stays committed as the
+# pre-parallel-commit record), and the replicated coordinator's post-round
+# commit latency is recorded as BENCH_PR6.json: the replicas-1 point is the
+# repLog bookkeeping with a quorum of self, the replicas-3 point adds one
+# follower's durable ack per round — the replication tax, priced, not gated.
+#
+# The sharded recording doubles as a scaling gate on a multi-core box:
+# shards-16 must finish a post round in fewer ns/op than shards-1, i.e. the
+# parallel lane commit must actually buy throughput. At GOMAXPROCS=1 the 16
+# lanes' frames cannot overlap (the round is 16x the RPCs with no CPU to
+# run them on), so the gate arms only when at least 4 CPUs are available.
+NPROC := $(shell nproc 2>/dev/null || echo 1)
+MULTICORE := $(shell [ $(NPROC) -ge 4 ] && echo y)
+SCALING_GATE := $(if $(MULTICORE),-faster 'BenchmarkShardedPostBatch/shards-16<BenchmarkShardedPostBatch/shards-1',)
+
 bench-diff:
 	$(GO) test -run xxx -bench 'BenchmarkEngineRoundDistill$$|BenchmarkBillboardPostCommit$$|BenchmarkBillboardWindowCount$$' -benchmem . \
 	  | $(GO) run ./cmd/benchjson -baseline BENCH_PR2.json -max-regress 5
 	$(GO) test -run xxx -bench 'BenchmarkSharded' -benchmem ./internal/server \
-	  | $(GO) run ./cmd/benchjson -o BENCH_PR5.json
-	@echo "wrote BENCH_PR5.json"
+	  | $(GO) run ./cmd/benchjson -o BENCH_PR7.json $(SCALING_GATE)
+	@echo "wrote BENCH_PR7.json (scaling gate: $(if $(MULTICORE),armed,skipped — $(NPROC) CPU(s)))"
 	$(GO) test -run xxx -bench 'BenchmarkReplicated' -benchmem ./internal/server \
 	  | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
 	@echo "wrote BENCH_PR6.json"

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -56,6 +57,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	outPath := fs.String("o", "", "write JSON to this file instead of stdout")
 	baseline := fs.String("baseline", "", "diff ns/op against this recorded baseline instead of emitting JSON")
 	maxRegress := fs.Float64("max-regress", 5, "with -baseline: fail when ns/op grew by more than this percent")
+	faster := fs.String("faster", "", `scaling gate "A<B": fail unless benchmark A ran in fewer ns/op than B in this input`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,6 +66,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	captureEnv(doc.Env)
 	if *baseline != "" {
 		return diff(doc, *baseline, *maxRegress, out)
 	}
@@ -73,10 +76,104 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	buf = append(buf, '\n')
 	if *outPath != "" {
-		return os.WriteFile(*outPath, buf, 0o644)
+		// Record before gating so a failed gate still leaves the numbers on
+		// disk for inspection.
+		if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+			return err
+		}
+	} else if _, err := out.Write(buf); err != nil {
+		return err
 	}
-	_, err = out.Write(buf)
-	return err
+	if *faster != "" {
+		return requireFaster(doc, *faster, out)
+	}
+	return nil
+}
+
+// requireFaster enforces a same-run ordering gate, spec "A<B": benchmark
+// A's ns/op must be strictly below B's. This is how the Makefile asserts
+// the parallel sharded commit actually buys throughput on a multi-core box
+// — shards-16 must beat shards-1 in absolute time, not merely avoid
+// regressing against a recorded baseline.
+func requireFaster(doc *Doc, spec string, out io.Writer) error {
+	aName, bName, ok := strings.Cut(spec, "<")
+	if !ok {
+		return fmt.Errorf(`-faster %q: want the form "A<B"`, spec)
+	}
+	aName, bName = strings.TrimSpace(aName), strings.TrimSpace(bName)
+	ns := map[string]float64{}
+	for _, e := range doc.Benchmarks {
+		ns[trimCPUSuffix(e.Name)] = e.NsPerOp
+	}
+	a, b := ns[aName], ns[bName]
+	if a <= 0 || b <= 0 {
+		return fmt.Errorf("-faster %s: input lacks a positive ns/op for both sides (%s=%.1f, %s=%.1f)",
+			spec, aName, a, bName, b)
+	}
+	if a >= b {
+		return fmt.Errorf("scaling gate failed: %s at %.1f ns/op is not faster than %s at %.1f ns/op",
+			aName, a, bName, b)
+	}
+	fmt.Fprintf(out, "scaling gate ok: %s %.1f ns/op < %s %.1f ns/op (%.2fx)\n",
+		aName, a, bName, b, b/a)
+	return nil
+}
+
+// captureEnv records the execution environment next to whatever go test
+// printed. benchjson reads the benchmark's own pipe, so it runs on the
+// machine that produced the numbers — GOMAXPROCS and the core count here
+// are the ones the results depend on (the sharded commit path parallelizes
+// across lanes, so a 1-core recording is not comparable to a 16-core one).
+func captureEnv(env map[string]string) {
+	env["gomaxprocs"] = strconv.Itoa(runtime.GOMAXPROCS(0))
+	env["numcpu"] = strconv.Itoa(runtime.NumCPU())
+	if env["cpu"] == "" {
+		// go test omits the cpu: line on some platforms; fall back to the
+		// kernel's model string so the baseline still names the machine.
+		if model := cpuModel(); model != "" {
+			env["cpu"] = model
+		}
+	}
+}
+
+// cpuModel reads the processor model from /proc/cpuinfo; returns "" where
+// that file does not exist (non-linux) or has no model line.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+// warnEnvMismatch prints a loud banner when the current run's environment
+// differs from the baseline's on any key both sides recorded. Keys missing
+// on either side are ignored — baselines recorded before env capture stay
+// diffable. Never fails the run: a machine change makes the deltas suspect,
+// not wrong.
+func warnEnvMismatch(cur, base map[string]string, out io.Writer) {
+	var keys []string
+	for k, bv := range base {
+		if cv, ok := cur[k]; ok && cv != bv {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sort.Strings(keys)
+	fmt.Fprintln(out, "=================================================================")
+	fmt.Fprintln(out, "WARNING: benchmark environment differs from the recorded baseline;")
+	fmt.Fprintln(out, "the deltas below may reflect the machine, not the code:")
+	for _, k := range keys {
+		fmt.Fprintf(out, "  %-12s baseline %q, current %q\n", k, base[k], cur[k])
+	}
+	fmt.Fprintln(out, "=================================================================")
 }
 
 // diff compares the fresh results against a recorded baseline and errors
@@ -109,6 +206,7 @@ func diff(cur *Doc, baselinePath string, maxRegress float64, out io.Writer) erro
 	if len(baseNs) == 0 {
 		return fmt.Errorf("baseline %s: no benchmark has a positive ns/op; re-record it", baselinePath)
 	}
+	warnEnvMismatch(cur.Env, base.Env, out)
 
 	var regressions, unanchored []string
 	fmt.Fprintf(out, "%-40s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")

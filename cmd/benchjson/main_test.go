@@ -3,6 +3,8 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -36,6 +38,24 @@ func TestParse(t *testing.T) {
 	}
 	if w := doc.Benchmarks[1]; w.NsPerOp != 2591 || w.BytesPerOp != 0 || len(w.Metrics) != 0 {
 		t.Fatalf("entry 1 = %+v", w)
+	}
+}
+
+func TestCaptureEnv(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	captureEnv(doc.Env)
+	if got, want := doc.Env["gomaxprocs"], strconv.Itoa(runtime.GOMAXPROCS(0)); got != want {
+		t.Errorf("gomaxprocs = %q, want %q", got, want)
+	}
+	if got, want := doc.Env["numcpu"], strconv.Itoa(runtime.NumCPU()); got != want {
+		t.Errorf("numcpu = %q, want %q", got, want)
+	}
+	// go test's own cpu: line wins over /proc/cpuinfo when present.
+	if doc.Env["cpu"] != "Intel(R) Xeon(R)" {
+		t.Errorf("cpu = %q, want the parsed cpu: line", doc.Env["cpu"])
 	}
 }
 
@@ -94,6 +114,34 @@ func TestDiffWithinBudgetPasses(t *testing.T) {
 	}
 	if !strings.Contains(got, "not run") {
 		t.Fatalf("baseline-only benchmark not reported:\n%s", got)
+	}
+	// The baseline records no env at all, so no machine-mismatch warning.
+	if strings.Contains(got, "WARNING") {
+		t.Fatalf("env warning against an env-less baseline:\n%s", got)
+	}
+}
+
+// A baseline recorded under a different GOMAXPROCS/core count must be
+// flagged loudly: the sharded commit numbers depend on real parallelism, so
+// a cross-machine delta is a machine comparison, not a code one. The
+// warning never fails the run.
+func TestDiffWarnsOnEnvMismatch(t *testing.T) {
+	// gomaxprocs "0" can never match a live runtime value.
+	base := writeBaseline(t, `{
+  "env": {"gomaxprocs": "0", "irrelevant": "ignored"},
+  "benchmarks": [{"name": "BenchmarkFast", "iterations": 100000, "ns_per_op": 100}]
+}`)
+	in := "BenchmarkFast 100000 100 ns/op\n"
+	var out strings.Builder
+	if err := run([]string{"-baseline", base}, strings.NewReader(in), &out); err != nil {
+		t.Fatalf("env mismatch must warn, not fail: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "WARNING") || !strings.Contains(got, "gomaxprocs") {
+		t.Fatalf("missing env-mismatch warning:\n%s", got)
+	}
+	if strings.Contains(got, "irrelevant") {
+		t.Fatalf("warned on a key the current run does not record:\n%s", got)
 	}
 }
 
@@ -171,6 +219,35 @@ func TestDiffZeroCurrentNsIsClearError(t *testing.T) {
 	err := run([]string{"-baseline", base}, strings.NewReader(in), &out)
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkFast") {
 		t.Fatalf("zero current ns/op: err = %v", err)
+	}
+}
+
+// The -faster scaling gate compares two benchmarks from the same run: pass
+// when A beat B, fail when it did not, and fail loudly when either side is
+// missing (a renamed benchmark must not silently disarm the gate).
+func TestFasterGate(t *testing.T) {
+	in := "BenchmarkShardedPostBatch/shards-1-8 100 5000 ns/op\n" +
+		"BenchmarkShardedPostBatch/shards-16-8 400 1200 ns/op\n"
+	var out strings.Builder
+	err := run([]string{"-faster", "BenchmarkShardedPostBatch/shards-16<BenchmarkShardedPostBatch/shards-1", "-o", filepath.Join(t.TempDir(), "b.json")},
+		strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatalf("gate failed on a 4x win: %v", err)
+	}
+	if !strings.Contains(out.String(), "scaling gate ok") {
+		t.Fatalf("missing gate report:\n%s", out.String())
+	}
+
+	err = run([]string{"-faster", "BenchmarkShardedPostBatch/shards-1<BenchmarkShardedPostBatch/shards-16"},
+		strings.NewReader(in), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "not faster") {
+		t.Fatalf("inverted gate passed: %v", err)
+	}
+
+	err = run([]string{"-faster", "BenchmarkNope<BenchmarkShardedPostBatch/shards-1"},
+		strings.NewReader(in), &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "lacks a positive ns/op") {
+		t.Fatalf("missing benchmark disarmed the gate: %v", err)
 	}
 }
 

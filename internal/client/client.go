@@ -136,6 +136,8 @@ type Client struct {
 	conn    net.Conn
 	w       io.Writer // encode path: conn, or a counting wrapper over it
 	br      *bufio.Reader
+	enc     *wire.StreamEncoder // connection-scoped codecs (protocol v6),
+	dec     *wire.StreamDecoder // rebuilt with every reconnect
 	jitter  *rng.Source
 	closed  bool  // set by Close: no further calls, no reconnects
 	lastErr error // first unrecovered transport failure; sticky
@@ -280,6 +282,7 @@ func (c *Client) connect() error {
 		w = &countingWriter{w: nc, bytes: c.met.bytesSent}
 	}
 	br := bufio.NewReader(nc)
+	enc, dec := wire.NewStreamEncoder(w), wire.NewStreamDecoder(br)
 	if c.opt.CallTimeout > 0 {
 		nc.SetDeadline(time.Now().Add(c.opt.CallTimeout))
 	}
@@ -287,13 +290,13 @@ func (c *Client) connect() error {
 		Type: wire.ReqHello, Player: c.player, Token: c.token,
 		Version: wire.Version, Session: c.session,
 	}
-	if err := wire.EncodeRequest(w, &req); err != nil {
+	if err := enc.EncodeRequest(&req); err != nil {
 		nc.Close()
 		return fmt.Errorf("client: send hello: %w", err)
 	}
 	c.met.framesSent.Inc()
-	resp, err := wire.DecodeResponse(br)
-	if err != nil {
+	var resp wire.Response
+	if err := dec.DecodeResponse(&resp); err != nil {
 		nc.Close()
 		return fmt.Errorf("client: recv hello: %w", err)
 	}
@@ -307,6 +310,7 @@ func (c *Client) connect() error {
 		return &serverError{e}
 	}
 	c.conn, c.w, c.br = nc, w, br
+	c.enc, c.dec = enc, dec
 	c.resumed = true
 	c.n = resp.N
 	c.m = resp.M
@@ -330,6 +334,7 @@ func (c *Client) drop() {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn, c.w, c.br = nil, nil, nil
+		c.enc, c.dec = nil, nil
 	}
 }
 
@@ -474,14 +479,14 @@ func (c *Client) call(req wire.Request) (*wire.Response, error) {
 		if timeout > 0 {
 			c.conn.SetDeadline(time.Now().Add(timeout))
 		}
-		if err := wire.EncodeRequest(c.w, &req); err != nil {
+		if err := c.enc.EncodeRequest(&req); err != nil {
 			c.drop()
 			last = fmt.Errorf("client: send %v: %w", req.Type, err)
 			continue
 		}
 		c.met.framesSent.Inc()
-		resp, err := wire.DecodeResponse(c.br)
-		if err != nil {
+		resp := new(wire.Response)
+		if err := c.dec.DecodeResponse(resp); err != nil {
 			c.drop()
 			last = fmt.Errorf("client: recv %v: %w", req.Type, err)
 			continue

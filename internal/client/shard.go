@@ -32,6 +32,8 @@ type clientLane struct {
 	conn    net.Conn
 	w       io.Writer
 	br      *bufio.Reader
+	enc     *wire.StreamEncoder // connection-scoped codecs (protocol v6):
+	dec     *wire.StreamDecoder // the lane hot path encodes with no codec compile
 	jitter  *rng.Source
 }
 
@@ -66,6 +68,7 @@ func (c *Client) laneConnect(l *clientLane) error {
 		w = &countingWriter{w: nc, bytes: c.met.bytesSent}
 	}
 	br := bufio.NewReader(nc)
+	enc, dec := wire.NewStreamEncoder(w), wire.NewStreamDecoder(br)
 	if c.opt.CallTimeout > 0 {
 		nc.SetDeadline(time.Now().Add(c.opt.CallTimeout))
 	}
@@ -74,13 +77,13 @@ func (c *Client) laneConnect(l *clientLane) error {
 		Version: wire.Version, Session: l.session,
 		Lane: true, Shard: l.shard,
 	}
-	if err := wire.EncodeRequest(w, &req); err != nil {
+	if err := enc.EncodeRequest(&req); err != nil {
 		nc.Close()
 		return fmt.Errorf("client: lane %d hello: %w", l.shard, err)
 	}
 	c.met.framesSent.Inc()
-	resp, err := wire.DecodeResponse(br)
-	if err != nil {
+	var resp wire.Response
+	if err := dec.DecodeResponse(&resp); err != nil {
 		nc.Close()
 		return fmt.Errorf("client: lane %d hello: %w", l.shard, err)
 	}
@@ -94,6 +97,7 @@ func (c *Client) laneConnect(l *clientLane) error {
 		return &serverError{e}
 	}
 	l.conn, l.w, l.br = nc, w, br
+	l.enc, l.dec = enc, dec
 	return nil
 }
 
@@ -101,6 +105,7 @@ func (l *clientLane) drop() {
 	if l.conn != nil {
 		l.conn.Close()
 		l.conn, l.w, l.br = nil, nil, nil
+		l.enc, l.dec = nil, nil
 	}
 }
 
@@ -141,14 +146,14 @@ func (c *Client) laneCall(l *clientLane, req wire.Request) (*wire.Response, erro
 		if c.opt.CallTimeout > 0 {
 			l.conn.SetDeadline(time.Now().Add(c.opt.CallTimeout))
 		}
-		if err := wire.EncodeRequest(l.w, &req); err != nil {
+		if err := l.enc.EncodeRequest(&req); err != nil {
 			l.drop()
 			last = fmt.Errorf("client: lane %d send: %w", l.shard, err)
 			continue
 		}
 		c.met.framesSent.Inc()
-		resp, err := wire.DecodeResponse(l.br)
-		if err != nil {
+		resp := new(wire.Response)
+		if err := l.dec.DecodeResponse(resp); err != nil {
 			l.drop()
 			last = fmt.Errorf("client: lane %d recv: %w", l.shard, err)
 			continue

@@ -242,6 +242,47 @@ func (w *Writer) EndRoundQuorum(admits []Admit, term uint64, quorum int) error {
 	return w.write(entry{Kind: kindEndRound, Admits: admits, Term: term, Quorum: quorum})
 }
 
+// AppendEndRoundFrame appends one complete round-marker frame — uvarint
+// length prefix plus gob payload, byte-identical to what EndRoundAdmits
+// (term and quorum zero) or EndRoundQuorum would write — to dst and returns
+// the extended slice. Frames are self-contained (fresh encoder per frame),
+// so a sharded commit encodes its admits marker once and hands the same
+// bytes to every lane's WriteEndRoundFrame instead of re-encoding per lane.
+func AppendEndRoundFrame(dst []byte, admits []Admit, term uint64, quorum int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entry{
+		Kind: kindEndRound, Admits: admits, Term: term, Quorum: quorum,
+	}); err != nil {
+		return dst, fmt.Errorf("journal: %w", err)
+	}
+	var lenb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenb[:], uint64(buf.Len()))
+	dst = append(dst, lenb[:n]...)
+	dst = append(dst, buf.Bytes()...)
+	return dst, nil
+}
+
+// WriteEndRoundFrame appends a pre-encoded round-marker frame (from
+// AppendEndRoundFrame) and applies the writer's round-marker sync policy,
+// exactly as EndRoundAdmits would. The frame lands in one underlying Write,
+// so a store mirror tees it as a single chunk.
+func (w *Writer) WriteEndRoundFrame(frame []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.w.Write(frame); err != nil {
+		w.err = fmt.Errorf("journal: %w", err)
+		return w.err
+	}
+	if w.sync != nil && w.policy != SyncNone {
+		if err := w.sync(); err != nil {
+			w.err = fmt.Errorf("journal: sync: %w", err)
+			return w.err
+		}
+	}
+	return nil
+}
+
 // ForceDone records a barrier-deadline decision: the server deregistered
 // player as a straggler so the round could commit. Journaling the decision
 // keeps crash recovery consistent — a recovered server refuses to let a

@@ -1,0 +1,115 @@
+package server_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/rng"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// runSeededScript drives a seeded pseudo-random multi-round workload
+// through real clients: every player draws its per-round batch (size, object
+// spread, positive/negative mix) from its own deterministic rng stream, so
+// the committed content is independent of goroutine scheduling. The batches
+// deliberately collide on objects and overrun the vote budget so the global
+// admission pass (budget f, first-vote-per-pair) does real work every round.
+func runSeededScript(t *testing.T, addr string, players, rounds int, seed uint64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, players)
+	for p := 0; p < players; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, p, "tok")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			r1 := rng.New(seed + uint64(p)*1_000_003)
+			for r := 0; r < rounds; r++ {
+				n := 1 + int(r1.Uint64n(5))
+				batch := make([]client.BatchPost, 0, n)
+				for i := 0; i < n; i++ {
+					batch = append(batch, client.BatchPost{
+						Object:   int(r1.Uint64n(uint64(c.M()))),
+						Value:    float64(r1.Uint64n(16)) / 16,
+						Positive: r1.Uint64n(3) > 0,
+					})
+				}
+				if _, err := c.PostBatch(batch, true); err != nil {
+					errs <- fmt.Errorf("player %d round %d: %w", p, r, err)
+					return
+				}
+			}
+			errs <- c.Done()
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardCommitDeterminismGolden pins the commit path's digest bit-for-bit:
+// the same seeded workload, run through 1-, 4-, and 16-shard servers, must
+// reproduce the digest recorded in testdata from the serial commit path.
+// The (player, index) commit order is the only ordering FirstPositive vote
+// derivation depends on; any reordering introduced by the parallel commit
+// shows up here as a byte diff. Refresh with -update only when the workload
+// script itself changes.
+func TestShardCommitDeterminismGolden(t *testing.T) {
+	const players, rounds, seed = 6, 8, 0xADA9
+	goldenPath := filepath.Join("testdata", "commit_digest.golden")
+
+	digests := make(map[int][]byte)
+	for _, shards := range []int{1, 4, 16} {
+		addr, srv := startSharded(t, players, shards, nil)
+		runSeededScript(t, addr, players, rounds, seed)
+		d := srv.Digest()
+		if len(d) == 0 {
+			t.Fatalf("shards=%d: empty digest", shards)
+		}
+		if srv.Round() != rounds {
+			t.Fatalf("shards=%d: round %d, want %d", shards, srv.Round(), rounds)
+		}
+		digests[shards] = d
+	}
+	for _, shards := range []int{4, 16} {
+		if !bytes.Equal(digests[shards], digests[1]) {
+			t.Fatalf("digest mismatch between 1-shard and %d-shard runs:\n1:\n%s\n%d:\n%s",
+				shards, digests[1], shards, digests[shards])
+		}
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, digests[1], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d bytes)", goldenPath, len(digests[1]))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to record): %v", err)
+	}
+	if !bytes.Equal(digests[1], want) {
+		t.Fatalf("digest diverged from recorded serial-commit golden:\ngot:\n%s\nwant:\n%s",
+			digests[1], want)
+	}
+}

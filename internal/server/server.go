@@ -216,6 +216,19 @@ type Server struct {
 	roundA          atomic.Int64
 	closedA         atomic.Bool
 
+	// Pooled commit scratch (commitShardedLocked): the round's posters, the
+	// per-poster dedup bitmap, the per-player merge heads and cursors, the
+	// alternating admit slices (double-buffered because lastAdmits must
+	// outlive the round that produced it), and the encode-once marker frame.
+	// All retained across rounds so a steady-state commit allocates nothing
+	// per shard.
+	commitPosters []int
+	posterSeen    []bool
+	mergeHeads    []*pbucket
+	mergeCurs     []int
+	admitsScratch [2][]journal.Admit
+	markerFrame   []byte
+
 	barrierTimer *time.Timer
 	armedRound   int // round the barrier timer is armed for; -1 when idle
 
@@ -582,6 +595,11 @@ func (s *Server) handle(conn net.Conn) {
 		rw = &countingConn{Conn: conn, in: s.m.bytesIn, out: s.m.bytesOut}
 	}
 	br := bufio.NewReader(rw)
+	// Connection-scoped codecs (protocol v6): gob type descriptors cross the
+	// wire once per connection, and the lane data plane stops paying a codec
+	// compile per frame.
+	dec := wire.NewStreamDecoder(br)
+	enc := wire.NewStreamEncoder(rw)
 
 	var sess *session
 	var laneSess *session
@@ -593,9 +611,10 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}()
 
+	var reqBuf wire.Request
 	for {
-		req, err := wire.DecodeRequest(br)
-		if err != nil {
+		req := &reqBuf
+		if err := dec.DecodeRequest(req); err != nil {
 			// Clean EOF, a torn frame, or garbage: either way this
 			// connection is over. The session (if any) enters its grace
 			// window via the deferred disconnect.
@@ -652,7 +671,7 @@ func (s *Server) handle(conn net.Conn) {
 			// an application error here would wrongly end its session.
 			return
 		}
-		if err := wire.EncodeResponse(rw, &resp); err != nil {
+		if err := enc.EncodeResponse(&resp); err != nil {
 			return
 		}
 	}

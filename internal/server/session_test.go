@@ -133,10 +133,12 @@ func TestSessionLeaseExpiryActsAsDone(t *testing.T) {
 }
 
 // rawSession drives the wire protocol by hand to exercise retransmission.
+// Multi-frame connections speak the v6 stream codecs, like a real client.
 type rawSession struct {
 	t    *testing.T
 	conn net.Conn
-	br   *bufio.Reader
+	enc  *wire.StreamEncoder
+	dec  *wire.StreamDecoder
 }
 
 func rawDial(t *testing.T, addr string) *rawSession {
@@ -146,16 +148,20 @@ func rawDial(t *testing.T, addr string) *rawSession {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { conn.Close() })
-	return &rawSession{t: t, conn: conn, br: bufio.NewReader(conn)}
+	return &rawSession{
+		t: t, conn: conn,
+		enc: wire.NewStreamEncoder(conn),
+		dec: wire.NewStreamDecoder(bufio.NewReader(conn)),
+	}
 }
 
 func (r *rawSession) roundTrip(req wire.Request) *wire.Response {
 	r.t.Helper()
-	if err := wire.EncodeRequest(r.conn, &req); err != nil {
+	if err := r.enc.EncodeRequest(&req); err != nil {
 		r.t.Fatal(err)
 	}
-	resp, err := wire.DecodeResponse(r.br)
-	if err != nil {
+	resp := new(wire.Response)
+	if err := r.dec.DecodeResponse(resp); err != nil {
 		r.t.Fatal(err)
 	}
 	return resp

@@ -57,6 +57,8 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/billboard"
 	"repro/internal/journal"
@@ -77,6 +79,17 @@ type admitKey struct {
 	object int
 }
 
+// pbucket holds one player's accepted, uncommitted posts on one lane.
+// Honest clients deliver a lane batch in index order, so posts arrive
+// pre-sorted and the commit merge reads them as-is; a byzantine client
+// shuffling its indices only clears sorted, and the bucket is stable-sorted
+// once at commit — the same order sort.SliceStable over a global gather
+// produced, at per-bucket cost.
+type pbucket struct {
+	posts  []stampedPost
+	sorted bool // posts currently in nondecreasing index (and arrival) order
+}
+
 // lane is one shard of a sharded server: an independent post-accept path
 // guarded by its own mutex.
 type lane struct {
@@ -84,8 +97,16 @@ type lane struct {
 	mu chan struct{} // 1-buffered channel as mutex: lockable with ordering helpers
 
 	board    *billboard.Board
-	pending  []stampedPost
 	sessions map[uint64]*session
+
+	// Accepted, uncommitted posts, bucketed per player and kept ordered by
+	// index at accept time — the pre-sorted runs the commit's k-way merge
+	// consumes instead of globally re-sorting every round. Emptied buckets
+	// keep their capacity across rounds (steady-state accepts allocate
+	// nothing); posters lists the players with nonempty buckets.
+	buckets  map[int]*pbucket
+	posters  []int
+	nPending int
 
 	store *journal.Store  // nil when the server is not durable
 	jw    *journal.Writer // store's writer; nil when not durable
@@ -102,6 +123,36 @@ type lane struct {
 
 func (ln *lane) lock()   { ln.mu <- struct{}{} }
 func (ln *lane) unlock() { <-ln.mu }
+
+// addPending buffers one accepted post in its player's bucket. Caller holds
+// the lane lock.
+func (ln *lane) addPending(sp stampedPost) {
+	b := ln.buckets[sp.post.Player]
+	if b == nil {
+		b = &pbucket{sorted: true}
+		ln.buckets[sp.post.Player] = b
+	}
+	if len(b.posts) == 0 {
+		b.sorted = true
+		ln.posters = append(ln.posters, sp.post.Player)
+	} else if b.sorted && b.posts[len(b.posts)-1].index > sp.index {
+		b.sorted = false
+	}
+	b.posts = append(b.posts, sp)
+	ln.nPending++
+}
+
+// resetPending empties the lane's buckets at a seal, keeping bucket and
+// poster capacity for the next round.
+func (ln *lane) resetPending() {
+	for _, p := range ln.posters {
+		b := ln.buckets[p]
+		b.posts = b.posts[:0]
+		b.sorted = true
+	}
+	ln.posters = ln.posters[:0]
+	ln.nPending = 0
+}
 
 // invalidateCache drops the lane's committed-round read cache (at seal).
 func (ln *lane) invalidateCache() { ln.cacheWindows = nil }
@@ -151,11 +202,18 @@ func (s *Server) setupShards(boardCfg billboard.Config, admitHist map[int][]jour
 	s.votesTaken = make([]int, len(s.cfg.Tokens))
 	s.votedPair = make(map[admitKey]bool)
 	s.lanes = make([]*lane, shards)
+	// Commit scratch, pooled for the life of the server (see
+	// commitShardedLocked): steady-state rounds reuse these instead of
+	// allocating per round.
+	s.posterSeen = make([]bool, len(s.cfg.Tokens))
+	s.mergeHeads = make([]*pbucket, shards)
+	s.mergeCurs = make([]int, shards)
 	for k := range s.lanes {
 		ln := &lane{
 			k:        k,
 			mu:       make(chan struct{}, 1),
 			sessions: make(map[uint64]*session),
+			buckets:  make(map[int]*pbucket),
 		}
 		if s.cfg.Metrics != nil {
 			ln.mPosts = s.cfg.Metrics.Counter(
@@ -296,7 +354,11 @@ func (s *Server) recoverLane(ln *lane, boardCfg billboard.Config, admitHist map[
 		}
 	}
 	ln.board = board
-	ln.pending = pending
+	ln.buckets = make(map[int]*pbucket)
+	ln.posters, ln.nPending = nil, 0
+	for _, sp := range pending {
+		ln.addPending(sp)
+	}
 	ln.invalidateCache()
 	s.m.journalReplayed.Add(int64(replayed))
 	if replayed > 0 || st.Snapshot() != nil {
@@ -320,11 +382,33 @@ func (s *Server) setAdmitsLocked(admits []journal.Admit) {
 	}
 }
 
-// commitShardedLocked commits the round across every lane: freeze, gather,
-// admit globally, journal the commit point, feed, seal. Returns false —
-// leaving the round open — when a lane is down; RestartShard re-runs the
-// advance. Caller holds s.mu.
+// commitShardedLocked commits the round across every lane: freeze, admit,
+// journal the commit point, seal. Returns false — leaving the round open —
+// when a lane is down; RestartShard re-runs the advance. Caller holds s.mu.
+//
+// The pipeline runs per-lane work per-lane. The admission pass consumes
+// positives in global (player, index) order without materializing a sorted
+// gather: lanes keep per-player buckets ordered by index at accept time, so
+// visiting players in ascending order and k-way-merging each player's
+// buckets by index (ties to the lowest lane id — the gather order the old
+// global sort.SliceStable preserved) reproduces the serial order exactly.
+// The seal phase — feed to the lane board, lane round marker, board
+// EndRound, cache invalidate — is lane-local by construction and runs
+// concurrently across lanes, with the admits marker encoded once and the
+// same bytes fsynced to every lane store in parallel (the replica mirror
+// tee takes its own leaf lock, so parallel lanes tee safely). Cross-player
+// feed order is irrelevant to the board (votes and counts are per
+// (player, object); per-pair order is bucket order), so per-lane feeding is
+// digest-identical to the old globally-sorted feed — pinned by the
+// determinism golden. Per-round scratch (posters, merge cursors, admit
+// slices, marker frame) is pooled on the Server, so steady-state rounds are
+// allocation-flat in shard count.
 func (s *Server) commitShardedLocked() bool {
+	var t0, tp time.Time
+	if s.m.enabled {
+		t0 = time.Now()
+		tp = t0
+	}
 	for _, ln := range s.lanes {
 		ln.lock()
 	}
@@ -338,60 +422,126 @@ func (s *Server) commitShardedLocked() bool {
 			return false
 		}
 	}
-	// Gather and order: (player, index) preserves each player's own posting
-	// order — the only order FirstPositive vote derivation depends on — and
-	// makes the commit deterministic regardless of lane arrival timing.
-	var all []stampedPost
-	for _, ln := range s.lanes {
-		all = append(all, ln.pending...)
-	}
-	sort.SliceStable(all, func(i, j int) bool {
-		if all[i].post.Player != all[j].post.Player {
-			return all[i].post.Player < all[j].post.Player
-		}
-		return all[i].index < all[j].index
-	})
+	tp = s.m.phaseTick(phaseFreeze, tp)
 	// Global vote admission: consume each player's budget f and the
-	// first-vote-per-object rule across all lanes in one pass.
-	var admits []journal.Admit
-	f := s.votesCap()
-	for _, sp := range all {
-		if !sp.post.Positive {
-			continue
+	// first-vote-per-object rule in (player, index) order across all lanes.
+	posters := s.commitPosters[:0]
+	for _, ln := range s.lanes {
+		for _, p := range ln.posters {
+			if !s.posterSeen[p] {
+				s.posterSeen[p] = true
+				posters = append(posters, p)
+			}
 		}
-		k := admitKey{sp.post.Player, sp.post.Object}
-		if s.votedPair[k] || s.votesTaken[sp.post.Player] >= f {
-			continue
-		}
-		s.votesTaken[sp.post.Player]++
-		s.votedPair[k] = true
-		admits = append(admits, journal.Admit{Player: sp.post.Player, Object: sp.post.Object})
 	}
+	sort.Ints(posters)
+	// Double-buffered admit slice: s.lastAdmits keeps the previous round's
+	// admissions alive for RestartShard's top-up history, so commits
+	// alternate between two backing arrays instead of reallocating.
+	admits := s.admitsScratch[s.round&1][:0]
+	f := s.votesCap()
+	heads, curs := s.mergeHeads, s.mergeCurs
+	for _, p := range posters {
+		s.posterSeen[p] = false
+		nl := 0
+		for _, ln := range s.lanes {
+			if b := ln.buckets[p]; b != nil && len(b.posts) > 0 {
+				if !b.sorted {
+					posts := b.posts
+					sort.SliceStable(posts, func(i, j int) bool { return posts[i].index < posts[j].index })
+					b.sorted = true
+				}
+				heads[nl], curs[nl] = b, 0
+				nl++
+			}
+		}
+		for {
+			best := -1
+			for i := 0; i < nl; i++ {
+				if curs[i] >= len(heads[i].posts) {
+					continue
+				}
+				if best < 0 || heads[i].posts[curs[i]].index < heads[best].posts[curs[best]].index {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			sp := &heads[best].posts[curs[best]]
+			curs[best]++
+			if !sp.post.Positive {
+				continue
+			}
+			k := admitKey{p, sp.post.Object}
+			if s.votedPair[k] || s.votesTaken[p] >= f {
+				continue
+			}
+			s.votesTaken[p]++
+			s.votedPair[k] = true
+			admits = append(admits, journal.Admit{Player: p, Object: sp.post.Object})
+		}
+	}
+	s.commitPosters = posters[:0]
+	s.admitsScratch[s.round&1] = admits
 	s.setAdmitsLocked(admits)
+	tp = s.m.phaseTick(phaseAdmit, tp)
+	// Encode the round's admits marker once; every lane seal below reuses
+	// the bytes, and so does the coordinator's commit point when it carries
+	// no replication annotation.
+	var frame []byte
+	if s.cfg.Journal != nil || s.lanes[0].jw != nil {
+		if b, err := journal.AppendEndRoundFrame(s.markerFrame[:0], admits, 0, 0); err == nil {
+			s.markerFrame, frame = b, b
+		}
+	}
 	// Durable commit point: the coordinator's marker carries the admitted
 	// pairs, so recovery can top up a lane that misses its seal below.
 	if s.cfg.Journal != nil {
 		if s.replLog != nil {
 			_ = s.cfg.Journal.EndRoundQuorum(admits, s.replTerm, s.replQuorum)
-		} else {
-			_ = s.cfg.Journal.EndRoundAdmits(admits)
+		} else if frame != nil {
+			_ = s.cfg.Journal.WriteEndRoundFrame(frame)
 		}
 	}
-	for _, sp := range all {
-		// Validated at accept; the board re-checks ranges only.
-		_ = s.laneFor(sp.post.Object).board.Post(sp.post)
-	}
-	// Seal every lane: its own durable marker, then the board commit. The
-	// round becomes observable (round++, broadcast) only after this loop —
-	// the per-round shard barrier.
-	for _, ln := range s.lanes {
-		if ln.jw != nil {
-			_ = ln.jw.EndRoundAdmits(admits)
+	tp = s.m.phaseTick(phaseJournal, tp)
+	// Seal every lane: feed its posts to its board, its own durable marker,
+	// then the board commit. Lane seals are mutually independent (own board,
+	// own store file, own cache), so they run concurrently; the round becomes
+	// observable (round++, broadcast) only after every lane sealed — the
+	// per-round shard barrier.
+	seal := func(ln *lane) {
+		for _, p := range ln.posters {
+			for i := range ln.buckets[p].posts {
+				// Validated at accept; the board re-checks ranges only.
+				_ = ln.board.Post(ln.buckets[p].posts[i].post)
+			}
+		}
+		if ln.jw != nil && frame != nil {
+			_ = ln.jw.WriteEndRoundFrame(frame)
 		}
 		ln.board.EndRound()
-		ln.pending = ln.pending[:0]
+		ln.resetPending()
 		ln.invalidateCache()
 		ln.mSeals.Inc()
+	}
+	if len(s.lanes) == 1 {
+		seal(s.lanes[0])
+	} else {
+		var wg sync.WaitGroup
+		for _, ln := range s.lanes {
+			wg.Add(1)
+			go func(ln *lane) {
+				defer wg.Done()
+				seal(ln)
+			}(ln)
+		}
+		wg.Wait()
+	}
+	if s.m.enabled {
+		now := time.Now()
+		s.m.commitPhase[phaseSeal].Observe(now.Sub(tp).Seconds())
+		s.m.commitSeconds.Observe(now.Sub(t0).Seconds())
 	}
 	s.lastAdmits, s.lastAdmitsRound = admits, s.round+1
 	s.round++
@@ -558,7 +708,7 @@ func (s *Server) lanePostBatch(ln *lane, sess *session, req *wire.Request) wire.
 				return wire.Response{Err: fmt.Sprintf("journal: %v", err)}
 			}
 		}
-		ln.pending = append(ln.pending, stampedPost{post: post, index: p.Index})
+		ln.addPending(stampedPost{post: post, index: p.Index})
 		ln.mPosts.Inc()
 	}
 	return wire.Response{Round: int(s.roundA.Load())}
@@ -597,7 +747,7 @@ func (s *Server) shardAppendLocked(sess *session, seq uint64, object int, value 
 			return fmt.Errorf("journal: %v", err)
 		}
 	}
-	ln.pending = append(ln.pending, stampedPost{post: post, index: idx})
+	ln.addPending(stampedPost{post: post, index: idx})
 	ln.mPosts.Inc()
 	return nil
 }
@@ -691,7 +841,7 @@ func (s *Server) KillShard(k int) error {
 	}
 	ln.down = true
 	ln.board = nil
-	ln.pending = nil
+	ln.buckets, ln.posters, ln.nPending = nil, nil, 0
 	ln.sessions = make(map[uint64]*session)
 	ln.invalidateCache()
 	if err := ln.store.Close(); err != nil {

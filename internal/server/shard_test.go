@@ -318,6 +318,91 @@ func TestKillRestartShard(t *testing.T) {
 	}
 }
 
+// TestSealRaceShardBounce is the race-detector stress for the parallel
+// commit: eight lanes sealing concurrently (goroutine-per-lane feed +
+// journal marker + EndRound + cache invalidate) while two shards are
+// killed and restarted in a tight loop and a reader hammers window queries
+// (cache rebuild/invalidate races). Run under -race this covers every
+// cross-goroutine edge of the seal path; the digest must still match an
+// unfaulted single-shard run of the same script.
+func TestSealRaceShardBounce(t *testing.T) {
+	const players, rounds = 6, 8
+	dir := t.TempDir()
+	st, err := journal.OpenStore(dir, journal.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// One extra token for the reader below; Expected stays at the script's
+	// player count so rounds never wait on it.
+	addr, srv := startSharded(t, players+1, 8, func(sc *server.Config) {
+		sc.Persist = st
+		sc.SessionGrace = time.Minute
+		sc.Expected = players
+	})
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(2)
+	go func() { // bounce two different lanes out of phase with each other
+		defer aux.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := 1 + 2*(i%2) // shards 1 and 3
+			if err := srv.KillShard(k); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+			if err := srv.RestartShard(k); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	go func() { // concurrent committed-round reads race the cache seal
+		defer aux.Done()
+		c, err := client.Dial(addr, players, "tok")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		// Done immediately: reads stay legal for a done player, and the
+		// reader must never hold up the script's round barrier.
+		if err := c.Done(); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.CountVotesInWindow(i%c.M(), 1+i%4)
+		}
+	}()
+
+	runScript(t, addr, players, rounds)
+	close(stop)
+	aux.Wait()
+
+	addr1, srv1 := startSharded(t, players, 1, nil)
+	runScript(t, addr1, players, rounds)
+	if got, want := srv.Digest(), srv1.Digest(); !bytes.Equal(got, want) {
+		t.Fatalf("digest after seal-race bounces diverged from unfaulted 1-shard run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if srv.Round() != rounds {
+		t.Fatalf("round %d, want %d", srv.Round(), rounds)
+	}
+}
+
 // TestShardedRejectsBestValue pins the constructor contract: sharding
 // requires the FirstPositive mode of a LocalTesting universe.
 func TestShardedRejectsBestValue(t *testing.T) {

@@ -113,8 +113,15 @@ func (t ReqType) String() string {
 // version 5 adds coordinator replication — replica-to-replica append / ack /
 // heartbeat / vote / fetch frames (RepMsg, RepAck) and the NotLeader
 // redirect (CodeNotLeader plus Response.Leader), which lets a client that
-// reached a follower re-dial the advertised leader instead of failing.
-const Version = 5
+// reached a follower re-dial the advertised leader instead of failing;
+// version 6 makes request/response gob streams connection-scoped
+// (StreamEncoder/StreamDecoder): each peer keeps one encoder and one decoder
+// per connection, so gob type descriptors cross the wire once per connection
+// instead of once per frame and neither side recompiles codecs per message.
+// Frames stay length-prefixed (torn writes detect cleanly, sizes stay
+// capped) but are no longer individually self-contained — a v5 peer cannot
+// decode a v6 stream past its first frame, hence the bump.
+const Version = 6
 
 // Shard maps an object id onto one of shards lanes. It is the single
 // shard-map definition shared by client and server: deterministic, seedless,
@@ -387,7 +394,169 @@ func decodeFrameCap(r io.Reader, v any, maxSize uint64) (err error) {
 	return nil
 }
 
-// EncodeRequest writes req as one frame.
+// StreamEncoder writes framed messages through one connection-scoped gob
+// encoder (protocol v6). The first Encode emits the value's type descriptors
+// alongside it — that first frame is self-contained, which is what keeps
+// single-frame peers (a follower's NotLeader redirect answers exactly one
+// request) interoperable — and every later frame reuses them, so the
+// per-frame codec-compile cost of the stateless helpers disappears from the
+// hot path. Not safe for concurrent use; callers serialize per connection.
+type StreamEncoder struct {
+	w    io.Writer
+	buf  bytes.Buffer
+	enc  *gob.Encoder
+	lenb [binary.MaxVarintLen64]byte
+	err  error // first error; the stream is desynced after one, fail fast
+}
+
+// NewStreamEncoder binds a stream encoder to w for the connection's life.
+func NewStreamEncoder(w io.Writer) *StreamEncoder {
+	e := &StreamEncoder{w: w}
+	e.enc = gob.NewEncoder(&e.buf)
+	return e
+}
+
+// Encode writes v as one length-prefixed frame on the shared gob stream.
+func (e *StreamEncoder) Encode(v any) error {
+	if e.err != nil {
+		return e.err
+	}
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		e.err = fmt.Errorf("wire: encode: %w", err)
+		return e.err
+	}
+	n := binary.PutUvarint(e.lenb[:], uint64(e.buf.Len()))
+	if _, err := e.w.Write(e.lenb[:n]); err != nil {
+		e.err = fmt.Errorf("wire: %w", err)
+		return e.err
+	}
+	if _, err := e.w.Write(e.buf.Bytes()); err != nil {
+		e.err = fmt.Errorf("wire: %w", err)
+		return e.err
+	}
+	return nil
+}
+
+// EncodeRequest writes req as one frame on the stream.
+func (e *StreamEncoder) EncodeRequest(req *Request) error { return e.Encode(req) }
+
+// EncodeResponse writes resp as one frame on the stream.
+func (e *StreamEncoder) EncodeResponse(resp *Response) error { return e.Encode(resp) }
+
+// frameReader feeds the current frame's bytes to the stream decoder's gob
+// decoder. It implements io.ByteReader so gob reads it directly instead of
+// wrapping it in a bufio.Reader that would blur frame boundaries.
+type frameReader struct {
+	data []byte
+	pos  int
+}
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	if f.pos >= len(f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.data[f.pos:])
+	f.pos += n
+	return n, nil
+}
+
+func (f *frameReader) ReadByte() (byte, error) {
+	if f.pos >= len(f.data) {
+		return 0, io.EOF
+	}
+	b := f.data[f.pos]
+	f.pos++
+	return b, nil
+}
+
+// StreamDecoder reads framed messages through one connection-scoped gob
+// decoder (protocol v6), the receiving half of StreamEncoder. Each frame is
+// still length-delimited and size-capped, so a torn write or hostile length
+// surfaces as a clean error; the gob decoder is guarded against panics the
+// same way the stateless path is. A decode error (other than a clean EOF
+// between frames) is sticky: the shared type-descriptor stream cannot be
+// resynchronized, so the connection must be dropped.
+type StreamDecoder struct {
+	r     io.Reader
+	br    io.ByteReader
+	fr    frameReader
+	dec   *gob.Decoder
+	frame []byte // reused frame buffer
+	err   error
+}
+
+// NewStreamDecoder binds a stream decoder to r for the connection's life.
+// Prefer passing a reader that implements io.ByteReader (e.g. *bufio.Reader).
+func NewStreamDecoder(r io.Reader) *StreamDecoder {
+	d := &StreamDecoder{r: r}
+	if br, ok := r.(io.ByteReader); ok {
+		d.br = br
+	} else {
+		d.br = oneByteReader{r}
+	}
+	d.dec = gob.NewDecoder(&d.fr)
+	return d
+}
+
+// Decode reads one frame into v. A stream that ends cleanly between frames
+// returns io.EOF. The caller must pass a zeroed target: gob leaves fields
+// absent from the frame untouched (DecodeRequest/DecodeResponse do this).
+func (d *StreamDecoder) Decode(v any) (err error) {
+	if d.err != nil {
+		return d.err
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("wire: decode panic: %v", p)
+		}
+		if err != nil && err != io.EOF {
+			d.err = err
+		}
+	}()
+	size, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF // clean end of stream, not corruption
+		}
+		return fmt.Errorf("wire: frame length: %w", err)
+	}
+	if size == 0 || size > MaxFrame {
+		return fmt.Errorf("wire: implausible frame size %d", size)
+	}
+	if uint64(cap(d.frame)) < size {
+		d.frame = make([]byte, size)
+	}
+	buf := d.frame[:size]
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	d.fr.data, d.fr.pos = buf, 0
+	if err := d.dec.Decode(v); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	if d.fr.pos != len(d.fr.data) {
+		return fmt.Errorf("wire: %d trailing bytes after frame", len(d.fr.data)-d.fr.pos)
+	}
+	return nil
+}
+
+// DecodeRequest reads one request frame from the stream into req, zeroing it
+// first so a reused struct never leaks fields between frames.
+func (d *StreamDecoder) DecodeRequest(req *Request) error {
+	*req = Request{}
+	return d.Decode(req)
+}
+
+// DecodeResponse reads one response frame from the stream into resp.
+func (d *StreamDecoder) DecodeResponse(resp *Response) error {
+	*resp = Response{}
+	return d.Decode(resp)
+}
+
+// EncodeRequest writes req as one self-contained frame (fresh codec). The
+// connection hot paths use StreamEncoder; this form remains for single-frame
+// exchanges and tooling.
 func EncodeRequest(w io.Writer, req *Request) error {
 	return encodeFrame(w, req)
 }
