@@ -29,6 +29,7 @@ check: build
 	$(GO) test -race -run 'TestChaosShard|TestSharded|TestKillRestartShard' -count=2 ./internal/server ./internal/dist
 	$(GO) test -race -run 'TestShardCommitDeterminismGolden|TestSealRaceShardBounce' -count=2 ./internal/server
 	$(GO) test -race -run 'TestReplica|TestLeader|TestChaosReplica|TestChaosLeader' -count=2 ./internal/server ./internal/dist
+	$(GO) test -race -run 'TestSwarm|TestFlatClusterConfig' -count=2 ./internal/swarm ./internal/dist
 	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/server > /dev/null
 
 # Short fuzz passes over the byte-level decoders (wire frames, journal).
@@ -72,6 +73,16 @@ NPROC := $(shell nproc 2>/dev/null || echo 1)
 MULTICORE := $(shell [ $(NPROC) -ge 4 ] && echo y)
 SCALING_GATE := $(if $(MULTICORE),-faster 'BenchmarkShardedPostBatch/shards-16<BenchmarkShardedPostBatch/shards-1',)
 
+# The swarm recording (BENCH_PR8.json) gates the event-loop driver against
+# the goroutine-per-player fleet at matched player counts: the swarm must
+# cost fewer ns/player. The 10k pair needs ~20k file descriptors for the
+# goroutine side (two per player), so the gate compares at 10k only when
+# the descriptor budget allows and falls back to the 2k pair otherwise;
+# the swarm-side 10k/100k/1M scale points record regardless.
+FDS := $(shell sh -c 'ulimit -n' 2>/dev/null || echo 1024)
+BIGFLEET := $(shell [ $(FDS) -ge 20100 ] && echo y)
+SWARM_GATE := $(if $(BIGFLEET),-faster 'BenchmarkClusterFleet/swarm-10k<BenchmarkClusterFleet/goroutine-10k',-faster 'BenchmarkClusterFleet/swarm-2k<BenchmarkClusterFleet/goroutine-2k')
+
 bench-diff:
 	$(GO) test -run xxx -bench 'BenchmarkEngineRoundDistill$$|BenchmarkBillboardPostCommit$$|BenchmarkBillboardWindowCount$$' -benchmem . \
 	  | $(GO) run ./cmd/benchjson -baseline BENCH_PR2.json -max-regress 5
@@ -81,3 +92,6 @@ bench-diff:
 	$(GO) test -run xxx -bench 'BenchmarkReplicated' -benchmem ./internal/server \
 	  | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
 	@echo "wrote BENCH_PR6.json"
+	$(GO) test -run xxx -bench 'BenchmarkClusterFleet|BenchmarkSwarmScale' -benchmem -benchtime 1x -timeout 30m ./internal/dist \
+	  | $(GO) run ./cmd/benchjson -o BENCH_PR8.json $(SWARM_GATE)
+	@echo "wrote BENCH_PR8.json (fleet gate at $(if $(BIGFLEET),10k,2k) players; $(FDS) fds)"

@@ -96,8 +96,20 @@ func NewCachedReader(c *BillboardClient) *CachedReader { return client.NewCached
 
 // Distributed runs.
 type (
-	// ClusterConfig describes a full distributed run on localhost.
+	// ClusterConfig describes a full distributed run on localhost: world
+	// and fleet sizes flat, the service shape under Topology, the fault
+	// machinery under Chaos, and the fleet driver under Drive.
 	ClusterConfig = dist.ClusterConfig
+	// ClusterTopology shapes the service (shards, replica group).
+	ClusterTopology = dist.Topology
+	// ClusterChaos schedules fault injection and kill/restart hooks.
+	ClusterChaos = dist.Chaos
+	// ClusterDrive selects the honest-fleet driver: per-player goroutines
+	// (zero value) or the swarm scheduler (Swarm: true).
+	ClusterDrive = dist.Drive
+	// FlatClusterConfig is the historical flat flag-bag shape; its Cluster
+	// method folds it into the structured ClusterConfig.
+	FlatClusterConfig = dist.FlatClusterConfig
 	// ClusterResult aggregates a distributed run.
 	ClusterResult = dist.ClusterResult
 )
@@ -120,7 +132,7 @@ type (
 )
 
 // NewFaultInjector validates cfg and builds a fault injector; plug its
-// Dialer into ClientOptions.Dialer or ClusterConfig.Fault for chaos runs.
+// Dialer into ClientOptions.Dialer or ClusterConfig.Chaos.Fault for chaos runs.
 func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) {
 	return faultnet.New(cfg)
 }

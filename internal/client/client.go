@@ -562,7 +562,11 @@ func (c *Client) Post(obj int, value float64, positive bool) error {
 		}
 		msgs := []wire.PostMsg{{Object: obj, Value: value, Positive: positive}}
 		c.stampIndices(msgs)
-		return c.scatterPosts(msgs)
+		if err := c.scatterPosts(msgs); err != nil {
+			return err
+		}
+		c.commitIndices(msgs)
+		return nil
 	}
 	_, err := c.call(wire.Request{Type: wire.ReqPost, Object: obj, Value: value, Positive: positive})
 	return err
@@ -604,6 +608,7 @@ func (c *Client) PostBatch(posts []BatchPost, endRound bool) (int, error) {
 			if err := c.scatterPosts(msgs); err != nil {
 				return 0, err
 			}
+			c.commitIndices(msgs)
 		}
 		if !endRound {
 			return c.round, nil

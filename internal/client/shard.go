@@ -244,13 +244,24 @@ func (c *Client) scatterPosts(msgs []wire.PostMsg) error {
 }
 
 // stampIndices assigns the client's running post index to a batch — the
-// order key the sharded server commits by. Only used when sharded, so the
-// classic 1-shard wire traffic stays exactly as before.
+// order key the sharded server commits by — without advancing the counter.
+// The caller commits the advance with commitIndices only after the scatter
+// succeeded: a batch that failed mid-flight (a lane answering "server
+// closed" during a shard bounce, say) leaves the counter untouched, so a
+// retry after the session resumes re-stamps the very same indices instead
+// of double-advancing the running index and tearing a hole in the player's
+// commit order. Only used when sharded, so the classic 1-shard wire
+// traffic stays exactly as before.
 func (c *Client) stampIndices(msgs []wire.PostMsg) {
 	for i := range msgs {
-		msgs[i].Index = c.postSeq
-		c.postSeq++
+		msgs[i].Index = c.postSeq + i
 	}
+}
+
+// commitIndices advances the running post index past a successfully
+// scattered batch.
+func (c *Client) commitIndices(msgs []wire.PostMsg) {
+	c.postSeq += len(msgs)
 }
 
 // Shards reports the server-advertised shard count (1 for an unsharded

@@ -1,0 +1,48 @@
+package client
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// TestShardedPostIndexStampStableAcrossRetry is the regression test for the
+// resume restamp bug: the scatter path retries a sub-batch after a lane
+// reconnect, and re-entering the stamp must not move the indices already
+// assigned — commit order is (player, index), so a restamp would reorder
+// the replayed posts against their journaled duplicates. The stamp is a
+// pure function of the uncommitted postSeq; only commitIndices advances it,
+// and only after every lane acknowledged the batch.
+func TestShardedPostIndexStampStableAcrossRetry(t *testing.T) {
+	c := &Client{shards: 4, postSeq: 3}
+	msgs := []wire.PostMsg{{Object: 0}, {Object: 5}, {Object: 9}}
+
+	c.stampIndices(msgs)
+	for i, want := range []int{3, 4, 5} {
+		if msgs[i].Index != want {
+			t.Fatalf("msg %d stamped %d, want %d", i, msgs[i].Index, want)
+		}
+	}
+
+	// A retry re-enters the stamp path before the batch commits (the resend
+	// after a lane drop); the indices must be byte-identical.
+	c.stampIndices(msgs)
+	for i, want := range []int{3, 4, 5} {
+		if msgs[i].Index != want {
+			t.Fatalf("msg %d restamped to %d, want %d unchanged", i, msgs[i].Index, want)
+		}
+	}
+	if c.postSeq != 3 {
+		t.Fatalf("postSeq advanced to %d before commit", c.postSeq)
+	}
+
+	c.commitIndices(msgs)
+	if c.postSeq != 6 {
+		t.Fatalf("postSeq = %d after commit, want 6", c.postSeq)
+	}
+	next := []wire.PostMsg{{Object: 2}}
+	c.stampIndices(next)
+	if next[0].Index != 6 {
+		t.Fatalf("next batch stamped %d, want 6", next[0].Index)
+	}
+}

@@ -467,45 +467,70 @@ func (d *Distill) filterDomain(keep func(int) bool) []int {
 // and an advice round (probe the vote of a random player, if any) — per
 // Lemma 6, "every second probe follows a vote of a randomly chosen player".
 func (d *Distill) Probes(round int, active []int, dst []sim.Probe) []sim.Probe {
-	if d.half == 0 {
-		d.advance(round)
-	}
-	switch d.half {
-	case 0: // explore
-		set := d.probeSet
-		for _, player := range active {
-			dst = append(dst, sim.Probe{Player: player, Object: set[d.src.Intn(len(set))]})
+	d.BeginRound(round)
+	for _, player := range active {
+		if obj, ok := d.ProbeFor(d.src); ok {
+			dst = append(dst, sim.Probe{Player: player, Object: obj})
 		}
-		d.half = 1
-	case 1: // seek advice
-		if d.params.DisableAdvice {
-			// A1 ablation: a second explore probe instead of advice.
-			set := d.probeSet
-			for _, player := range active {
-				dst = append(dst, sim.Probe{Player: player, Object: set[d.src.Intn(len(set))]})
-			}
-		} else {
-			for _, player := range active {
-				if obj, ok := d.adviceProbe(); ok {
-					dst = append(dst, sim.Probe{Player: player, Object: obj})
-				}
-			}
-		}
-		d.half = 0
-		d.invLeft--
 	}
+	d.FinishRound()
 	return dst
 }
 
-// adviceProbe picks a uniformly random player and returns one of its voted
-// objects (uniformly), restricted to the probe domain.
-func (d *Distill) adviceProbe() (int, bool) {
-	j := d.src.Intn(d.n)
+// BeginRound advances the shared schedule to this round's step. The
+// schedule (phase, remaining invocations, candidate sets, vote windows)
+// evolves from committed billboard state only — never from any random
+// stream — so every honest player holds the identical schedule. Callers
+// driving many players through one Distill (the swarm driver) call
+// BeginRound once, then ProbeFor per player with that player's own stream,
+// then FinishRound; Probes is exactly that loop over d.src.
+func (d *Distill) BeginRound(round int) {
+	if d.half == 0 {
+		d.advance(round)
+	}
+}
+
+// AdviceRound reports whether the current round (between BeginRound and
+// FinishRound) is an advice half-round, i.e. ProbeFor will consult other
+// players' votes. The swarm driver uses this to prefetch the round's vote
+// reads in bulk before running the per-player draw loop.
+func (d *Distill) AdviceRound() bool {
+	return d.half == 1 && !d.params.DisableAdvice
+}
+
+// ProbeFor draws this round's probe choice for one player from src. The
+// explore half always yields a probe; the advice half may yield none (no
+// votes, domain mismatch, veto) — the player simply sits the round out.
+func (d *Distill) ProbeFor(src *rng.Source) (int, bool) {
+	if d.half == 0 || d.params.DisableAdvice {
+		set := d.probeSet
+		return set[src.Intn(len(set))], true
+	}
+	return d.adviceProbeFrom(src)
+}
+
+// FinishRound flips the explore/advice half and retires an invocation at
+// the end of each advice round. Must be called exactly once per round,
+// after every active player's ProbeFor.
+func (d *Distill) FinishRound() {
+	if d.half == 0 {
+		d.half = 1
+	} else {
+		d.half = 0
+		d.invLeft--
+	}
+}
+
+// adviceProbeFrom picks a uniformly random player and returns one of its
+// voted objects (uniformly), restricted to the probe domain, drawing from
+// the given stream.
+func (d *Distill) adviceProbeFrom(src *rng.Source) (int, bool) {
+	j := src.Intn(d.n)
 	votes := d.votesOf(j)
 	if len(votes) == 0 {
 		return 0, false
 	}
-	obj := votes[d.src.Intn(len(votes))].Object
+	obj := votes[src.Intn(len(votes))].Object
 	if d.domainSet != nil && !d.domainSet[obj] {
 		return 0, false
 	}

@@ -46,7 +46,7 @@ func TestChaosClusterMatchesFaultFree(t *testing.T) {
 	}
 
 	chaos := chaosBase(t)
-	chaos.Fault = &faultnet.Config{
+	chaos.Chaos.Fault = &faultnet.Config{
 		Seed:     7,
 		Drop:     0.04,
 		Delay:    0.04,
@@ -107,7 +107,7 @@ func TestChaosBatchedRoundsExactlyOnce(t *testing.T) {
 	}
 
 	chaos := chaosBase(t)
-	chaos.Fault = &faultnet.Config{
+	chaos.Chaos.Fault = &faultnet.Config{
 		Seed:     19,
 		Drop:     0.06,
 		Delay:    0.04,
@@ -163,7 +163,7 @@ func TestChaosServerKillRestartMatchesFaultFree(t *testing.T) {
 	crash := chaosBase(t)
 	crash.PersistDir = t.TempDir()
 	crash.SnapshotEvery = 3
-	crash.KillAtRound = 2
+	crash.Chaos.KillAtRound = 2
 	crash.SessionGrace = 10 * time.Second
 	crash.BarrierDeadline = 30 * time.Second // must never fire here
 	crash.Client = client.Options{
@@ -216,8 +216,8 @@ func TestChaosKillRestartUnderFaultInjection(t *testing.T) {
 	crash := chaosBase(t)
 	crash.PersistDir = t.TempDir()
 	crash.SnapshotEvery = 2
-	crash.KillAtRound = 3
-	crash.Fault = &faultnet.Config{
+	crash.Chaos.KillAtRound = 3
+	crash.Chaos.Fault = &faultnet.Config{
 		Seed:     23,
 		Drop:     0.03,
 		Delay:    0.03,
@@ -257,7 +257,7 @@ func TestChaosKillRestartUnderFaultInjection(t *testing.T) {
 func TestChaosDeterministicReplay(t *testing.T) {
 	run := func() *ClusterResult {
 		cfg := chaosBase(t)
-		cfg.Fault = &faultnet.Config{Seed: 3, Drop: 0.05, Tear: 0.05}
+		cfg.Chaos.Fault = &faultnet.Config{Seed: 3, Drop: 0.05, Tear: 0.05}
 		cfg.SessionGrace = 10 * time.Second
 		cfg.Client = client.Options{
 			Retries: 16, BackoffBase: time.Millisecond, BackoffMax: 20 * time.Millisecond,
@@ -293,12 +293,12 @@ func TestChaosPartitionRecovery(t *testing.T) {
 		Honest:    4,
 		Seed:      5,
 		MaxRounds: 200,
-		Fault: &faultnet.Config{
+		Chaos: Chaos{Fault: &faultnet.Config{
 			Seed:      21,
 			Drop:      0.04,
 			Partition: 0.04,
 			MaxDelay:  time.Millisecond,
-		},
+		}},
 		SessionGrace:    10 * time.Second,
 		BarrierDeadline: 30 * time.Second,
 		Client: client.Options{

@@ -7,7 +7,7 @@
 // code is engine-independent.
 //
 // A cluster can also run through deterministic fault injection
-// (ClusterConfig.Fault → internal/faultnet): connections drop, stall, and
+// (ClusterConfig.Chaos.Fault → internal/faultnet): connections drop, stall, and
 // tear mid-frame, while session resume and request dedup keep the search
 // semantics identical — the chaos tests assert the final billboard digest
 // matches the fault-free run on the same seed, with zero double-charged
@@ -15,6 +15,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/swarm"
 )
 
 // HonestResult is one honest player's outcome.
@@ -160,7 +162,79 @@ func runByzantineSpam(addr string, player int, token string, stop <-chan struct{
 	}
 }
 
-// ClusterConfig describes a full distributed run on localhost.
+// Topology shapes the billboard service the players run against: the
+// object-id shard partition and the coordinator replica group.
+type Topology struct {
+	// Shards partitions the billboard by object id into this many
+	// independent shard lanes (see server.Config.Shards); clients batch and
+	// pipeline their posts per shard automatically. 0 or 1 is the classic
+	// single-board server.
+	Shards int
+	// Replicas, when > 1, runs the coordinator as a replica group of this
+	// size (odd, >= 3; see server.StartReplica) instead of a single server:
+	// the leader quorum-commits every round into the group before clients
+	// observe it, and a follower takes over if the leader dies. Requires
+	// PersistDir (each member journals under its own subdirectory). 0 or 1
+	// is the classic single coordinator — same code path, byte-identical
+	// behavior.
+	Replicas int
+	// ReplicaQuorum overrides the commit quorum (default: majority).
+	ReplicaQuorum int
+}
+
+// Chaos schedules a run's fault machinery: deterministic transport fault
+// injection and the kill/restart hooks. The zero value is a fault-free run.
+type Chaos struct {
+	// Fault, when non-nil, injects deterministic transport faults (drops,
+	// delays, torn writes, partitions) into every client connection via
+	// internal/faultnet. Pair it with a SessionGrace so dropped players can
+	// resume, and Client retry knobs sized for the injection rate.
+	Fault *faultnet.Config
+	// KillAtRound, when > 0, kills the server the moment its round counter
+	// reaches this value — mid-round, with clients in flight — and restarts
+	// it from PersistDir on the same address. The crash-recovery chaos
+	// hook: honest players must ride through it on session resume alone.
+	KillAtRound int
+	// KillShardAtRound, when > 0, kills one shard lane (index 1) the moment
+	// the round counter reaches this value and restarts it from its
+	// per-shard store shortly after — the partial-failure chaos hook: posts
+	// and reads for that shard's objects stall and resume, every other
+	// shard keeps serving. Requires Topology.Shards > 1 and PersistDir;
+	// mutually exclusive with KillAtRound (a whole-server restart would
+	// race the shard bounce).
+	KillShardAtRound int
+	// KillLeaderAtRound, when > 0, crash-stops the replica-group leader the
+	// moment its committed round counter reaches this value — mid-round,
+	// with clients in flight. The failover chaos hook: the survivors elect
+	// a new leader which replays the quorum-committed prefix, discards the
+	// uncommitted tail, and serves the retried requests. Requires
+	// Topology.Replicas > 1; composable with KillShardAtRound in the same
+	// round.
+	KillLeaderAtRound int
+}
+
+// Drive selects how the honest fleet is driven against the service. The
+// zero value is the classic goroutine-and-connection per player.
+type Drive struct {
+	// Swarm drives every honest player through one event-loop scheduler
+	// (internal/swarm) multiplexed onto a few pipelined connections instead
+	// of a goroutine and TCP connection per player. The swarm path is
+	// digest-identical to the per-player path — same player streams, same
+	// per-round probe/post/barrier ordering, same halt rule — while scaling
+	// to player counts no goroutine fleet can reach.
+	Swarm bool
+	// SwarmGroups, SwarmChunk, and SwarmWindow forward to swarm.Config
+	// (connection groups, frame batch size, pipelining window); zero takes
+	// the swarm defaults (4, 4096, 8).
+	SwarmGroups int
+	SwarmChunk  int
+	SwarmWindow int
+}
+
+// ClusterConfig describes a full distributed run on localhost: the world
+// and fleet sizes flat, the service shape under Topology, the fault
+// machinery under Chaos, and the fleet driver under Drive. Callers holding
+// the historical flat shape can convert through FlatClusterConfig.
 type ClusterConfig struct {
 	// Universe is the ground truth (required, local testing).
 	Universe *object.Universe
@@ -174,62 +248,86 @@ type ClusterConfig struct {
 	// MaxRounds bounds each honest player (default 4096).
 	MaxRounds int
 
-	// Fault, when non-nil, injects deterministic transport faults (drops,
-	// delays, torn writes, partitions) into every client connection via
-	// internal/faultnet. Pair it with a SessionGrace so dropped players can
-	// resume, and Client retry knobs sized for the injection rate.
-	Fault *faultnet.Config
 	// SessionGrace and BarrierDeadline configure the server's fault
 	// tolerance (see server.Config).
 	SessionGrace    time.Duration
 	BarrierDeadline time.Duration
 	// PersistDir, when non-empty, runs the server durably: a journal.Store
 	// in that directory records every state change, and a restart recovers
-	// from it (see server.Config.Persist). Required for KillAtRound.
+	// from it (see server.Config.Persist). Required for Chaos.KillAtRound.
 	PersistDir string
 	// SnapshotEvery rotates the persist store every k committed rounds
 	// (see server.Config.SnapshotEvery).
 	SnapshotEvery int
-	// KillAtRound, when > 0, kills the server the moment its round counter
-	// reaches this value — mid-round, with clients in flight — and restarts
-	// it from PersistDir on the same address. The crash-recovery chaos
-	// hook: honest players must ride through it on session resume alone.
-	KillAtRound int
-	// Shards partitions the billboard by object id into this many
-	// independent shard lanes (see server.Config.Shards); clients batch and
-	// pipeline their posts per shard automatically. 0 or 1 is the classic
-	// single-board server.
-	Shards int
-	// KillShardAtRound, when > 0, kills one shard lane (index 1) the moment
-	// the round counter reaches this value and restarts it from its
-	// per-shard store shortly after — the partial-failure chaos hook: posts
-	// and reads for that shard's objects stall and resume, every other
-	// shard keeps serving. Requires Shards > 1 and PersistDir; mutually
-	// exclusive with KillAtRound (a whole-server restart would race the
-	// shard bounce).
-	KillShardAtRound int
-	// Replicas, when > 1, runs the coordinator as a replica group of this
-	// size (odd, >= 3; see server.StartReplica) instead of a single server:
-	// the leader quorum-commits every round into the group before clients
-	// observe it, and a follower takes over if the leader dies. Requires
-	// PersistDir (each member journals under its own subdirectory). 0 or 1
-	// is the classic single coordinator — same code path, byte-identical
-	// behavior.
-	Replicas int
-	// ReplicaQuorum overrides the commit quorum (default: majority).
-	ReplicaQuorum int
-	// KillLeaderAtRound, when > 0, crash-stops the replica-group leader the
-	// moment its committed round counter reaches this value — mid-round,
-	// with clients in flight. The failover chaos hook: the survivors elect
-	// a new leader which replays the quorum-committed prefix, discards the
-	// uncommitted tail, and serves the retried requests. Requires
-	// Replicas > 1; composable with KillShardAtRound in the same round.
-	KillLeaderAtRound int
+
+	// Topology shapes the service (shards, replica group).
+	Topology Topology
+	// Chaos schedules fault injection and kill/restart hooks.
+	Chaos Chaos
+	// Drive selects the honest-fleet driver (per-player goroutines or the
+	// swarm scheduler).
+	Drive Drive
+
 	// Client tunes every player's retry/backoff/deadline behavior.
 	Client client.Options
 	// Logf receives server operational events (resume, lease expiry,
 	// force-done); nil discards them.
 	Logf func(format string, args ...any)
+}
+
+// FlatClusterConfig is the historical flat shape of ClusterConfig, kept as
+// a compatibility constructor: Cluster folds the flat flags into the
+// Topology/Chaos/Drive sub-structs. New code should build ClusterConfig
+// directly.
+type FlatClusterConfig struct {
+	Universe          *object.Universe
+	Honest            int
+	Byzantine         int
+	Params            core.Params
+	Seed              uint64
+	MaxRounds         int
+	Fault             *faultnet.Config
+	SessionGrace      time.Duration
+	BarrierDeadline   time.Duration
+	PersistDir        string
+	SnapshotEvery     int
+	KillAtRound       int
+	Shards            int
+	KillShardAtRound  int
+	Replicas          int
+	ReplicaQuorum     int
+	KillLeaderAtRound int
+	Client            client.Options
+	Logf              func(format string, args ...any)
+}
+
+// Cluster converts the flat shape into the structured ClusterConfig.
+func (f FlatClusterConfig) Cluster() ClusterConfig {
+	return ClusterConfig{
+		Universe:        f.Universe,
+		Honest:          f.Honest,
+		Byzantine:       f.Byzantine,
+		Params:          f.Params,
+		Seed:            f.Seed,
+		MaxRounds:       f.MaxRounds,
+		SessionGrace:    f.SessionGrace,
+		BarrierDeadline: f.BarrierDeadline,
+		PersistDir:      f.PersistDir,
+		SnapshotEvery:   f.SnapshotEvery,
+		Topology: Topology{
+			Shards:        f.Shards,
+			Replicas:      f.Replicas,
+			ReplicaQuorum: f.ReplicaQuorum,
+		},
+		Chaos: Chaos{
+			Fault:             f.Fault,
+			KillAtRound:       f.KillAtRound,
+			KillShardAtRound:  f.KillShardAtRound,
+			KillLeaderAtRound: f.KillLeaderAtRound,
+		},
+		Client: f.Client,
+		Logf:   f.Logf,
+	}
 }
 
 // ClusterResult aggregates a distributed run.
@@ -266,11 +364,11 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if cfg.Honest < 1 {
 		return nil, fmt.Errorf("dist: need at least one honest player")
 	}
-	if cfg.Replicas > 1 {
+	if cfg.Topology.Replicas > 1 {
 		return runReplicated(cfg)
 	}
-	if cfg.KillLeaderAtRound > 0 {
-		return nil, fmt.Errorf("dist: KillLeaderAtRound requires Replicas > 1")
+	if cfg.Chaos.KillLeaderAtRound > 0 {
+		return nil, fmt.Errorf("dist: KillLeaderAtRound requires Topology.Replicas > 1")
 	}
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 4096
@@ -281,17 +379,18 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	for i := range tokens {
 		tokens[i] = fmt.Sprintf("tok-%d-%016x", i, tokenRng.Uint64())
 	}
-	if cfg.KillAtRound > 0 && cfg.PersistDir == "" {
+	swarmToken := fmt.Sprintf("swarm-%016x", tokenRng.Uint64())
+	if cfg.Chaos.KillAtRound > 0 && cfg.PersistDir == "" {
 		return nil, fmt.Errorf("dist: KillAtRound requires PersistDir")
 	}
-	if cfg.KillShardAtRound > 0 {
-		if cfg.Shards < 2 {
-			return nil, fmt.Errorf("dist: KillShardAtRound requires Shards > 1")
+	if cfg.Chaos.KillShardAtRound > 0 {
+		if cfg.Topology.Shards < 2 {
+			return nil, fmt.Errorf("dist: KillShardAtRound requires Topology.Shards > 1")
 		}
 		if cfg.PersistDir == "" {
 			return nil, fmt.Errorf("dist: KillShardAtRound requires PersistDir")
 		}
-		if cfg.KillAtRound > 0 {
+		if cfg.Chaos.KillAtRound > 0 {
 			return nil, fmt.Errorf("dist: KillShardAtRound and KillAtRound are mutually exclusive")
 		}
 	}
@@ -306,7 +405,8 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 			Beta:            cfg.Universe.Beta(),
 			SessionGrace:    cfg.SessionGrace,
 			BarrierDeadline: cfg.BarrierDeadline,
-			Shards:          cfg.Shards,
+			Shards:          cfg.Topology.Shards,
+			SwarmToken:      swarmToken,
 			Logf:            cfg.Logf,
 		}
 		if cfg.PersistDir != "" {
@@ -358,7 +458,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	var restartErr error
 	watcherStop := make(chan struct{})
 	watcherDone := make(chan struct{})
-	if cfg.KillAtRound > 0 {
+	if cfg.Chaos.KillAtRound > 0 {
 		go func() {
 			defer close(watcherDone)
 			for {
@@ -370,7 +470,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 				srvMu.Lock()
 				cs := srv
 				srvMu.Unlock()
-				if cs.Round() < cfg.KillAtRound {
+				if cs.Round() < cfg.Chaos.KillAtRound {
 					continue
 				}
 				closeCurrent()
@@ -416,7 +516,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	var shardErr error
 	shardStop := make(chan struct{})
 	shardDone := make(chan struct{})
-	if cfg.KillShardAtRound > 0 {
+	if cfg.Chaos.KillShardAtRound > 0 {
 		go func() {
 			defer close(shardDone)
 			const victim = 1
@@ -426,7 +526,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 					return
 				case <-time.After(2 * time.Millisecond):
 				}
-				if srv.Round() < cfg.KillShardAtRound {
+				if srv.Round() < cfg.Chaos.KillShardAtRound {
 					continue
 				}
 				if err := srv.KillShard(victim); err != nil {
@@ -451,8 +551,8 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	// the chaos schedule is reproducible from Fault.Seed alone.
 	playerOptions := func(player int) (client.Options, error) {
 		opt := cfg.Client
-		if cfg.Fault != nil {
-			inj, err := faultnet.New(*cfg.Fault)
+		if cfg.Chaos.Fault != nil {
+			inj, err := faultnet.New(*cfg.Chaos.Fault)
 			if err != nil {
 				return opt, err
 			}
@@ -479,21 +579,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		}(player, opt)
 	}
 
-	results := make([]*HonestResult, cfg.Honest)
-	errs := make([]error, cfg.Honest)
-	var honestWG sync.WaitGroup
-	for p := 0; p < cfg.Honest; p++ {
-		opt, err := playerOptions(p)
-		if err != nil {
-			return nil, err
-		}
-		honestWG.Add(1)
-		go func(p int, opt client.Options) {
-			defer honestWG.Done()
-			results[p], errs[p] = runHonestPlayer(addr, p, tokens[p], cfg.Params, cfg.Seed, cfg.MaxRounds, opt)
-		}(p, opt)
-	}
-	honestWG.Wait()
+	results, honestErr := runHonestFleet(&cfg, addr, tokens, swarmToken, playerOptions)
 	close(stop)
 	byzWG.Wait()
 	close(watcherStop)
@@ -506,11 +592,8 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if shardErr != nil {
 		return nil, shardErr
 	}
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if honestErr != nil {
+		return nil, honestErr
 	}
 	srvMu.Lock()
 	final := srv
@@ -531,4 +614,73 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	}
 	out.MeanProbes = float64(total) / float64(len(results))
 	return out, nil
+}
+
+// runHonestFleet drives every honest player to completion and returns their
+// results in player order. The classic path is a goroutine and TCP
+// connection per player; with Drive.Swarm set, the whole fleet runs through
+// one swarm event-loop driver over a few pipelined connections —
+// digest-identical, asserted by the swarm parity tests. The swarm transport
+// gets the fault dialer under label n (one past the last player id), so its
+// chaos schedule is deterministic and disjoint from every per-player stream.
+func runHonestFleet(cfg *ClusterConfig, addr string, tokens []string, swarmToken string,
+	playerOptions func(player int) (client.Options, error)) ([]*HonestResult, error) {
+	if cfg.Drive.Swarm {
+		opt, err := playerOptions(cfg.Honest + cfg.Byzantine)
+		if err != nil {
+			return nil, err
+		}
+		res, err := swarm.Run(context.Background(), swarm.Config{
+			Addr:      addr,
+			Fallbacks: opt.Fallbacks,
+			From:      0,
+			To:        cfg.Honest,
+			Token:     swarmToken,
+			Params:    cfg.Params,
+			Seed:      cfg.Seed,
+			MaxRounds: cfg.MaxRounds,
+			Groups:    cfg.Drive.SwarmGroups,
+			Chunk:     cfg.Drive.SwarmChunk,
+			Window:    cfg.Drive.SwarmWindow,
+			Client:    opt,
+			Metrics:   opt.Metrics,
+			Logf:      cfg.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		results := make([]*HonestResult, cfg.Honest)
+		for i := range res.Players {
+			pr := &res.Players[i]
+			results[i] = &HonestResult{
+				Player:   pr.Player,
+				Probes:   pr.Probes,
+				Rounds:   pr.Rounds,
+				Found:    pr.Found,
+				TimedOut: pr.TimedOut,
+			}
+		}
+		return results, nil
+	}
+	results := make([]*HonestResult, cfg.Honest)
+	errs := make([]error, cfg.Honest)
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Honest; p++ {
+		opt, err := playerOptions(p)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(p int, opt client.Options) {
+			defer wg.Done()
+			results[p], errs[p] = runHonestPlayer(addr, p, tokens[p], cfg.Params, cfg.Seed, cfg.MaxRounds, opt)
+		}(p, opt)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }

@@ -1,6 +1,6 @@
 package dist
 
-// Replicated-coordinator cluster runs. With ClusterConfig.Replicas > 1 the
+// Replicated-coordinator cluster runs. With Topology.Replicas > 1 the
 // billboard service is a replica group (server.StartReplica): a leader
 // quorum-commits every round into the group before clients see it, and a
 // follower takes over when the leader dies. The harness gives every player
@@ -90,7 +90,7 @@ func (rc *replicaCluster) closeAll() {
 
 // startReplicaCluster binds every listener up front (so the address book is
 // complete before any node starts) and launches the group.
-func startReplicaCluster(cfg ClusterConfig, tokens []string) (*replicaCluster, error) {
+func startReplicaCluster(cfg ClusterConfig, tokens []string, swarmToken string) (*replicaCluster, error) {
 	n := cfg.Honest + cfg.Byzantine
 	scfg := server.Config{
 		Universe:        cfg.Universe,
@@ -99,11 +99,12 @@ func startReplicaCluster(cfg ClusterConfig, tokens []string) (*replicaCluster, e
 		Beta:            cfg.Universe.Beta(),
 		SessionGrace:    cfg.SessionGrace,
 		BarrierDeadline: cfg.BarrierDeadline,
-		Shards:          cfg.Shards,
+		Shards:          cfg.Topology.Shards,
+		SwarmToken:      swarmToken,
 		SnapshotEvery:   cfg.SnapshotEvery,
 		Logf:            cfg.Logf,
 	}
-	reps := cfg.Replicas
+	reps := cfg.Topology.Replicas
 	repLns := make([]net.Listener, reps)
 	clientLns := make([]net.Listener, reps)
 	peers := make([]string, reps)
@@ -137,7 +138,7 @@ func startReplicaCluster(cfg ClusterConfig, tokens []string) (*replicaCluster, e
 			ID:              i,
 			Peers:           peers,
 			ClientAddrs:     clients,
-			Quorum:          cfg.ReplicaQuorum,
+			Quorum:          cfg.Topology.ReplicaQuorum,
 			Dir:             filepath.Join(cfg.PersistDir, fmt.Sprintf("replica-%d", i)),
 			HeartbeatEvery:  10 * time.Millisecond,
 			ElectionTimeout: 75 * time.Millisecond,
@@ -159,16 +160,16 @@ func startReplicaCluster(cfg ClusterConfig, tokens []string) (*replicaCluster, e
 	return rc, nil
 }
 
-// runReplicated is RunCluster's replica-group branch (Replicas > 1).
+// runReplicated is RunCluster's replica-group branch (Topology.Replicas > 1).
 func runReplicated(cfg ClusterConfig) (*ClusterResult, error) {
 	if cfg.PersistDir == "" {
 		return nil, fmt.Errorf("dist: Replicas > 1 requires PersistDir")
 	}
-	if cfg.KillAtRound > 0 {
+	if cfg.Chaos.KillAtRound > 0 {
 		return nil, fmt.Errorf("dist: KillAtRound is the single-coordinator restart hook; use KillLeaderAtRound with Replicas > 1")
 	}
-	if cfg.KillShardAtRound > 0 && cfg.Shards < 2 {
-		return nil, fmt.Errorf("dist: KillShardAtRound requires Shards > 1")
+	if cfg.Chaos.KillShardAtRound > 0 && cfg.Topology.Shards < 2 {
+		return nil, fmt.Errorf("dist: KillShardAtRound requires Topology.Shards > 1")
 	}
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 4096
@@ -179,7 +180,8 @@ func runReplicated(cfg ClusterConfig) (*ClusterResult, error) {
 	for i := range tokens {
 		tokens[i] = fmt.Sprintf("tok-%d-%016x", i, tokenRng.Uint64())
 	}
-	rc, err := startReplicaCluster(cfg, tokens)
+	swarmToken := fmt.Sprintf("swarm-%016x", tokenRng.Uint64())
+	rc, err := startReplicaCluster(cfg, tokens, swarmToken)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +193,7 @@ func runReplicated(cfg ClusterConfig) (*ClusterResult, error) {
 	// pick the round up where the group (not the dead leader) left it.
 	killerDone := make(chan struct{})
 	killerStop := make(chan struct{})
-	if cfg.KillLeaderAtRound > 0 {
+	if cfg.Chaos.KillLeaderAtRound > 0 {
 		go func() {
 			defer close(killerDone)
 			for {
@@ -200,7 +202,7 @@ func runReplicated(cfg ClusterConfig) (*ClusterResult, error) {
 					return
 				case <-time.After(2 * time.Millisecond):
 				}
-				if rc.leaderRound() < cfg.KillLeaderAtRound {
+				if rc.leaderRound() < cfg.Chaos.KillLeaderAtRound {
 					continue
 				}
 				if rc.killLeader() {
@@ -220,7 +222,7 @@ func runReplicated(cfg ClusterConfig) (*ClusterResult, error) {
 	shardRestarts := 0
 	shardDone := make(chan struct{})
 	shardStop := make(chan struct{})
-	if cfg.KillShardAtRound > 0 {
+	if cfg.Chaos.KillShardAtRound > 0 {
 		go func() {
 			defer close(shardDone)
 			const victim = 1
@@ -230,7 +232,7 @@ func runReplicated(cfg ClusterConfig) (*ClusterResult, error) {
 					return
 				case <-time.After(2 * time.Millisecond):
 				}
-				if rc.leaderRound() < cfg.KillShardAtRound {
+				if rc.leaderRound() < cfg.Chaos.KillShardAtRound {
 					continue
 				}
 				node := rc.leaderNode()
@@ -267,8 +269,8 @@ func runReplicated(cfg ClusterConfig) (*ClusterResult, error) {
 	playerOptions := func(player int) (client.Options, error) {
 		opt := cfg.Client
 		opt.Fallbacks = append(append([]string(nil), opt.Fallbacks...), rc.clientAddrs[1:]...)
-		if cfg.Fault != nil {
-			inj, err := faultnet.New(*cfg.Fault)
+		if cfg.Chaos.Fault != nil {
+			inj, err := faultnet.New(*cfg.Chaos.Fault)
 			if err != nil {
 				return opt, err
 			}
@@ -291,31 +293,15 @@ func runReplicated(cfg ClusterConfig) (*ClusterResult, error) {
 			_ = runByzantineSpam(rc.clientAddrs[0], player, tokens[player], stop, opt)
 		}(player, opt)
 	}
-	results := make([]*HonestResult, cfg.Honest)
-	errs := make([]error, cfg.Honest)
-	var honestWG sync.WaitGroup
-	for p := 0; p < cfg.Honest; p++ {
-		opt, err := playerOptions(p)
-		if err != nil {
-			return nil, err
-		}
-		honestWG.Add(1)
-		go func(p int, opt client.Options) {
-			defer honestWG.Done()
-			results[p], errs[p] = runHonestPlayer(rc.clientAddrs[0], p, tokens[p], cfg.Params, cfg.Seed, cfg.MaxRounds, opt)
-		}(p, opt)
-	}
-	honestWG.Wait()
+	results, honestErr := runHonestFleet(&cfg, rc.clientAddrs[0], tokens, swarmToken, playerOptions)
 	close(stop)
 	byzWG.Wait()
 	close(killerStop)
 	<-killerDone
 	close(shardStop)
 	<-shardDone
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if honestErr != nil {
+		return nil, honestErr
 	}
 
 	// Final state is whatever the current leader committed; wait briefly for

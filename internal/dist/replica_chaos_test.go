@@ -36,7 +36,7 @@ func TestChaosReplicasOneIsSingleCoordinator(t *testing.T) {
 		t.Fatal(err)
 	}
 	one := chaosBase(t)
-	one.Replicas = 1
+	one.Topology.Replicas = 1
 	got, err := RunCluster(one)
 	if err != nil {
 		t.Fatal(err)
@@ -64,7 +64,7 @@ func TestChaosReplicatedMatchesSingleCoordinator(t *testing.T) {
 	}
 
 	rep := chaosBase(t)
-	rep.Replicas = 3
+	rep.Topology.Replicas = 3
 	rep.PersistDir = t.TempDir()
 	rep.SessionGrace = 10 * time.Second
 	rep.Client = replicaClientOpts()
@@ -91,9 +91,9 @@ func TestChaosLeaderFailoverMatchesFaultFree(t *testing.T) {
 	}
 
 	crash := chaosBase(t)
-	crash.Replicas = 3
+	crash.Topology.Replicas = 3
 	crash.PersistDir = t.TempDir()
-	crash.KillLeaderAtRound = 3
+	crash.Chaos.KillLeaderAtRound = 3
 	crash.SessionGrace = 10 * time.Second
 	crash.BarrierDeadline = 30 * time.Second // must never fire here
 	crash.Client = replicaClientOpts()
@@ -120,10 +120,10 @@ func TestChaosLeaderFailoverUnderFaultInjection(t *testing.T) {
 	}
 
 	chaos := chaosBase(t)
-	chaos.Replicas = 3
+	chaos.Topology.Replicas = 3
 	chaos.PersistDir = t.TempDir()
-	chaos.KillLeaderAtRound = 3
-	chaos.Fault = &faultnet.Config{
+	chaos.Chaos.KillLeaderAtRound = 3
+	chaos.Chaos.Fault = &faultnet.Config{
 		Seed:     31,
 		Drop:     0.04,
 		Delay:    0.04,
@@ -159,12 +159,12 @@ func TestChaosLeaderFailoverWithShardBounce(t *testing.T) {
 	}
 
 	crash := chaosBase(t)
-	crash.Replicas = 3
-	crash.Shards = 4
+	crash.Topology.Replicas = 3
+	crash.Topology.Shards = 4
 	crash.PersistDir = t.TempDir()
 	crash.SnapshotEvery = 3
-	crash.KillLeaderAtRound = 3
-	crash.KillShardAtRound = 3 // same round: bounce races the failover
+	crash.Chaos.KillLeaderAtRound = 3
+	crash.Chaos.KillShardAtRound = 3 // same round: bounce races the failover
 	crash.SessionGrace = 10 * time.Second
 	crash.BarrierDeadline = 30 * time.Second
 	crash.Client = replicaClientOpts()

@@ -54,7 +54,7 @@ func TestChaosShardedMatchesSingleShard(t *testing.T) {
 	}
 
 	sharded := chaosBase(t)
-	sharded.Shards = 4
+	sharded.Topology.Shards = 4
 	got, err := RunCluster(sharded)
 	if err != nil {
 		t.Fatal(err)
@@ -78,10 +78,10 @@ func TestChaosShardKillRestartMatchesFaultFree(t *testing.T) {
 	}
 
 	crash := chaosBase(t)
-	crash.Shards = 4
+	crash.Topology.Shards = 4
 	crash.PersistDir = t.TempDir()
 	crash.SnapshotEvery = 3
-	crash.KillShardAtRound = 2
+	crash.Chaos.KillShardAtRound = 2
 	crash.SessionGrace = 10 * time.Second
 	crash.BarrierDeadline = 30 * time.Second // must never fire here
 	crash.Client = client.Options{
@@ -111,8 +111,8 @@ func TestChaosShardedUnderFaultInjection(t *testing.T) {
 	}
 
 	chaos := chaosBase(t)
-	chaos.Shards = 4
-	chaos.Fault = &faultnet.Config{
+	chaos.Topology.Shards = 4
+	chaos.Chaos.Fault = &faultnet.Config{
 		Seed:     29,
 		Drop:     0.04,
 		Delay:    0.04,

@@ -1,0 +1,69 @@
+package dist
+
+// Fleet-driver benchmarks, recorded as BENCH_PR8.json by `make bench-diff`.
+// BenchmarkClusterFleet prices the same full cluster search under both
+// drivers — goroutine-and-connection per player vs the swarm event-loop
+// scheduler — at matched player counts, reporting ns/player; the Makefile
+// gates swarm < goroutine at the largest pair the file-descriptor budget
+// admits (a goroutine fleet needs two descriptors per player, which is
+// exactly what caps it). BenchmarkSwarmScale records the swarm alone at
+// fleet sizes the goroutine path cannot reach.
+
+import (
+	"syscall"
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/rng"
+)
+
+// fdBudgetOK reports whether the process may hold roughly need descriptors.
+func fdBudgetOK(need uint64) bool {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return true // unknown platform limit: let the bench try
+	}
+	return rl.Cur >= need
+}
+
+func benchFleet(b *testing.B, honest int, swarmDrive bool) {
+	if !swarmDrive && !fdBudgetOK(uint64(2*honest+64)) {
+		b.Skipf("goroutine fleet of %d needs ~%d descriptors", honest, 2*honest+64)
+	}
+	u, err := object.NewPlanted(object.Planted{M: 256, Good: 8}, rng.New(77))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ClusterConfig{
+		Universe:  u,
+		Honest:    honest,
+		Seed:      42,
+		MaxRounds: 8,
+	}
+	if swarmDrive {
+		cfg.Drive.Swarm = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunCluster(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllFound {
+			b.Fatalf("fleet of %d did not finish in %d rounds", honest, cfg.MaxRounds)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*honest), "ns/player")
+}
+
+func BenchmarkClusterFleet(b *testing.B) {
+	b.Run("goroutine-2k", func(b *testing.B) { benchFleet(b, 2_000, false) })
+	b.Run("swarm-2k", func(b *testing.B) { benchFleet(b, 2_000, true) })
+	b.Run("goroutine-10k", func(b *testing.B) { benchFleet(b, 10_000, false) })
+	b.Run("swarm-10k", func(b *testing.B) { benchFleet(b, 10_000, true) })
+}
+
+func BenchmarkSwarmScale(b *testing.B) {
+	b.Run("players-100k", func(b *testing.B) { benchFleet(b, 100_000, true) })
+	b.Run("players-1M", func(b *testing.B) { benchFleet(b, 1_000_000, true) })
+}

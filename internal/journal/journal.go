@@ -58,6 +58,7 @@ const (
 	kindDone
 	kindBarrier
 	kindRollback
+	kindSwarmOpen
 )
 
 // entry is one journal record. Session/Seq are zero in journals written
@@ -77,6 +78,11 @@ type entry struct {
 	Object  int            // valid when Kind == kindProbe
 	Index   int            // valid when Kind == kindPost: client batch order
 	Admits  []Admit        // valid when Kind == kindEndRound on a sharded store
+	// PlayerTo closes the member range [Player, PlayerTo) of a swarm
+	// session (kindSwarmOpen): one session that registered a contiguous
+	// block of players at once. Recovery rebuilds the whole block's
+	// membership from the single record.
+	PlayerTo int
 
 	// Term and Quorum annotate a round marker written by a replicated
 	// coordinator (kindEndRound): the leader term that proposed the round
@@ -317,6 +323,14 @@ func (w *Writer) Rollback() error {
 	return w.write(entry{Kind: kindRollback})
 }
 
+// SwarmOpen records the registration of a swarm session: one session that
+// registered every player in [from, to) at once. Applies immediately, like
+// registration itself; recovery rebuilds the block's membership and session
+// binding from this single record.
+func (w *Writer) SwarmOpen(session uint64, from, to int) error {
+	return w.write(entry{Kind: kindSwarmOpen, Session: session, Player: from, PlayerTo: to})
+}
+
 // Err returns the Writer's first write error (nil while healthy).
 func (w *Writer) Err() error { return w.err }
 
@@ -332,6 +346,7 @@ const (
 	RecordDone      = RecordKind(kindDone)
 	RecordBarrier   = RecordKind(kindBarrier)
 	RecordRollback  = RecordKind(kindRollback)
+	RecordSwarmOpen = RecordKind(kindSwarmOpen)
 )
 
 // Record is one decoded journal record. Round is the number of round
@@ -341,10 +356,13 @@ type Record struct {
 	Post    billboard.Post // valid when Kind == RecordPost
 	Session uint64
 	Seq     uint64
-	Player  int     // valid for force-done, probe, done, barrier
+	Player  int     // valid for force-done, probe, done, barrier, swarm-open
 	Object  int     // valid when Kind == RecordProbe
 	Index   int     // valid when Kind == RecordPost: client batch order
 	Admits  []Admit // valid when Kind == RecordEndRound on a sharded store
+	// PlayerTo closes a swarm session's member range [Player, PlayerTo)
+	// (RecordSwarmOpen).
+	PlayerTo int
 	// Term and Quorum surface a replicated round marker's annotation
 	// (EndRoundQuorum); zero on single-coordinator journals.
 	Term   uint64
@@ -391,21 +409,22 @@ func ReplayRecords(r io.Reader, fn func(Record) error) error {
 		if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(&e); err != nil {
 			return fmt.Errorf("%w: %v", ErrTruncated, err)
 		}
-		if e.Kind < kindPost || e.Kind > kindRollback {
+		if e.Kind < kindPost || e.Kind > kindSwarmOpen {
 			return fmt.Errorf("%w: unknown entry kind %d", ErrTruncated, e.Kind)
 		}
 		rec := Record{
-			Kind:    RecordKind(e.Kind),
-			Post:    e.Post,
-			Session: e.Session,
-			Seq:     e.Seq,
-			Player:  e.Player,
-			Object:  e.Object,
-			Index:   e.Index,
-			Admits:  e.Admits,
-			Term:    e.Term,
-			Quorum:  e.Quorum,
-			Round:   round,
+			Kind:     RecordKind(e.Kind),
+			Post:     e.Post,
+			Session:  e.Session,
+			Seq:      e.Seq,
+			Player:   e.Player,
+			Object:   e.Object,
+			Index:    e.Index,
+			Admits:   e.Admits,
+			PlayerTo: e.PlayerTo,
+			Term:     e.Term,
+			Quorum:   e.Quorum,
+			Round:    round,
 		}
 		if err := fn(rec); err != nil {
 			return err

@@ -29,11 +29,16 @@ import (
 )
 
 // sessionSnap is one session's dedup window inside a server snapshot.
+// Swarm/PlayerTo mark a swarm session's member range [Player, PlayerTo);
+// both are zero for ordinary sessions (and absent in snapshots taken
+// before the swarm extension — gob tolerates either direction).
 type sessionSnap struct {
 	ID       uint64
 	Player   int
 	LastSeq  uint64
 	LastResp wire.Response
+	Swarm    bool
+	PlayerTo int
 }
 
 // serverSnap is the serialized form of the whole service state at a round
@@ -94,6 +99,7 @@ func (s *Server) snapshotLocked() ([]byte, error) {
 		}
 		sn.Sessions = append(sn.Sessions, sessionSnap{
 			ID: sess.id, Player: sess.player, LastSeq: sess.lastSeq, LastResp: resp,
+			Swarm: sess.swarm, PlayerTo: sess.playerTo,
 		})
 	}
 	var buf bytes.Buffer
@@ -187,9 +193,13 @@ func (s *Server) restoreSnapshot(data []byte) error {
 			id: ss.ID, player: ss.Player,
 			lastSeq: ss.LastSeq, lastResp: ss.LastResp,
 			loose: true, // client seq counters also advanced over unjournaled reads
+			swarm: ss.Swarm, playerTo: ss.PlayerTo,
 		}
 		s.sessions[ss.ID] = sess
-		s.byPlayer[ss.Player] = sess
+		from, to := sess.memberRange()
+		for p := from; p < to; p++ {
+			s.byPlayer[p] = sess
+		}
 	}
 	return nil
 }
@@ -235,6 +245,11 @@ func (s *Server) recoverFromStore(boardCfg billboard.Config) error {
 		}
 		sess := s.sessions[rec.Session]
 		if sess == nil {
+			if rec.Player < 0 {
+				// A swarm barrier sentinel whose session is unknown (its
+				// open record should always precede it); nothing to rebuild.
+				return nil
+			}
 			sess = &session{id: rec.Session, player: rec.Player, loose: true}
 			s.sessions[rec.Session] = sess
 			s.byPlayer[rec.Player] = sess
@@ -274,8 +289,24 @@ func (s *Server) recoverFromStore(boardCfg billboard.Config) error {
 			touch(rec.Player)
 			delete(s.active, rec.Player)
 			if sess := sessOf(rec); sess != nil {
-				sess.lastSeq = rec.Seq
+				if rec.Seq > sess.lastSeq {
+					sess.lastSeq = rec.Seq
+				}
 				sess.lastResp = wire.Response{Round: s.round}
+			}
+		case journal.RecordSwarmOpen:
+			// Registration of a whole swarm block, applied immediately like
+			// any registration (expelled players stay expelled).
+			sess := s.sessions[rec.Session]
+			if sess == nil {
+				sess = &session{id: rec.Session, loose: true}
+				s.sessions[rec.Session] = sess
+			}
+			sess.swarm = true
+			sess.player, sess.playerTo = rec.Player, rec.PlayerTo
+			for p := rec.Player; p < rec.PlayerTo; p++ {
+				touch(p)
+				s.byPlayer[p] = sess
 			}
 		case journal.RecordEndRound:
 			var arrivals []*session
@@ -293,7 +324,12 @@ func (s *Server) recoverFromStore(boardCfg billboard.Config) error {
 						sess.lastSeq = p.Seq
 					}
 				case journal.RecordBarrier:
-					touch(p.Player)
+					if p.Player >= 0 {
+						touch(p.Player)
+					}
+					// Player -1: a swarm barrier — all active members of the
+					// session arrived at once; membership needs no touch (the
+					// swarm-open record already registered the block).
 					if sess := sessOf(p); sess != nil {
 						sess.lastSeq = p.Seq
 						arrivals = append(arrivals, sess)

@@ -114,6 +114,15 @@ type Config struct {
 	// knobs. Zero or 1 keeps the classic single-lane server, byte-identical
 	// to previous versions at fixed seeds.
 	Shards int
+	// SwarmToken, when non-empty, lets a swarm driver open swarm sessions
+	// (wire protocol v7): one Hello with Swarm set registers a contiguous
+	// block of players [Player, PlayerTo) under this shared credential, and
+	// the connection may then pipeline probe-batch, post-batch, barrier, and
+	// swarm-done frames on behalf of any member. Swarm requests are
+	// idempotent or reconstructible, so a resumed swarm session replays by
+	// recomputation rather than from a recorded response window. Empty
+	// disables swarm sessions.
+	SwarmToken string
 	// SnapshotEvery, with Persist, rotates the store every k committed
 	// rounds: a full server snapshot replaces the journal so far, bounding
 	// recovery replay to at most k rounds of records. Zero never rotates
@@ -180,6 +189,23 @@ type session struct {
 	// a sharded server, preserving the player's arrival order across lanes
 	// (lane batches carry client-assigned indices instead).
 	nextIdx int
+	// swarm marks a session opened with Hello.Swarm: it speaks for every
+	// player in [player, playerTo) at once (player holds the range start).
+	// Swarm sessions never replay lastResp — resent frames are answered by
+	// recomputation (swarmReplayLocked), which is what lets a swarm client
+	// pipeline many frames per connection and resend the unacknowledged
+	// tail after a reconnect.
+	swarm    bool
+	playerTo int
+}
+
+// memberRange returns the half-open player range a session speaks for:
+// the swarm block, or the single player.
+func (sess *session) memberRange() (int, int) {
+	if sess.swarm {
+		return sess.player, sess.playerTo
+	}
+	return sess.player, sess.player + 1
 }
 
 // Server is a running billboard service. Construct with New, then Start.
@@ -720,8 +746,9 @@ func (s *Server) expireSession(id uint64, gen int) {
 	s.expireLocked(sess)
 }
 
-// expireLocked removes a session and deregisters its player from future
-// barriers (a no-op if the player already sent Done).
+// expireLocked removes a session and deregisters its player — every member,
+// for a swarm session — from future barriers (a no-op for players that
+// already sent Done).
 func (s *Server) expireLocked(sess *session) {
 	s.m.sessionsExpired.Inc()
 	if sess.timer != nil {
@@ -729,10 +756,13 @@ func (s *Server) expireLocked(sess *session) {
 		sess.timer = nil
 	}
 	delete(s.sessions, sess.id)
-	if s.byPlayer[sess.player] == sess {
-		delete(s.byPlayer, sess.player)
+	from, to := sess.memberRange()
+	for p := from; p < to; p++ {
+		if s.byPlayer[p] == sess {
+			delete(s.byPlayer, p)
+		}
+		s.leaveLocked(p)
 	}
-	s.leaveLocked(sess.player)
 }
 
 // dispatch runs one sequenced request with retransmission dedup: a repeat
@@ -747,6 +777,13 @@ func (s *Server) dispatch(sess *session, req *wire.Request) wire.Response {
 	case req.Seq == 0:
 		return wire.Response{Err: "missing request sequence number"}
 	case req.Seq < sess.lastSeq:
+		if sess.swarm {
+			// A pipelined swarm client resends its whole unacknowledged tail
+			// after a reconnect, so frames behind the dedup high-water mark
+			// are expected; answer them by recomputation, never re-execution.
+			s.m.dedupReplays.Inc()
+			return s.swarmReplayLocked(sess, req)
+		}
 		return wire.Response{Err: fmt.Sprintf("stale sequence %d (last executed %d)", req.Seq, sess.lastSeq)}
 	case req.Seq == sess.lastSeq:
 		s.m.dedupReplays.Inc()
@@ -757,6 +794,11 @@ func (s *Server) dispatch(sess *session, req *wire.Request) wire.Response {
 			return wire.Response{Err: errServerClosed}
 		}
 		sess.loose = false
+		if sess.swarm {
+			// Never lastResp: after a crash recovery the recorded response may
+			// have the wrong shape for a probe batch; recomputation is exact.
+			return s.swarmReplayLocked(sess, req)
+		}
 		return sess.lastResp
 	case req.Seq > sess.lastSeq+1 && !sess.loose:
 		return wire.Response{Err: fmt.Sprintf("sequence gap: got %d, want %d", req.Seq, sess.lastSeq+1)}
@@ -790,13 +832,22 @@ func (s *Server) dispatch(sess *session, req *wire.Request) wire.Response {
 func (s *Server) executeLocked(sess *session, req *wire.Request) wire.Response {
 	switch req.Type {
 	case wire.ReqProbe:
+		if sess.swarm {
+			return wire.Response{Err: "use probe-batch on a swarm session"}
+		}
 		return s.probeLocked(sess, req.Seq, req.Object)
+	case wire.ReqProbeBatch:
+		return s.probeBatchLocked(sess, req, true)
+	case wire.ReqSwarmDone:
+		return s.swarmDoneLocked(sess, req)
 	case wire.ReqPost:
 		return s.postLocked(sess, req)
 	case wire.ReqPostBatch:
 		return s.postBatchLocked(sess, req)
 	case wire.ReqVotes:
 		return s.votesLocked(req.OfPlayer)
+	case wire.ReqVoteBatch:
+		return s.voteBatchLocked(req)
 	case wire.ReqVotedObjects:
 		return wire.Response{Objects: s.votedObjectsLocked(), Round: s.round}
 	case wire.ReqVoteCount:
@@ -808,6 +859,9 @@ func (s *Server) executeLocked(sess *session, req *wire.Request) wire.Response {
 	case wire.ReqBarrier:
 		return s.barrierLocked(sess, req.Seq)
 	case wire.ReqDone:
+		if sess.swarm {
+			return wire.Response{Err: "use swarm-done on a swarm session"}
+		}
 		if s.cfg.Journal != nil {
 			if err := s.cfg.Journal.Done(sess.id, req.Seq, sess.player); err != nil {
 				return wire.Response{Err: fmt.Sprintf("journal: %v", err)}
@@ -830,6 +884,9 @@ func (s *Server) hello(req *wire.Request) (wire.Response, *session) {
 		return wire.Response{Err: fmt.Sprintf("protocol version %d, server speaks %d",
 			req.Version, wire.Version)}, nil
 	}
+	if req.Swarm {
+		return s.swarmHelloLocked(req)
+	}
 	p := req.Player
 	if p < 0 || p >= len(s.cfg.Tokens) {
 		return wire.Response{Err: fmt.Sprintf("player %d out of range", p)}, nil
@@ -841,6 +898,9 @@ func (s *Server) hello(req *wire.Request) (wire.Response, *session) {
 		return wire.Response{Err: "missing session id"}, nil
 	}
 	if sess := s.sessions[req.Session]; sess != nil {
+		if sess.swarm {
+			return wire.Response{Err: "session belongs to a swarm"}, nil
+		}
 		if sess.player != p {
 			return wire.Response{Err: "session belongs to another player"}, nil
 		}
@@ -902,6 +962,184 @@ func (s *Server) helloPayloadLocked() wire.Response {
 	}
 }
 
+// swarmHelloLocked authenticates a swarm Hello (protocol v7): one session
+// registering the whole player block [Player, PlayerTo) under the shared
+// swarm credential, or resuming an existing swarm session after a
+// reconnect. Caller holds s.mu.
+func (s *Server) swarmHelloLocked(req *wire.Request) (wire.Response, *session) {
+	if s.cfg.SwarmToken == "" {
+		return wire.Response{Err: "server does not accept swarm sessions"}, nil
+	}
+	if req.Token != s.cfg.SwarmToken {
+		return wire.Response{Err: "bad swarm token"}, nil
+	}
+	from, to := req.Player, req.PlayerTo
+	if from < 0 || to > len(s.cfg.Tokens) || from >= to {
+		return wire.Response{Err: fmt.Sprintf("swarm range [%d, %d) invalid for %d players",
+			from, to, len(s.cfg.Tokens))}, nil
+	}
+	if req.Session == 0 {
+		return wire.Response{Err: "missing session id"}, nil
+	}
+	if sess := s.sessions[req.Session]; sess != nil {
+		if !sess.swarm || sess.player != from || sess.playerTo != to {
+			return wire.Response{Err: "session belongs to another player"}, nil
+		}
+		sess.gen++
+		if sess.timer != nil {
+			sess.timer.Stop()
+			sess.timer = nil
+		}
+		if !sess.connected {
+			sess.connected = true
+			s.m.sessionsResumed.Inc()
+			s.logf("swarm [%d, %d) resumed session %016x in round %d", from, to, sess.id, s.round)
+		}
+		return s.helloPayloadLocked(), sess
+	}
+	for p := from; p < to; p++ {
+		if r, ok := s.forceDone[p]; ok {
+			return wire.Response{
+				Err:  fmt.Sprintf("player %d was force-done in round %d", p, r),
+				Code: wire.CodeBarrierDeadline,
+			}, nil
+		}
+		if s.registered[p] {
+			return wire.Response{
+				Err:  fmt.Sprintf("player %d already registered", p),
+				Code: wire.CodeSessionExpired,
+			}, nil
+		}
+	}
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.SwarmOpen(req.Session, from, to); err != nil {
+			return wire.Response{Err: fmt.Sprintf("journal: %v", err)}, nil
+		}
+	}
+	sess := &session{id: req.Session, player: from, playerTo: to, swarm: true, gen: 1, connected: true}
+	s.sessions[req.Session] = sess
+	for p := from; p < to; p++ {
+		s.registered[p] = true
+		s.active[p] = true
+		s.byPlayer[p] = sess
+	}
+	s.m.sessionsOpened.Inc()
+	s.advanceLocked() // registration may complete a waiting barrier
+	return s.helloPayloadLocked(), sess
+}
+
+// swarmReplayLocked answers a resent swarm frame (req.Seq <= sess.lastSeq)
+// without re-executing its side effects. Swarm requests are idempotent or
+// reconstructible, which is what replaces the per-request response window:
+// probe batches recompute their results from the universe without charging
+// again, post batches and dones are already buffered/applied and answer the
+// current round, a barrier waits out any execution still in flight and
+// answers the round it committed, and reads simply re-execute. Caller holds
+// s.mu.
+func (s *Server) swarmReplayLocked(sess *session, req *wire.Request) wire.Response {
+	switch req.Type {
+	case wire.ReqProbeBatch:
+		return s.probeBatchLocked(sess, req, false)
+	case wire.ReqPostBatch:
+		if req.EndRound {
+			for sess.executing && !s.closed {
+				s.cond.Wait()
+			}
+			if s.closed {
+				return wire.Response{Err: errServerClosed}
+			}
+		}
+		return wire.Response{Round: s.round}
+	case wire.ReqBarrier:
+		// The original may still be blocked on the round (on behalf of a
+		// dead predecessor connection); the round it waits for cannot
+		// advance twice without this session re-arriving, so the current
+		// round after the wait is the round the barrier committed.
+		for sess.executing && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return wire.Response{Err: errServerClosed}
+		}
+		return wire.Response{Round: s.round}
+	case wire.ReqSwarmDone:
+		return wire.Response{Round: s.round}
+	default:
+		// Reads are side-effect free; re-execute for a fresh answer.
+		return s.executeLocked(sess, req)
+	}
+}
+
+// probeBatchLocked serves one swarm probe batch: members' probes validated,
+// journaled, and charged in frame order, answered positionally. With charge
+// false (replay of a resent frame) the results are recomputed from the
+// universe — a pure function of (object, universe) — and nothing is billed,
+// preserving the exactly-once probe-accounting contract across reconnects.
+func (s *Server) probeBatchLocked(sess *session, req *wire.Request, charge bool) wire.Response {
+	if !sess.swarm {
+		return wire.Response{Err: "probe-batch requires a swarm session"}
+	}
+	u := s.cfg.Universe
+	for i, pr := range req.Probes {
+		if pr.Player < sess.player || pr.Player >= sess.playerTo {
+			return wire.Response{Err: fmt.Sprintf("probe %d/%d: player %d outside swarm range [%d, %d)",
+				i+1, len(req.Probes), pr.Player, sess.player, sess.playerTo)}
+		}
+		if pr.Object < 0 || pr.Object >= u.M() {
+			return wire.Response{Err: fmt.Sprintf("probe %d/%d: object %d out of range",
+				i+1, len(req.Probes), pr.Object)}
+		}
+	}
+	if charge && s.cfg.Journal != nil {
+		// Write-ahead, like the single-probe path: a probe is charged iff
+		// its record reached the journal.
+		for _, pr := range req.Probes {
+			if err := s.cfg.Journal.Probe(sess.id, req.Seq, pr.Player, pr.Object); err != nil {
+				return wire.Response{Err: fmt.Sprintf("journal: %v", err)}
+			}
+		}
+	}
+	results := make([]wire.ProbeRes, len(req.Probes))
+	for i, pr := range req.Probes {
+		good := u.LocalTesting() && u.IsGood(pr.Object)
+		if charge {
+			s.probes[pr.Player]++
+			s.cost[pr.Player] += u.Cost(pr.Object)
+			if good {
+				s.satisfied[pr.Player] = true
+			}
+		}
+		results[i] = wire.ProbeRes{Value: u.Value(pr.Object), Good: good}
+	}
+	return wire.Response{ProbeResults: results, Round: s.round}
+}
+
+// swarmDoneLocked deregisters a batch of swarm members (players that found
+// a good object, or timed out). Journaled per player, like Done;
+// deregistration is idempotent, so a replay is harmless.
+func (s *Server) swarmDoneLocked(sess *session, req *wire.Request) wire.Response {
+	if !sess.swarm {
+		return wire.Response{Err: "swarm-done requires a swarm session"}
+	}
+	for i, p := range req.Players {
+		if p < sess.player || p >= sess.playerTo {
+			return wire.Response{Err: fmt.Sprintf("done %d/%d: player %d outside swarm range [%d, %d)",
+				i+1, len(req.Players), p, sess.player, sess.playerTo)}
+		}
+	}
+	if s.cfg.Journal != nil {
+		for _, p := range req.Players {
+			if err := s.cfg.Journal.Done(sess.id, req.Seq, p); err != nil {
+				return wire.Response{Err: fmt.Sprintf("journal: %v", err)}
+			}
+		}
+	}
+	for _, p := range req.Players {
+		s.leaveLocked(p)
+	}
+	return wire.Response{Round: s.round}
+}
+
 func (s *Server) probeLocked(sess *session, seq uint64, obj int) wire.Response {
 	u := s.cfg.Universe
 	player := sess.player
@@ -926,17 +1164,18 @@ func (s *Server) probeLocked(sess *session, seq uint64, obj int) wire.Response {
 	return wire.Response{Value: u.Value(obj), Good: good, Cost: u.Cost(obj), Round: s.round}
 }
 
-// appendPostLocked validates and buffers one post under the authenticated
-// identity, journaling it on acceptance. The journal record carries the
-// session and sequence number so recovery can rebuild the dedup window.
-func (s *Server) appendPostLocked(sess *session, seq uint64, object int, value float64, positive bool) error {
+// appendPostLocked validates and buffers one post under the given player
+// identity (the authenticated session player, or a validated swarm member),
+// journaling it on acceptance. The journal record carries the session and
+// sequence number so recovery can rebuild the dedup window.
+func (s *Server) appendPostLocked(sess *session, seq uint64, player, object int, value float64, positive bool) error {
 	if s.sharded() {
 		// Route to the owning lane, stamped with the session's running
 		// index so commit order preserves this player's arrival order.
 		return s.shardAppendLocked(sess, seq, object, value, positive)
 	}
 	post := billboard.Post{
-		Player:   sess.player, // authenticated identity, not client-claimed
+		Player:   player,
 		Object:   object,
 		Value:    value,
 		Positive: positive,
@@ -953,7 +1192,7 @@ func (s *Server) appendPostLocked(sess *session, seq uint64, object int, value f
 }
 
 func (s *Server) postLocked(sess *session, req *wire.Request) wire.Response {
-	if err := s.appendPostLocked(sess, req.Seq, req.Object, req.Value, req.Positive); err != nil {
+	if err := s.appendPostLocked(sess, req.Seq, sess.player, req.Object, req.Value, req.Positive); err != nil {
 		return wire.Response{Err: err.Error()}
 	}
 	return wire.Response{Round: s.round}
@@ -964,10 +1203,27 @@ func (s *Server) postLocked(sess *session, req *wire.Request) wire.Response {
 // The batch is not transactional: an invalid post aborts the remainder with
 // an error, leaving earlier posts buffered; since the whole batch executed
 // under one sequence number, a retry replays the recorded response and
-// never re-applies any of them.
+// never re-applies any of them. On a swarm session each post carries its
+// member's identity (validated against the session's range); on an ordinary
+// session the authenticated identity is stamped, never the client-claimed
+// one.
 func (s *Server) postBatchLocked(sess *session, req *wire.Request) wire.Response {
+	if sess.swarm && s.sharded() {
+		// Swarm posts on a sharded server carry client-assigned indices and
+		// flow through the lane data plane, where cross-player commit order
+		// is well defined; the primary path's per-session index stamp is not.
+		return wire.Response{Err: "swarm posts on a sharded server go to shard lanes"}
+	}
 	for i, p := range req.Posts {
-		if err := s.appendPostLocked(sess, req.Seq, p.Object, p.Value, p.Positive); err != nil {
+		player := sess.player
+		if sess.swarm {
+			if p.Player < sess.player || p.Player >= sess.playerTo {
+				return wire.Response{Err: fmt.Sprintf("batch post %d/%d: player %d outside swarm range [%d, %d)",
+					i+1, len(req.Posts), p.Player, sess.player, sess.playerTo)}
+			}
+			player = p.Player
+		}
+		if err := s.appendPostLocked(sess, req.Seq, player, p.Object, p.Value, p.Positive); err != nil {
 			return wire.Response{Err: fmt.Sprintf("batch post %d/%d: %v", i+1, len(req.Posts), err)}
 		}
 	}
@@ -1001,6 +1257,25 @@ func (s *Server) votesLocked(ofPlayer int) wire.Response {
 	}
 	s.cacheVotes[ofPlayer] = msgs
 	return wire.Response{Votes: msgs, Round: s.round}
+}
+
+// voteBatchLocked answers a bulk vote read (protocol v7): the committed
+// votes of every listed player, concatenated — each VoteMsg names its
+// player, so the caller regroups them. Players without votes contribute
+// nothing. Serving one frame instead of len(Players) round-trips is what
+// keeps a million-player swarm's advice rounds latency-bound on frames,
+// not on per-player reads; the per-player results land in the same
+// committed-round cache ReqVotes uses.
+func (s *Server) voteBatchLocked(req *wire.Request) wire.Response {
+	var out []wire.VoteMsg
+	for _, p := range req.Players {
+		r := s.votesLocked(p)
+		if r.Err != "" {
+			return r
+		}
+		out = append(out, r.Votes...)
+	}
+	return wire.Response{Votes: out, Round: s.round}
 }
 
 // votedObjectsLocked serves the voted-object set from the committed-round
@@ -1079,10 +1354,14 @@ func (s *Server) negCountLocked(obj int) wire.Response {
 	return wire.Response{Count: s.board.NegativeCount(obj), Round: s.round}
 }
 
-// barrierLocked marks the player as arrived and blocks until the round
-// advances (or the server closes). The first arrival of a round arms the
-// barrier deadline, if one is configured.
+// barrierLocked marks the player — every still-active member, for a swarm
+// session — as arrived and blocks until the round advances (or the server
+// closes). The first arrival of a round arms the barrier deadline, if one
+// is configured.
 func (s *Server) barrierLocked(sess *session, seq uint64) wire.Response {
+	if sess.swarm {
+		return s.swarmBarrierLocked(sess, seq)
+	}
 	player := sess.player
 	if !s.active[player] {
 		return wire.Response{Err: "player is done; no barrier"}
@@ -1101,6 +1380,46 @@ func (s *Server) barrierLocked(sess *session, seq uint64) wire.Response {
 	s.arrived[player] = true
 	target := s.round + 1
 	s.advanceLocked()
+	return s.awaitRoundLocked(target)
+}
+
+// swarmBarrierLocked arrives every still-active member of a swarm session
+// at the round barrier atomically — one journal record (Player -1, meaning
+// "all active members of Session") and one blocking wait stand in for the
+// whole block's arrivals.
+func (s *Server) swarmBarrierLocked(sess *session, seq uint64) wire.Response {
+	n := 0
+	for p := sess.player; p < sess.playerTo; p++ {
+		if !s.active[p] {
+			continue
+		}
+		if s.arrived[p] {
+			return wire.Response{Err: "double barrier in one round"}
+		}
+		n++
+	}
+	if n == 0 {
+		return wire.Response{Err: "player is done; no barrier"}
+	}
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Barrier(sess.id, seq, -1); err != nil {
+			return wire.Response{Err: fmt.Sprintf("journal: %v", err)}
+		}
+	}
+	for p := sess.player; p < sess.playerTo; p++ {
+		if s.active[p] {
+			s.arrived[p] = true
+		}
+	}
+	target := s.round + 1
+	s.advanceLocked()
+	return s.awaitRoundLocked(target)
+}
+
+// awaitRoundLocked arms the barrier deadline (when the round did not commit
+// immediately) and blocks until the round reaches target or the server
+// closes. Caller holds s.mu.
+func (s *Server) awaitRoundLocked(target int) wire.Response {
 	if s.round < target && s.cfg.BarrierDeadline > 0 && s.armedRound != s.round {
 		s.armedRound = s.round
 		round := s.round

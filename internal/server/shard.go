@@ -283,6 +283,7 @@ func (s *Server) recoverLane(ln *lane, boardCfg billboard.Config, admitHist map[
 			ln.sessions[ss.ID] = &session{
 				id: ss.ID, player: ss.Player,
 				lastSeq: ss.LastSeq, lastResp: ss.LastResp, loose: true,
+				swarm: ss.Swarm, playerTo: ss.PlayerTo,
 			}
 		}
 	} else {
@@ -573,6 +574,7 @@ func (s *Server) rotateShardedLocked() {
 		for _, sess := range ln.sessions {
 			lsn.Sessions = append(lsn.Sessions, sessionSnap{
 				ID: sess.id, Player: sess.player, LastSeq: sess.lastSeq, LastResp: sess.lastResp,
+				Swarm: sess.swarm, PlayerTo: sess.playerTo,
 			})
 		}
 		var buf bytes.Buffer
@@ -593,7 +595,10 @@ func (s *Server) rotateShardedLocked() {
 
 // laneHello authenticates a data-plane lane connection: same player
 // credentials as the primary, plus the shard it binds to. Lane sessions
-// carry only dedup state — no membership, no leases.
+// carry only dedup state — no membership, no leases. A swarm lane session
+// (Hello with Swarm and a member range) posts on behalf of any member; the
+// swarm Hello is authoritative for the range, since a lane recovered from
+// its journal knows sessions only by an arbitrary member's post records.
 func (s *Server) laneHello(req *wire.Request) (wire.Response, *session, *lane) {
 	if req.Version != wire.Version {
 		return wire.Response{Err: fmt.Sprintf("protocol version %d, server speaks %d",
@@ -602,12 +607,23 @@ func (s *Server) laneHello(req *wire.Request) (wire.Response, *session, *lane) {
 	if !s.sharded() {
 		return wire.Response{Err: "server is not sharded; no lane connections"}, nil, nil
 	}
-	p := req.Player
-	if p < 0 || p >= len(s.cfg.Tokens) {
-		return wire.Response{Err: fmt.Sprintf("player %d out of range", p)}, nil, nil
-	}
-	if s.cfg.Tokens[p] != req.Token {
-		return wire.Response{Err: "bad token"}, nil, nil
+	from, to := req.Player, req.Player+1
+	if req.Swarm {
+		if s.cfg.SwarmToken == "" || req.Token != s.cfg.SwarmToken {
+			return wire.Response{Err: "bad swarm token"}, nil, nil
+		}
+		from, to = req.Player, req.PlayerTo
+		if from < 0 || to > len(s.cfg.Tokens) || from >= to {
+			return wire.Response{Err: fmt.Sprintf("swarm range [%d, %d) invalid for %d players",
+				from, to, len(s.cfg.Tokens))}, nil, nil
+		}
+	} else {
+		if req.Player < 0 || req.Player >= len(s.cfg.Tokens) {
+			return wire.Response{Err: fmt.Sprintf("player %d out of range", req.Player)}, nil, nil
+		}
+		if s.cfg.Tokens[req.Player] != req.Token {
+			return wire.Response{Err: "bad token"}, nil, nil
+		}
 	}
 	if req.Session == 0 {
 		return wire.Response{Err: "missing session id"}, nil, nil
@@ -624,10 +640,21 @@ func (s *Server) laneHello(req *wire.Request) (wire.Response, *session, *lane) {
 		return wire.Response{Err: errServerClosed}, nil, nil
 	}
 	sess := ln.sessions[req.Session]
-	if sess == nil {
-		sess = &session{id: req.Session, player: p}
+	switch {
+	case sess == nil:
+		sess = &session{id: req.Session, player: req.Player, swarm: req.Swarm, playerTo: req.PlayerTo}
 		ln.sessions[req.Session] = sess
-	} else if sess.player != p {
+	case req.Swarm:
+		if sess.swarm && (sess.player != from || sess.playerTo != to) {
+			return wire.Response{Err: "session belongs to another player"}, nil, nil
+		}
+		if !sess.swarm && (sess.player < from || sess.player >= to) {
+			// Recovered from the journal under a member's identity; the
+			// authenticated range must cover it.
+			return wire.Response{Err: "session belongs to another player"}, nil, nil
+		}
+		sess.swarm, sess.player, sess.playerTo = true, from, to
+	case sess.swarm || sess.player != req.Player:
 		return wire.Response{Err: "session belongs to another player"}, nil, nil
 	}
 	return wire.Response{
@@ -649,6 +676,14 @@ func (s *Server) laneDispatch(ln *lane, sess *session, req *wire.Request) wire.R
 	case req.Seq == 0:
 		return wire.Response{Err: "missing request sequence number"}
 	case req.Seq < sess.lastSeq:
+		if sess.swarm {
+			// A pipelined swarm client resent its unacknowledged tail after a
+			// reconnect; the batch is already journaled and pending, so the
+			// resend is a success. (A recovered lane session replays the same
+			// content-free success an ordinary lane replay would.)
+			s.m.dedupReplays.Inc()
+			return wire.Response{Round: int(s.roundA.Load())}
+		}
 		return wire.Response{Err: fmt.Sprintf("stale sequence %d (last executed %d)", req.Seq, sess.lastSeq)}
 	case req.Seq == sess.lastSeq:
 		// Lane executions never block, so by the time a retry holds the
@@ -693,10 +728,18 @@ func (s *Server) lanePostBatch(ln *lane, sess *session, req *wire.Request) wire.
 			return wire.Response{Err: fmt.Sprintf("batch post %d/%d: object %d belongs to shard %d, not %d",
 				i+1, len(req.Posts), p.Object, wire.Shard(p.Object, len(s.lanes)), ln.k)}
 		}
+		if sess.swarm && (p.Player < sess.player || p.Player >= sess.playerTo) {
+			return wire.Response{Err: fmt.Sprintf("batch post %d/%d: player %d outside swarm range [%d, %d)",
+				i+1, len(req.Posts), p.Player, sess.player, sess.playerTo)}
+		}
 	}
 	for _, p := range req.Posts {
+		player := sess.player // authenticated identity, not client-claimed
+		if sess.swarm {
+			player = p.Player // validated member of the authenticated range
+		}
 		post := billboard.Post{
-			Player:   sess.player, // authenticated identity, not client-claimed
+			Player:   player,
 			Object:   p.Object,
 			Value:    p.Value,
 			Positive: p.Positive,

@@ -1,0 +1,647 @@
+// Package swarm drives a large block of simulated players — thousands to a
+// million — over a handful of pipelined connections, replacing the
+// goroutine-per-player client fleet with an event-loop scheduler over plain
+// player state.
+//
+// One core.Distill instance carries the schedule shared by every honest
+// player (the DISTILL schedule evolves from committed billboard state only,
+// never from private randomness), while each player keeps its own split
+// random stream, probe count, and post index. A round is a fixed frame
+// pattern per connection group: bulk board reads, chunked probe batches,
+// chunked post batches (scattered to shard lanes with client-stamped
+// per-player indices when the server is sharded), one barrier, then batched
+// deregistration of the players that found their object. Every phase
+// pipelines up to Config.Window frames per connection, and the transport
+// resumes sessions and resends the unacked frame tail across reconnects,
+// so chaos runs (shard bounce, leader kill) drive through unchanged.
+//
+// The driver is bit-compatible with the goroutine-per-player path in
+// internal/dist: same per-player randomness (rng.New(Seed).Split(player)),
+// same probe/post/barrier ordering per round, same halt rule — so a
+// swarm-backed cluster run commits a byte-identical board digest.
+package swarm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Config describes one swarm: a contiguous block of players driven against
+// one billboard service.
+type Config struct {
+	// Addr is the server address; Fallbacks lists the other members of a
+	// replicated coordinator group (not-leader redirects steer there).
+	Addr      string
+	Fallbacks []string
+	// From, To bound the player block [From, To) this swarm drives.
+	From, To int
+	// Token is the server's shared swarm credential (server.Config.SwarmToken).
+	Token string
+	// Params configures the DISTILL schedule shared by all players.
+	Params core.Params
+	// Seed derives every player's private stream as rng.New(Seed).Split(player)
+	// — the same derivation the goroutine-per-player path uses.
+	Seed uint64
+	// MaxRounds bounds the search (default 4096); players still active then
+	// are deregistered and reported timed out.
+	MaxRounds int
+	// Groups is the number of connection groups (default 4, clamped to the
+	// player count). Each group owns a contiguous sub-block and its own
+	// pipelined connection (plus one lane connection per shard when the
+	// server is sharded); groups run each round's phases concurrently.
+	Groups int
+	// Chunk caps probes/posts/dones per frame (default 4096).
+	Chunk int
+	// Window caps pipelined in-flight frames per connection (default 8).
+	Window int
+	// Client tunes the transport (dialer, retries, backoff, timeouts) —
+	// the same knobs the per-player client takes, including the faultnet
+	// dialer hook.
+	Client client.Options
+	// Metrics, when non-nil, receives the swarm_* metric family.
+	Metrics *obs.Registry
+	// Observer, when non-nil, receives a RoundStats snapshot after every
+	// committed round. The driver fills the fields it can see from the
+	// scheduler and one committed-board read — Round, ActiveHonest,
+	// SatisfiedHonest, ProbesThisRound, VotedObjects; GoodVotes and
+	// TotalVotes need ground truth or full board scans and stay zero.
+	Observer sim.Observer
+	// Logf, when non-nil, receives progress lines (one per round).
+	Logf func(format string, args ...any)
+}
+
+// PlayerResult is one player's outcome, matching the semantics of the
+// goroutine-per-player path (dist.HonestResult).
+type PlayerResult struct {
+	Player   int
+	Probes   int // probes issued by this player (client-side count)
+	Rounds   int // round at which the player halted (or MaxRounds)
+	Found    bool
+	TimedOut bool
+}
+
+// Result is a completed swarm run.
+type Result struct {
+	From, To int
+	Players  []PlayerResult // one per player, in player order
+	Rounds   int            // max rounds any player ran
+	Found    int
+	TimedOut int
+	MeanProbes float64
+}
+
+func (cfg *Config) applyDefaults() error {
+	if cfg.Addr == "" {
+		return errors.New("swarm: missing server address")
+	}
+	if cfg.From < 0 || cfg.To <= cfg.From {
+		return fmt.Errorf("swarm: invalid player range [%d, %d)", cfg.From, cfg.To)
+	}
+	if cfg.Token == "" {
+		return errors.New("swarm: missing swarm token")
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 4096
+	}
+	if cfg.Groups <= 0 {
+		cfg.Groups = 4
+	}
+	if n := cfg.To - cfg.From; cfg.Groups > n {
+		cfg.Groups = n
+	}
+	if cfg.Chunk <= 0 {
+		cfg.Chunk = 4096
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	return nil
+}
+
+// playerState is one player's entire footprint in the driver: no goroutine,
+// no connection, no timer — just data the event loop sweeps.
+type playerState struct {
+	src      rng.Source // private stream, rng.New(Seed).Split(player)
+	probes   int32
+	nextIdx  int32 // next sharded post index (client-stamped commit order)
+	rounds   int32
+	found    bool
+	timedOut bool
+}
+
+// group is one connection group: a contiguous sub-block of players, the
+// pipelined primary connection carrying its swarm session, and (when the
+// server is sharded) one lane connection per shard.
+type group struct {
+	d        *driver
+	idx      int
+	from, to int
+	prim     *conn
+	lanes    []*conn
+	members  []int // active players, ascending
+
+	// Per-round scratch, reused across rounds.
+	probes []wire.ProbeMsg
+	posts  []wire.PostMsg
+	parts  [][]wire.PostMsg
+	found  []int
+	reqs   []wire.Request
+	resps  []wire.Response
+	round  int // round reported by this group's barrier
+}
+
+type driver struct {
+	cfg   Config
+	t     *transport
+	met   metrics
+	uni   *universe
+	board *boardReader
+	proto *core.Distill
+
+	n       int // total players served (server-advertised)
+	shards  int
+	players []playerState // indexed by player-cfg.From
+	groups  []*group
+
+	seen     []int32 // advice-prefetch dedupe, stamped by round+1
+	prefetch []int
+}
+
+func (d *driver) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+func (d *driver) state(player int) *playerState { return &d.players[player-d.cfg.From] }
+
+// Run drives the configured player block to completion: every player either
+// finds a good object or times out at MaxRounds. The context cancels the
+// run (including mid-backoff and mid-barrier).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	opt := normalizeOptions(cfg.Client, cfg.From)
+	met := newMetrics(cfg.Metrics)
+	d := &driver{cfg: cfg, met: met}
+	d.t = &transport{
+		ctx: ctx, opt: opt, token: cfg.Token, window: cfg.Window, met: &d.met,
+		addr: cfg.Addr, addrs: []string{cfg.Addr},
+	}
+	for _, fb := range cfg.Fallbacks {
+		if fb != "" && fb != cfg.Addr {
+			d.t.addrs = append(d.t.addrs, fb)
+		}
+	}
+
+	// Carve [From, To) into contiguous near-equal group sub-blocks.
+	total := cfg.To - cfg.From
+	d.groups = make([]*group, cfg.Groups)
+	for gi := range d.groups {
+		gFrom := cfg.From + gi*total/cfg.Groups
+		gTo := cfg.From + (gi+1)*total/cfg.Groups
+		g := &group{d: d, idx: gi, from: gFrom, to: gTo}
+		g.prim = &conn{
+			t: d.t, label: fmt.Sprintf("group %d", gi),
+			from: gFrom, to: gTo,
+			session: newSessionID(gFrom),
+			jitter:  rng.New(opt.Seed).Split(0x5731 + uint64(gi)),
+		}
+		g.members = make([]int, 0, gTo-gFrom)
+		for p := gFrom; p < gTo; p++ {
+			g.members = append(g.members, p)
+		}
+		d.groups[gi] = g
+	}
+	defer func() {
+		for _, g := range d.groups {
+			g.prim.drop()
+			for _, l := range g.lanes {
+				l.drop()
+			}
+		}
+	}()
+
+	// Eager handshakes: group 0 first (its Hello payload carries the
+	// universe), then the rest.
+	hello, err := d.groups[0].prim.ensure()
+	if err != nil {
+		return nil, err
+	}
+	d.n = hello.N
+	d.shards = max(hello.Shards, 1)
+	d.uni = &universe{m: hello.M, costs: hello.Costs, localTesting: hello.LocalTesting}
+	for _, g := range d.groups[1:] {
+		if _, err := g.prim.ensure(); err != nil {
+			return nil, err
+		}
+	}
+	if d.shards > 1 {
+		for _, g := range d.groups {
+			g.lanes = make([]*conn, d.shards)
+			for k := range g.lanes {
+				g.lanes[k] = &conn{
+					t: d.t, label: fmt.Sprintf("group %d lane %d", g.idx, k),
+					lane: true, shard: k,
+					from: g.from, to: g.to,
+					session: newSessionID(g.from),
+					jitter:  rng.New(opt.Seed).Split(0x173e + uint64(g.idx)<<16 + uint64(k)),
+				}
+			}
+		}
+	}
+
+	// Player state: the same per-player stream derivation the
+	// goroutine-per-player path uses (Split depends only on (seed, label)).
+	base := rng.New(cfg.Seed)
+	d.players = make([]playerState, total)
+	for i := range d.players {
+		d.players[i].src = *base.Split(uint64(cfg.From + i))
+	}
+	if met.enabled {
+		met.players.Set(float64(total))
+	}
+
+	// One shared schedule. Board reads flow through the cached reader on
+	// group 0's connection; the Init-time source is never drawn from (the
+	// schedule is a pure function of committed board state), but Init
+	// requires one.
+	d.board = newBoardReader(d.groups[0].prim, hello.Round)
+	d.proto = core.NewDistill(cfg.Params)
+	if err := d.proto.Init(sim.Setup{
+		N: d.n, Alpha: hello.Alpha, Beta: hello.Beta,
+		Universe: d.uni, Board: d.board,
+		Rng: rng.New(cfg.Seed).Split(uint64(cfg.From)),
+	}); err != nil {
+		return nil, fmt.Errorf("swarm: init: %w", err)
+	}
+	if d.board.err != nil {
+		return nil, fmt.Errorf("swarm: board read: %w", d.board.err)
+	}
+	d.seen = make([]int32, d.n)
+
+	if err := d.run(); err != nil {
+		return nil, err
+	}
+	return d.collect(), nil
+}
+
+// run is the event loop: one iteration per round while players remain.
+func (d *driver) run() error {
+	cfg := &d.cfg
+	active := 0
+	for _, g := range d.groups {
+		active += len(g.members)
+	}
+	for round := 0; round < cfg.MaxRounds && active > 0; round++ {
+		start := time.Now()
+		if d.met.enabled {
+			d.met.activePlayers.Set(float64(active))
+		}
+
+		// Schedule step + probe draws (single-threaded; board reads go
+		// through the cached reader).
+		d.proto.BeginRound(round)
+		if d.proto.AdviceRound() {
+			d.prefetchAdvice(round)
+		}
+		for _, g := range d.groups {
+			g.probes = g.probes[:0]
+			for _, p := range g.members {
+				if obj, ok := d.proto.ProbeFor(&d.state(p).src); ok {
+					g.probes = append(g.probes, wire.ProbeMsg{Player: p, Object: obj})
+				}
+			}
+		}
+		d.proto.FinishRound()
+		if d.board.err != nil {
+			return fmt.Errorf("swarm: board read: %w", d.board.err)
+		}
+
+		// Fan out: each group runs probes → posts → barrier on its own
+		// connections; player state blocks are disjoint, so this is
+		// race-free by construction.
+		if err := d.eachGroup(func(g *group) error { return g.runRound() }); err != nil {
+			return err
+		}
+
+		// The round committed: new board state, and the players that
+		// probed a good object halt (found is only meaningful under local
+		// testing, exactly like the per-player path).
+		d.board.invalidate()
+		for _, g := range d.groups {
+			if g.round > d.board.round {
+				d.board.round = g.round
+			}
+		}
+		found := 0
+		for _, g := range d.groups {
+			g.found = g.found[:0]
+			keep := g.members[:0]
+			for _, p := range g.members {
+				st := d.state(p)
+				if st.found {
+					st.rounds = int32(round + 1)
+					g.found = append(g.found, p)
+					found++
+				} else {
+					keep = append(keep, p)
+				}
+			}
+			g.members = keep
+		}
+		if found > 0 {
+			if err := d.eachGroup(func(g *group) error { return g.sendDones(g.found) }); err != nil {
+				return err
+			}
+			active -= found
+		}
+		if d.cfg.Observer != nil {
+			d.cfg.Observer.ObserveRound(sim.RoundStats{
+				Round:           round,
+				ActiveHonest:    active,
+				SatisfiedHonest: (d.cfg.To - d.cfg.From) - active,
+				ProbesThisRound: d.probesThisRound(),
+				VotedObjects:    d.board.NumVotedObjects(),
+			})
+			if d.board.err != nil {
+				return fmt.Errorf("swarm: board read: %w", d.board.err)
+			}
+		}
+		if d.met.enabled {
+			d.met.rounds.Inc()
+			d.met.roundSeconds.ObserveSince(start)
+		}
+		d.logf("swarm: round %d: %d active, %d found (%.2fs)",
+			round, active+found, found, time.Since(start).Seconds())
+	}
+
+	// Timed out: deregister the stragglers (best effort, like the
+	// per-player path's final Done).
+	if active > 0 {
+		for _, g := range d.groups {
+			for _, p := range g.members {
+				st := d.state(p)
+				st.rounds = int32(cfg.MaxRounds)
+				st.timedOut = true
+			}
+		}
+		_ = d.eachGroup(func(g *group) error {
+			defer func() { g.members = g.members[:0] }()
+			return g.sendDones(g.members)
+		})
+	}
+	return nil
+}
+
+// probesThisRound sums the round's probe draws across groups.
+func (d *driver) probesThisRound() int {
+	n := 0
+	for _, g := range d.groups {
+		n += len(g.probes)
+	}
+	return n
+}
+
+// prefetchAdvice peeks every active player's advice draw — a value copy of
+// the player's stream leaves the real draw untouched — and bulk-loads the
+// votes of every distinct advised player before the draw loop runs.
+func (d *driver) prefetchAdvice(round int) {
+	stamp := int32(round + 1)
+	d.prefetch = d.prefetch[:0]
+	for _, g := range d.groups {
+		for _, p := range g.members {
+			peek := d.state(p).src
+			j := peek.Intn(d.n)
+			if d.seen[j] != stamp {
+				d.seen[j] = stamp
+				d.prefetch = append(d.prefetch, j)
+			}
+		}
+	}
+	d.board.prefetchVotes(d.prefetch, d.cfg.Chunk)
+}
+
+// eachGroup runs fn concurrently over the groups and returns the first
+// error.
+func (d *driver) eachGroup(fn func(g *group) error) error {
+	if len(d.groups) == 1 {
+		return fn(d.groups[0])
+	}
+	errs := make([]error, len(d.groups))
+	var wg sync.WaitGroup
+	for gi, g := range d.groups {
+		wg.Add(1)
+		go func(gi int, g *group) {
+			defer wg.Done()
+			errs[gi] = fn(g)
+		}(gi, g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// runRound executes one group's share of a round: chunked pipelined probe
+// batches, the resulting posts (scattered to shard lanes when sharded),
+// and the round barrier.
+func (g *group) runRound() error {
+	if len(g.members) == 0 {
+		// An empty group holds no registered players; its barrier would
+		// add nothing and only wait on everyone else.
+		return nil
+	}
+	d := g.d
+	chunk := d.cfg.Chunk
+
+	// Probes.
+	g.reqs = g.reqs[:0]
+	for lo := 0; lo < len(g.probes); lo += chunk {
+		hi := min(lo+chunk, len(g.probes))
+		g.reqs = append(g.reqs, wire.Request{Type: wire.ReqProbeBatch, Probes: g.probes[lo:hi]})
+	}
+	g.resps = resize(g.resps, len(g.reqs))
+	if err := g.prim.exchange(g.reqs, g.resps, false); err != nil {
+		return err
+	}
+
+	// Results → posts. One post per answered probe, in probe order — the
+	// same posting order the per-player loop produces.
+	g.posts = g.posts[:0]
+	ri := 0
+	for i := range g.resps {
+		for _, pr := range g.resps[i].ProbeResults {
+			pm := g.probes[ri]
+			ri++
+			st := d.state(pm.Player)
+			st.probes++
+			positive := d.uni.localTesting && pr.Good
+			if positive {
+				st.found = true
+			}
+			g.posts = append(g.posts, wire.PostMsg{
+				Player: pm.Player, Object: pm.Object, Value: pr.Value, Positive: positive,
+			})
+		}
+	}
+	if ri != len(g.probes) {
+		return fmt.Errorf("swarm: group %d: %d probes answered, want %d", g.idx, ri, len(g.probes))
+	}
+
+	// Posts. Sharded: stamp each player's running index (commit order) and
+	// scatter by the shard map over this group's lane sessions. Unsharded:
+	// batched frames on the primary connection.
+	if len(g.posts) > 0 {
+		if d.shards > 1 {
+			for i := range g.posts {
+				st := d.state(g.posts[i].Player)
+				g.posts[i].Index = int(st.nextIdx)
+				st.nextIdx++
+			}
+			if g.parts == nil {
+				g.parts = make([][]wire.PostMsg, d.shards)
+			}
+			for k := range g.parts {
+				g.parts[k] = g.parts[k][:0]
+			}
+			for _, m := range g.posts {
+				k := wire.Shard(m.Object, d.shards)
+				g.parts[k] = append(g.parts[k], m)
+			}
+			for k, part := range g.parts {
+				if len(part) == 0 {
+					continue
+				}
+				g.reqs = g.reqs[:0]
+				for lo := 0; lo < len(part); lo += chunk {
+					hi := min(lo+chunk, len(part))
+					g.reqs = append(g.reqs, wire.Request{Type: wire.ReqPostBatch, Posts: part[lo:hi], Shard: k})
+				}
+				g.resps = resize(g.resps, len(g.reqs))
+				if err := g.lanes[k].exchange(g.reqs, g.resps, false); err != nil {
+					return err
+				}
+			}
+		} else {
+			g.reqs = g.reqs[:0]
+			for lo := 0; lo < len(g.posts); lo += chunk {
+				hi := min(lo+chunk, len(g.posts))
+				g.reqs = append(g.reqs, wire.Request{Type: wire.ReqPostBatch, Posts: g.posts[lo:hi]})
+			}
+			g.resps = resize(g.resps, len(g.reqs))
+			if err := g.prim.exchange(g.reqs, g.resps, false); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Barrier: every post of this group is acknowledged (journaled and
+	// buffered server-side), so arriving the whole block is safe.
+	start := time.Now()
+	resp, err := g.prim.one(wire.Request{Type: wire.ReqBarrier}, true)
+	if err != nil {
+		return err
+	}
+	if d.met.enabled {
+		d.met.barrierSeconds.ObserveSince(start)
+	}
+	g.round = resp.Round
+	return nil
+}
+
+// sendDones deregisters the listed players in chunked frames.
+func (g *group) sendDones(players []int) error {
+	if len(players) == 0 {
+		return nil
+	}
+	chunk := g.d.cfg.Chunk
+	g.reqs = g.reqs[:0]
+	for lo := 0; lo < len(players); lo += chunk {
+		hi := min(lo+chunk, len(players))
+		g.reqs = append(g.reqs, wire.Request{Type: wire.ReqSwarmDone, Players: players[lo:hi]})
+	}
+	g.resps = resize(g.resps, len(g.reqs))
+	return g.prim.exchange(g.reqs, g.resps, false)
+}
+
+// collect assembles the Result from the swept player state.
+func (d *driver) collect() *Result {
+	res := &Result{From: d.cfg.From, To: d.cfg.To}
+	res.Players = make([]PlayerResult, len(d.players))
+	total := 0
+	for i := range d.players {
+		st := &d.players[i]
+		pr := PlayerResult{
+			Player: d.cfg.From + i,
+			Probes: int(st.probes),
+			Rounds: int(st.rounds),
+			Found:  st.found,
+			TimedOut: st.timedOut,
+		}
+		res.Players[i] = pr
+		total += pr.Probes
+		if pr.Found {
+			res.Found++
+		}
+		if pr.TimedOut {
+			res.TimedOut++
+		}
+		if pr.Rounds > res.Rounds {
+			res.Rounds = pr.Rounds
+		}
+	}
+	res.MeanProbes = float64(total) / float64(len(d.players))
+	return res
+}
+
+// resize returns s with length n, reusing capacity.
+func resize(s []wire.Response, n int) []wire.Response {
+	if cap(s) < n {
+		return make([]wire.Response, n)
+	}
+	return s[:n]
+}
+
+// normalizeOptions applies the client package's option defaults (the swarm
+// shares the knob set, including the faultnet dialer hook).
+func normalizeOptions(o client.Options, label int) client.Options {
+	if o.Dialer == nil {
+		o.Dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if o.Retries == 0 {
+		o.Retries = 8
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 5 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 500 * time.Millisecond
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 30 * time.Second
+	}
+	if o.CallTimeout < 0 {
+		o.CallTimeout = 0
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x9e3779b97f4a7c15 ^ uint64(label)
+	}
+	return o
+}

@@ -70,6 +70,19 @@ const (
 	// frame and, when Request.EndRound is set, also ends the caller's
 	// round — collapsing O(posts) round-trips plus a barrier into one.
 	ReqPostBatch
+	// ReqProbeBatch (protocol v7) probes on behalf of many players of a
+	// swarm session in one frame: Request.Probes lists (player, object)
+	// pairs, the response's ProbeResults answers them in order, and each
+	// probe is charged to its own player exactly once.
+	ReqProbeBatch
+	// ReqSwarmDone (protocol v7) deregisters the listed players of a swarm
+	// session (they halted); the remaining players keep the session alive.
+	ReqSwarmDone
+	// ReqVoteBatch (protocol v7) reads the committed votes of every player
+	// listed in Request.Players in one frame; each returned VoteMsg names
+	// its player. The swarm driver prefetches a whole advice round's vote
+	// lookups this way instead of one ReqVotes round-trip per player.
+	ReqVoteBatch
 )
 
 // String returns the request kind name.
@@ -97,6 +110,12 @@ func (t ReqType) String() string {
 		return "done"
 	case ReqPostBatch:
 		return "post-batch"
+	case ReqProbeBatch:
+		return "probe-batch"
+	case ReqSwarmDone:
+		return "swarm-done"
+	case ReqVoteBatch:
+		return "vote-batch"
 	default:
 		return fmt.Sprintf("ReqType(%d)", uint8(t))
 	}
@@ -121,7 +140,18 @@ func (t ReqType) String() string {
 // Frames stay length-prefixed (torn writes detect cleanly, sizes stay
 // capped) but are no longer individually self-contained — a v5 peer cannot
 // decode a v6 stream past its first frame, hence the bump.
-const Version = 6
+//
+// Version 7 adds swarm sessions: one session registering a contiguous
+// player range [Player, PlayerTo) under a server-configured swarm token
+// (Hello with Swarm set), batched probes charged per player
+// (ReqProbeBatch), posts carrying an explicit PostMsg.Player (honored only
+// on swarm sessions — ordinary sessions keep server-stamped identity),
+// atomic range barriers (a swarm Barrier arrives for every still-active
+// player of the range), and batched deregistration (ReqSwarmDone). Swarm
+// requests are idempotent-or-reconstructible, so a swarm client may
+// pipeline many frames per connection and resend the unacknowledged tail
+// after a reconnect without a server-side response window.
+const Version = 7
 
 // Shard maps an object id onto one of shards lanes. It is the single
 // shard-map definition shared by client and server: deterministic, seedless,
@@ -192,6 +222,37 @@ type Request struct {
 	// objects the shard map assigns elsewhere.
 	Shard int
 	Lane  bool
+
+	// Swarm sessions (protocol v7). A swarm Hello (Swarm true) registers
+	// the contiguous player range [Player, PlayerTo) under one session,
+	// authenticated by the server-configured swarm token in Token instead
+	// of per-player tokens. A lane Hello may also carry Swarm + the range,
+	// making it a swarm lane that accepts posts for any player of the
+	// range. PlayerTo is meaningful only with Swarm set.
+	Swarm    bool
+	PlayerTo int
+
+	// ProbeBatch payload (protocol v7): per-player probes, answered in
+	// order by Response.ProbeResults.
+	Probes []ProbeMsg
+
+	// SwarmDone payload (protocol v7): the players that halted.
+	Players []int
+}
+
+// ProbeMsg is one probe inside a ReqProbeBatch frame: player probes object.
+// The player must belong to the swarm session's range.
+type ProbeMsg struct {
+	Player int
+	Object int
+}
+
+// ProbeRes answers one ProbeMsg: the object's value and (under local
+// testing) its goodness. The cost charged is the object's public cost from
+// the Hello payload; it is not repeated per result.
+type ProbeRes struct {
+	Value float64
+	Good  bool
 }
 
 // PostMsg is one post inside a ReqPostBatch frame. The player identity is
@@ -209,6 +270,13 @@ type PostMsg struct {
 	// and v3-style requests leave it zero; the server then stamps arrival
 	// order.
 	Index int
+
+	// Player (protocol v7) names the posting player on swarm sessions,
+	// which carry many players' posts in one batch. It must lie in the
+	// session's range; on ordinary sessions it is ignored and the
+	// authenticated identity is stamped instead, so players still cannot
+	// spoof each other.
+	Player int
 }
 
 // VoteMsg mirrors billboard.Vote on the wire.
@@ -305,6 +373,10 @@ type Response struct {
 	// the answering follower knows it (empty otherwise — the client then
 	// falls back to probing its configured fallback addresses).
 	Leader string
+
+	// ProbeResults (protocol v7) answers a ReqProbeBatch, one entry per
+	// Request.Probes element, in order.
+	ProbeResults []ProbeRes
 }
 
 // Error materializes the response error, if any. Responses tagged with a
