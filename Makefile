@@ -10,7 +10,10 @@
 # seal-race shard-bounce stress) doubled under -race, the
 # replicated-coordinator election + failover suite (quorum commit, leader
 # kill, isolation step-down, failover chaos digests) doubled under -race,
-# and a 1-iteration bench smoke so a broken benchmark cannot land silently.
+# the epoch-mode suite (stamp closure, tick seals, sync-vs-epoch digest
+# convergence under chaos, close-during-commit seal audit, stale-replay
+# dedupe) doubled under -race, and a 1-iteration bench smoke so a broken
+# benchmark cannot land silently.
 
 GO ?= go
 
@@ -30,6 +33,7 @@ check: build
 	$(GO) test -race -run 'TestShardCommitDeterminismGolden|TestSealRaceShardBounce' -count=2 ./internal/server
 	$(GO) test -race -run 'TestReplica|TestLeader|TestChaosReplica|TestChaosLeader' -count=2 ./internal/server ./internal/dist
 	$(GO) test -race -run 'TestSwarm|TestFlatClusterConfig' -count=2 ./internal/swarm ./internal/dist
+	$(GO) test -race -run 'TestEpoch|TestStale|TestCloseDuringCommit' -count=2 ./internal/server ./internal/swarm ./internal/dist
 	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/server > /dev/null
 
 # Short fuzz passes over the byte-level decoders (wire frames, journal).
@@ -95,3 +99,6 @@ bench-diff:
 	$(GO) test -run xxx -bench 'BenchmarkClusterFleet|BenchmarkSwarmScale' -benchmem -benchtime 1x -timeout 30m ./internal/dist \
 	  | $(GO) run ./cmd/benchjson -o BENCH_PR8.json $(SWARM_GATE)
 	@echo "wrote BENCH_PR8.json (fleet gate at $(if $(BIGFLEET),10k,2k) players; $(FDS) fds)"
+	$(GO) test -run xxx -bench 'BenchmarkEpochPostRound' -benchmem ./internal/server \
+	  | $(GO) run ./cmd/benchjson -o BENCH_PR9.json
+	@echo "wrote BENCH_PR9.json (sync-vs-epoch posting round; recorded, not gated)"

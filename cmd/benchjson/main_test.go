@@ -251,6 +251,50 @@ func TestFasterGate(t *testing.T) {
 	}
 }
 
+// A missing baseline file is the clean-checkout case: the gate skips loudly
+// instead of failing, so `make check` works before any baseline has been
+// recorded on this machine.
+func TestDiffMissingBaselineIsLoudSkip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nonexistent.json")
+	var out strings.Builder
+	err := run([]string{"-baseline", path}, strings.NewReader("BenchmarkFast 100 10 ns/op\n"), &out)
+	if err != nil {
+		t.Fatalf("missing baseline must skip, not fail: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "SKIP") || !strings.Contains(got, path) {
+		t.Fatalf("skip banner missing or does not name the baseline:\n%s", got)
+	}
+}
+
+// A baseline that exists but does not parse is a corrupt recording — that
+// stays fatal, unlike the missing-file case.
+func TestDiffMalformedBaselineStaysFatal(t *testing.T) {
+	base := writeBaseline(t, "{not json")
+	var out strings.Builder
+	err := run([]string{"-baseline", base}, strings.NewReader("BenchmarkFast 100 10 ns/op\n"), &out)
+	if err == nil {
+		t.Fatalf("malformed baseline passed:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), base) {
+		t.Fatalf("error does not name the baseline: %v", err)
+	}
+}
+
+// An unreadable-for-other-reasons baseline (a directory, here) is not the
+// clean-checkout case and must keep failing.
+func TestDiffUnreadableBaselineStaysFatal(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"-baseline", dir}, strings.NewReader("BenchmarkFast 100 10 ns/op\n"), &out)
+	if err == nil {
+		t.Fatalf("directory baseline passed:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "SKIP") {
+		t.Fatalf("non-ENOENT read error downgraded to skip:\n%s", out.String())
+	}
+}
+
 func TestTrimCPUSuffix(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkFoo-8":        "BenchmarkFoo",

@@ -46,6 +46,13 @@ func WithBarrierTimeout(d time.Duration) DialOption {
 	return func(o *ClientOptions) { o.BarrierTimeout = d }
 }
 
+// WithEpochPoll sets the sleep between epoch pacing polls against a
+// ModeEpoch server (default 2ms; negative polls without sleeping). Sync
+// servers ignore it — the client learns the mode from the handshake.
+func WithEpochPoll(d time.Duration) DialOption {
+	return func(o *ClientOptions) { o.EpochPoll = d }
+}
+
 // WithDialer overrides the transport dial — the hook fault injection
 // (NewFaultInjector) plugs into.
 func WithDialer(dial func(addr string) (net.Conn, error)) DialOption {

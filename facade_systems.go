@@ -2,6 +2,7 @@ package repro
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/async"
 	"repro/internal/client"
@@ -85,6 +86,22 @@ func NewBillboardServer(cfg BillboardServerConfig) (*BillboardServer, error) {
 	return server.New(cfg)
 }
 
+// ServerMode selects how the billboard service paces rounds
+// (BillboardServerConfig.Mode / ClusterConfig.Mode).
+type ServerMode = server.Mode
+
+const (
+	// ModeSync is the classic synchronous operation: every round closes
+	// through the global barrier, which waits for all registered players.
+	ModeSync ServerMode = server.ModeSync
+	// ModeEpoch runs without the global round barrier: posts bind to
+	// timestamped epochs that seal on lamport closure (every active player
+	// has stamped past them) or, with an EpochTick armed, on a wall clock
+	// that never waits for stragglers. Under quiescence an epoch run
+	// converges to the sync run's billboard byte for byte.
+	ModeEpoch ServerMode = server.ModeEpoch
+)
+
 // ClientOptions tunes a billboard client's fault tolerance: reconnect
 // retries, backoff, per-call deadlines, the transport dialer, and the
 // metrics registry. Usually built implicitly via Dial's options.
@@ -114,9 +131,32 @@ type (
 	ClusterResult = dist.ClusterResult
 )
 
+// ClusterOption customizes one RunDistributedCluster call on top of the
+// ClusterConfig value. Options apply in order.
+type ClusterOption func(*ClusterConfig)
+
+// WithMode selects the cluster's operation mode: ModeSync (the default)
+// closes rounds through the global barrier, ModeEpoch replaces it with
+// lamport-paced epochs — gossip-style operation that never blocks a frame
+// on other players.
+func WithMode(m ServerMode) ClusterOption {
+	return func(c *ClusterConfig) { c.Mode = m }
+}
+
+// WithEpochTick arms the wall-clock epoch clock for a ModeEpoch cluster:
+// epochs also seal every d even when stragglers have not stamped past them
+// (trading the byte-exact sync equivalence of pure lamport pacing for
+// bounded epoch latency).
+func WithEpochTick(d time.Duration) ClusterOption {
+	return func(c *ClusterConfig) { c.EpochTick = d }
+}
+
 // RunDistributedCluster starts a billboard server and runs every player as
 // a concurrent TCP client.
-func RunDistributedCluster(cfg ClusterConfig) (*ClusterResult, error) {
+func RunDistributedCluster(cfg ClusterConfig, opts ...ClusterOption) (*ClusterResult, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	return dist.RunCluster(cfg)
 }
 

@@ -14,12 +14,20 @@
 package async
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/billboard"
 	"repro/internal/object"
 	"repro/internal/rng"
 )
+
+// ErrBadSchedule reports an adversarial Schedule stepping outside the rules:
+// a player index out of [0, N) or a player that already halted. The schedule
+// is attacker-controlled input, so the engine validates rather than trusting
+// it (an out-of-range pick previously indexed Satisfied before the bounds
+// check and panicked).
+var ErrBadSchedule = errors.New("async: invalid schedule pick")
 
 // Strategy is an honest player's per-step policy in the asynchronous model.
 // Implementations must be safe to share across players (the engine passes
@@ -114,9 +122,13 @@ func Run(cfg Config) (*Result, error) {
 			break
 		}
 		p := cfg.Schedule.Next(step, active, schedRng)
-		if res.Satisfied[p] || p < 0 || p >= cfg.N {
-			return nil, fmt.Errorf("async: schedule %q picked invalid player %d at step %d",
-				cfg.Schedule.Name(), p, step)
+		if p < 0 || p >= cfg.N {
+			return nil, fmt.Errorf("%w: schedule %q picked out-of-range player %d at step %d",
+				ErrBadSchedule, cfg.Schedule.Name(), p, step)
+		}
+		if res.Satisfied[p] {
+			return nil, fmt.Errorf("%w: schedule %q picked halted player %d at step %d",
+				ErrBadSchedule, cfg.Schedule.Name(), p, step)
 		}
 		if obj, ok := cfg.Strategy.Probe(p, board, stratRng); ok {
 			if obj < 0 || obj >= cfg.Universe.M() {

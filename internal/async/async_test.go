@@ -1,6 +1,7 @@
 package async
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/object"
@@ -173,5 +174,61 @@ func TestDeterminism(t *testing.T) {
 	}
 	if runOnce() != runOnce() {
 		t.Fatal("async runs are not deterministic")
+	}
+}
+
+// fixedSchedule is an adversarial Schedule returning a scripted sequence of
+// picks regardless of the active set — the attack surface ErrBadSchedule
+// guards.
+type fixedSchedule struct{ picks []int }
+
+func (fixedSchedule) Name() string { return "fixed" }
+func (s fixedSchedule) Next(step int, active []int, _ *rng.Source) int {
+	if step < len(s.picks) {
+		return s.picks[step]
+	}
+	return active[step%len(active)]
+}
+
+func TestAdversarialScheduleValidation(t *testing.T) {
+	u := universe(t, 10, 1, 7)
+	cases := []struct {
+		name  string
+		picks []int
+	}{
+		{"negative index", []int{-1}},
+		{"index == N", []int{4}},
+		{"far out of range", []int{1 << 30}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(Config{
+				Universe: u, Strategy: NewSolo(10), Schedule: fixedSchedule{picks: tc.picks},
+				N: 4, Seed: 7,
+			})
+			if !errors.Is(err, ErrBadSchedule) {
+				t.Fatalf("want ErrBadSchedule, got %v", err)
+			}
+		})
+	}
+}
+
+// alwaysZero keeps scheduling player 0 even after it halts; the engine must
+// reject the halted pick instead of looping or panicking.
+type alwaysZero struct{}
+
+func (alwaysZero) Name() string                           { return "always-zero" }
+func (alwaysZero) Next(_ int, _ []int, _ *rng.Source) int { return 0 }
+
+func TestScheduleHaltedPlayerRejected(t *testing.T) {
+	// Every object is good, so player 0 halts on its first probe; the next
+	// pick of player 0 is the violation.
+	u := universe(t, 4, 4, 9)
+	_, err := Run(Config{
+		Universe: u, Strategy: NewSolo(4), Schedule: alwaysZero{},
+		N: 2, Seed: 9,
+	})
+	if !errors.Is(err, ErrBadSchedule) {
+		t.Fatalf("want ErrBadSchedule, got %v", err)
 	}
 }

@@ -57,6 +57,11 @@ type Options struct {
 	// barrier request (the retry resumes the session and re-arrives
 	// idempotently).
 	BarrierTimeout time.Duration
+	// EpochPoll is the sleep between epoch pacing polls against an
+	// epoch-mode server (wire protocol v8): epoch frames never block, so
+	// the client re-asks at this cadence until the epoch it is waiting on
+	// seals. Default 2ms; negative disables the sleep (busy poll).
+	EpochPoll time.Duration
 	// Seed drives the backoff jitter (default: derived from the player id).
 	Seed uint64
 	// Fallbacks lists additional server addresses (the other members of a
@@ -93,6 +98,12 @@ func (o Options) withDefaults(player int) Options {
 	}
 	if o.CallTimeout < 0 {
 		o.CallTimeout = 0
+	}
+	if o.EpochPoll == 0 {
+		o.EpochPoll = 2 * time.Millisecond
+	}
+	if o.EpochPoll < 0 {
+		o.EpochPoll = 0
 	}
 	if o.Seed == 0 {
 		o.Seed = 0x9e3779b97f4a7c15 ^ uint64(player)
@@ -147,6 +158,7 @@ type Client struct {
 	shards  int           // server-advertised shard count (from Hello)
 	lanes   []*clientLane // one per shard when shards > 1
 	postSeq int           // running index stamped on every sharded post
+	epoch   bool          // server runs in epoch mode (from Hello)
 
 	n, m         int
 	localTesting bool
@@ -321,6 +333,7 @@ func (c *Client) connect() error {
 	if resp.Round > c.round {
 		c.round = resp.Round
 	}
+	c.epoch = resp.Mode == wire.ModeEpoch
 	sh := resp.Shards
 	if sh < 1 {
 		sh = 1
@@ -448,8 +461,10 @@ func (c *Client) call(req wire.Request) (*wire.Response, error) {
 	req.Session = c.session
 	req.Seq = c.seq
 	timeout := c.opt.CallTimeout
-	if req.Type == wire.ReqBarrier || (req.Type == wire.ReqPostBatch && req.EndRound) {
+	if !c.epoch && (req.Type == wire.ReqBarrier || (req.Type == wire.ReqPostBatch && req.EndRound)) {
 		// Both block legitimately while other players finish their rounds.
+		// In epoch mode neither blocks server-side, so the ordinary call
+		// deadline applies.
 		timeout = c.opt.BarrierTimeout
 	}
 	var last error
@@ -615,7 +630,19 @@ func (c *Client) PostBatch(posts []BatchPost, endRound bool) (int, error) {
 		}
 		return c.Barrier()
 	}
-	resp, err := c.call(wire.Request{Type: wire.ReqPostBatch, Posts: msgs, EndRound: endRound})
+	req := wire.Request{Type: wire.ReqPostBatch, Posts: msgs, EndRound: endRound}
+	if c.epoch && endRound {
+		// Epoch-stamped post batch (protocol v8): the posts and the lamport
+		// stamp releasing their epoch travel in one non-blocking frame; the
+		// seal is then observed by polling, never by blocking the server.
+		target := c.round + 1
+		req.Epoch = target
+		if _, err := c.call(req); err != nil {
+			return 0, err
+		}
+		return c.awaitEpoch(target)
+	}
+	resp, err := c.call(req)
 	if err != nil {
 		return 0, err
 	}
@@ -623,13 +650,40 @@ func (c *Client) PostBatch(posts []BatchPost, endRound bool) (int, error) {
 }
 
 // Barrier ends the caller's round and blocks until the server commits it.
-// It returns the new round number.
+// It returns the new round number. Against an epoch-mode server the round
+// barrier does not exist; the call becomes the equivalent epoch pacing
+// loop — stamp the next epoch as finished, then poll until it seals — so
+// callers keep per-round pacing without any server-side blocking.
 func (c *Client) Barrier() (int, error) {
+	if c.epoch {
+		return c.awaitEpoch(c.round + 1)
+	}
 	resp, err := c.call(wire.Request{Type: wire.ReqBarrier})
 	if err != nil {
 		return 0, err
 	}
 	return resp.Round, nil
+}
+
+// awaitEpoch paces the caller up to target in epoch mode: each iteration
+// sends one non-blocking epoch frame carrying the caller's lamport stamp
+// ("finished submitting every epoch below target") and reads back the
+// currently open epoch, sleeping Options.EpochPoll between asks until the
+// server has sealed everything below target. Stamps are monotone
+// server-side, so retried or reordered polls are harmless.
+func (c *Client) awaitEpoch(target int) (int, error) {
+	for {
+		resp, err := c.call(wire.Request{Type: wire.ReqEpoch, Epoch: target})
+		if err != nil {
+			return 0, err
+		}
+		if resp.Round >= target {
+			return resp.Round, nil
+		}
+		if err := c.pause(c.opt.EpochPoll); err != nil {
+			return 0, err
+		}
+	}
 }
 
 // Done deregisters the player from future rounds.
@@ -718,4 +772,22 @@ func (c *Client) CountVotesInWindow(fromRound, toRound int) map[int]int {
 		return map[int]int{}
 	}
 	return resp.Counts
+}
+
+// CountVotesInLast counts vote events per object over the most recent
+// `last` closed rounds (protocol v8 sliding window). The server anchors the
+// window at its own current round — which an epoch-mode client cannot pin
+// in advance, since epochs seal on other players' stamps — and that anchor
+// round is returned alongside the counts: the answer covers
+// [round-last, round).
+func (c *Client) CountVotesInLast(last int) (map[int]int, int) {
+	resp, err := c.call(wire.Request{Type: wire.ReqWindow, Last: last})
+	if err != nil {
+		c.noteReadErr(err)
+		return map[int]int{}, c.round
+	}
+	if resp.Counts == nil {
+		return map[int]int{}, resp.Round
+	}
+	return resp.Counts, resp.Round
 }

@@ -252,6 +252,13 @@ type ClusterConfig struct {
 	// tolerance (see server.Config).
 	SessionGrace    time.Duration
 	BarrierDeadline time.Duration
+	// Mode selects the server's operation mode: server.ModeSync runs the
+	// classic round barrier, server.ModeEpoch replaces it with lamport-paced
+	// epochs (see server.Config.Mode). Incompatible with BarrierDeadline.
+	Mode server.Mode
+	// EpochTick, in epoch mode, seals epochs on a wall clock so stragglers
+	// cannot stall the cluster (see server.Config.EpochTick).
+	EpochTick time.Duration
 	// PersistDir, when non-empty, runs the server durably: a journal.Store
 	// in that directory records every state change, and a restart recovers
 	// from it (see server.Config.Persist). Required for Chaos.KillAtRound.
@@ -405,6 +412,8 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 			Beta:            cfg.Universe.Beta(),
 			SessionGrace:    cfg.SessionGrace,
 			BarrierDeadline: cfg.BarrierDeadline,
+			Mode:            cfg.Mode,
+			EpochTick:       cfg.EpochTick,
 			Shards:          cfg.Topology.Shards,
 			SwarmToken:      swarmToken,
 			Logf:            cfg.Logf,

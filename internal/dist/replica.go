@@ -99,6 +99,8 @@ func startReplicaCluster(cfg ClusterConfig, tokens []string, swarmToken string) 
 		Beta:            cfg.Universe.Beta(),
 		SessionGrace:    cfg.SessionGrace,
 		BarrierDeadline: cfg.BarrierDeadline,
+		Mode:            cfg.Mode,
+		EpochTick:       cfg.EpochTick,
 		Shards:          cfg.Topology.Shards,
 		SwarmToken:      swarmToken,
 		SnapshotEvery:   cfg.SnapshotEvery,

@@ -59,6 +59,7 @@ const (
 	kindBarrier
 	kindRollback
 	kindSwarmOpen
+	kindEpoch
 )
 
 // entry is one journal record. Session/Seq are zero in journals written
@@ -91,6 +92,13 @@ type entry struct {
 	// omits zero fields, so unreplicated journals stay byte-identical.
 	Term   uint64
 	Quorum int
+
+	// Epoch is the sealed epoch number of an epoch marker (kindEpoch),
+	// written by an epoch-mode server adjacent to the round marker that
+	// commits the same posts. Board-neutral on replay: the round markers
+	// alone reconstruct the board, so replication and crash recovery work
+	// unchanged whether the run was paced by barriers or by epochs.
+	Epoch int
 }
 
 // Admit is one admitted vote pair recorded on a sharded round marker: in
@@ -331,6 +339,15 @@ func (w *Writer) SwarmOpen(session uint64, from, to int) error {
 	return w.write(entry{Kind: kindSwarmOpen, Session: session, Player: from, PlayerTo: to})
 }
 
+// EpochMark records the sealing of one timestamped epoch (epoch-mode
+// servers). It is written adjacent to the round marker committing the same
+// posts and is board-neutral on replay — sync-mode journals never contain
+// it, and recovery of an epoch-mode journal rebuilds the board from the
+// round markers exactly as before.
+func (w *Writer) EpochMark(epoch int) error {
+	return w.write(entry{Kind: kindEpoch, Epoch: epoch})
+}
+
 // Err returns the Writer's first write error (nil while healthy).
 func (w *Writer) Err() error { return w.err }
 
@@ -347,6 +364,7 @@ const (
 	RecordBarrier   = RecordKind(kindBarrier)
 	RecordRollback  = RecordKind(kindRollback)
 	RecordSwarmOpen = RecordKind(kindSwarmOpen)
+	RecordEpoch     = RecordKind(kindEpoch)
 )
 
 // Record is one decoded journal record. Round is the number of round
@@ -367,7 +385,9 @@ type Record struct {
 	// (EndRoundQuorum); zero on single-coordinator journals.
 	Term   uint64
 	Quorum int
-	Round  int
+	// Epoch surfaces an epoch marker's sealed epoch number (RecordEpoch).
+	Epoch int
+	Round int
 }
 
 // Event is an operational decision recorded in the journal alongside posts
@@ -409,7 +429,7 @@ func ReplayRecords(r io.Reader, fn func(Record) error) error {
 		if err := gob.NewDecoder(bytes.NewReader(frame)).Decode(&e); err != nil {
 			return fmt.Errorf("%w: %v", ErrTruncated, err)
 		}
-		if e.Kind < kindPost || e.Kind > kindSwarmOpen {
+		if e.Kind < kindPost || e.Kind > kindEpoch {
 			return fmt.Errorf("%w: unknown entry kind %d", ErrTruncated, e.Kind)
 		}
 		rec := Record{
@@ -424,6 +444,7 @@ func ReplayRecords(r io.Reader, fn func(Record) error) error {
 			PlayerTo: e.PlayerTo,
 			Term:     e.Term,
 			Quorum:   e.Quorum,
+			Epoch:    e.Epoch,
 			Round:    round,
 		}
 		if err := fn(rec); err != nil {

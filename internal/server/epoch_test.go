@@ -1,0 +1,508 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/journal"
+	"repro/internal/object"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// startEpochServer mirrors startServer but runs the server in epoch mode.
+func startEpochServer(t *testing.T, players, good int, tick time.Duration) (addr string, srv *server.Server) {
+	t.Helper()
+	u, err := object.NewPlanted(object.Planted{M: 32, Good: good}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := make([]string, players)
+	for i := range tokens {
+		tokens[i] = "tok"
+	}
+	srv, err = server.New(server.Config{
+		Universe: u, Tokens: tokens, Alpha: 1, Beta: u.Beta(),
+		Mode: server.ModeEpoch, EpochTick: tick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err = srv.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, srv
+}
+
+func TestEpochConfigValidation(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 8, Good: 1}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := []string{"a"}
+	cases := []struct {
+		name string
+		cfg  server.Config
+	}{
+		{"unknown mode", server.Config{Universe: u, Tokens: tok, Mode: server.Mode(9)}},
+		{"negative mode", server.Config{Universe: u, Tokens: tok, Mode: server.Mode(-1)}},
+		{"barrier deadline in epoch mode", server.Config{
+			Universe: u, Tokens: tok, Mode: server.ModeEpoch, BarrierDeadline: time.Second}},
+		{"negative tick", server.Config{
+			Universe: u, Tokens: tok, Mode: server.ModeEpoch, EpochTick: -time.Second}},
+		{"tick without epoch mode", server.Config{
+			Universe: u, Tokens: tok, EpochTick: time.Second}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := server.New(tc.cfg); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+	// Both valid modes construct.
+	for _, m := range []server.Mode{server.ModeSync, server.ModeEpoch} {
+		srv, err := server.New(server.Config{Universe: u, Tokens: tok, Mode: m})
+		if err != nil {
+			t.Fatalf("mode %v rejected: %v", m, err)
+		}
+		srv.Close()
+	}
+}
+
+// TestEpochHelloAdvertisesMode pins the v8 Hello payload: clients learn the
+// operation mode from the handshake, nowhere else.
+func TestEpochHelloAdvertisesMode(t *testing.T) {
+	addr, _ := startEpochServer(t, 1, 1, 0)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.EncodeRequest(conn, &wire.Request{
+		Type: wire.ReqHello, Player: 0, Token: "tok", Version: wire.Version,
+		Session: 1, Seq: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	if resp.Mode != wire.ModeEpoch {
+		t.Fatalf("hello Mode = %d, want ModeEpoch", resp.Mode)
+	}
+}
+
+// TestEpochBarrierFrameRejected pins the no-blocking invariant: an
+// epoch-mode server serves no barrier waits at all.
+func TestEpochBarrierFrameRejected(t *testing.T) {
+	addr, _ := startEpochServer(t, 1, 1, 0)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The server speaks connection-scoped stream codecs (protocol v6), so a
+	// multi-frame raw exchange must too.
+	enc := wire.NewStreamEncoder(conn)
+	dec := wire.NewStreamDecoder(bufio.NewReader(conn))
+	if err := enc.EncodeRequest(&wire.Request{
+		Type: wire.ReqHello, Player: 0, Token: "tok", Version: wire.Version,
+		Session: 1, Seq: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := dec.DecodeResponse(&resp); err != nil || resp.Err != "" {
+		t.Fatalf("hello: %v %q", err, resp.Err)
+	}
+	if err := enc.EncodeRequest(&wire.Request{
+		Type: wire.ReqBarrier, Session: 1, Seq: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp = wire.Response{}
+	if err := dec.DecodeResponse(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" || !strings.Contains(resp.Err, "epoch mode") {
+		t.Fatalf("barrier served in epoch mode: %+v", resp)
+	}
+}
+
+// TestEpochRejectedOnSyncServer is the converse: epoch pacing frames are a
+// v8 epoch-mode construct and a synchronous server refuses them.
+func TestEpochRejectedOnSyncServer(t *testing.T) {
+	addr, _, _ := startServer(t, 1, 1)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := wire.NewStreamEncoder(conn)
+	dec := wire.NewStreamDecoder(bufio.NewReader(conn))
+	if err := enc.EncodeRequest(&wire.Request{
+		Type: wire.ReqHello, Player: 0, Token: "tok", Version: wire.Version,
+		Session: 1, Seq: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := dec.DecodeResponse(&resp); err != nil || resp.Err != "" {
+		t.Fatalf("hello: %v %q", err, resp.Err)
+	}
+	if resp.Mode != wire.ModeSync {
+		t.Fatalf("sync hello Mode = %d", resp.Mode)
+	}
+	if err := enc.EncodeRequest(&wire.Request{
+		Type: wire.ReqEpoch, Epoch: 1, Session: 1, Seq: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp = wire.Response{}
+	if err := dec.DecodeResponse(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" || !strings.Contains(resp.Err, "epoch") {
+		t.Fatalf("epoch frame served by a sync server: %+v", resp)
+	}
+}
+
+// TestEpochStampClosure pins the pure-lamport seal rule (EpochTick zero): an
+// epoch stays open until every active player has stamped past it, then
+// closes without any blocked request.
+func TestEpochStampClosure(t *testing.T) {
+	addr, srv := startEpochServer(t, 2, 1, 0)
+	c0, err := client.Dial(addr, 0, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := client.Dial(addr, 1, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	if err := c0.Post(5, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	// c0 ends its epoch; the epoch must stay open (c1 has not stamped), and
+	// c0's pacing loop must spin rather than block server-side.
+	done := make(chan int, 1)
+	go func() {
+		round, err := c0.Barrier()
+		if err != nil {
+			done <- -1
+			return
+		}
+		done <- round
+	}()
+	select {
+	case r := <-done:
+		t.Fatalf("epoch sealed early with round %d", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if srv.Round() != 0 {
+		t.Fatalf("epoch sealed with one stamp: round %d", srv.Round())
+	}
+	// c1 stamps: both players are now past epoch 0 and it seals for everyone.
+	if r, err := c1.Barrier(); err != nil || r != 1 {
+		t.Fatalf("c1 pacing: round %d, err %v", r, err)
+	}
+	if r := <-done; r != 1 {
+		t.Fatalf("c0 pacing returned round %d, want 1", r)
+	}
+	if c1.VoteCount(5) != 1 {
+		t.Fatal("post not visible after the epoch sealed")
+	}
+}
+
+// TestEpochPostBatchBindsAndSeals drives several epochs through the batched
+// client path on a single-player universe: each PostBatch(endRound) carries
+// the posts and the lamport stamp in one frame and the epoch self-seals.
+func TestEpochPostBatchBindsAndSeals(t *testing.T) {
+	addr, srv := startEpochServer(t, 1, 1, 0)
+	c, err := client.Dial(addr, 0, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Epoch 0 carries the player's single positive vote (FirstPositive caps
+	// one vote per player); later epochs carry negative reports, which are
+	// uncapped and so prove every epoch's batch committed.
+	for r := 0; r < 3; r++ {
+		batch := []client.BatchPost{{Object: r, Value: 1, Positive: r == 0}}
+		round, err := c.PostBatch(batch, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round != r+1 {
+			t.Fatalf("epoch %d sealed into round %d", r, round)
+		}
+	}
+	if srv.Round() != 3 {
+		t.Fatalf("server round = %d, want 3", srv.Round())
+	}
+	if c.VoteCount(0) != 1 {
+		t.Fatal("epoch 0 vote not committed")
+	}
+	for r := 1; r < 3; r++ {
+		if c.NegativeCount(r) != 1 {
+			t.Fatalf("epoch %d negative report not committed", r)
+		}
+	}
+	// The vote carries the epoch it bound to.
+	votes := c.Votes(0)
+	if len(votes) != 1 || votes[0].Round != 0 {
+		t.Fatalf("votes = %+v, want one vote bound to epoch 0", votes)
+	}
+}
+
+// TestEpochTickSealsPastStraggler pins tick mode's liveness escape hatch: a
+// registered player that never stamps cannot stall the epoch clock.
+func TestEpochTickSealsPastStraggler(t *testing.T) {
+	addr, srv := startEpochServer(t, 2, 1, 2*time.Millisecond)
+	c0, err := client.Dial(addr, 0, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	// The straggler registers (the run is complete) and then goes silent.
+	c1, err := client.Dial(addr, 1, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	if err := c0.Post(3, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	round, err := c0.Barrier()
+	if err != nil {
+		t.Fatalf("tick never sealed past the straggler: %v", err)
+	}
+	if round < 1 || srv.Round() < 1 {
+		t.Fatalf("round %d after tick seal", round)
+	}
+	if c0.VoteCount(3) != 1 {
+		t.Fatal("sealed epoch's post not visible")
+	}
+}
+
+// TestEpochSlidingWindow pins the protocol v8 Last query: the most recent
+// Last closed epochs, anchored at the answering round.
+func TestEpochSlidingWindow(t *testing.T) {
+	const players = 4
+	addr, _ := startEpochServer(t, players, 1, 0)
+	var clients [players]*client.Client
+	for p := range clients {
+		c, err := client.Dial(addr, p, "tok")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[p] = c
+	}
+	// Player p casts its single positive vote on object p during epoch p, so
+	// each epoch holds exactly one vote event on a distinct object.
+	var wg sync.WaitGroup
+	for p, c := range clients {
+		wg.Add(1)
+		go func(p int, c *client.Client) {
+			defer wg.Done()
+			for r := 0; r < players; r++ {
+				var batch []client.BatchPost
+				if r == p {
+					batch = []client.BatchPost{{Object: p, Value: 1, Positive: true}}
+				}
+				if _, err := c.PostBatch(batch, true); err != nil {
+					t.Errorf("player %d epoch %d: %v", p, r, err)
+					return
+				}
+			}
+		}(p, c)
+	}
+	wg.Wait()
+	c := clients[0]
+	counts, anchor := c.CountVotesInLast(2)
+	if anchor != players {
+		t.Fatalf("anchor round = %d, want %d", anchor, players)
+	}
+	// [2, 4): the votes cast in epochs 2 and 3 only.
+	if len(counts) != 2 || counts[2] != 1 || counts[3] != 1 {
+		t.Fatalf("window counts = %v, want {2:1 3:1}", counts)
+	}
+	// A window wider than history clamps at round 0.
+	counts, _ = c.CountVotesInLast(100)
+	if len(counts) != players {
+		t.Fatalf("clamped window counts = %v, want all %d epochs", counts, players)
+	}
+}
+
+// TestEpochJournalMarkersAndRecovery pins the journal interleaving: epoch
+// seals write an epoch marker adjacent to the round marker, replay ignores
+// it (board-neutral), and crash recovery reproduces the exact state.
+func TestEpochJournalMarkersAndRecovery(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 32, Good: 1}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := journal.OpenStore(dir, journal.SyncCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.Config{
+		Universe: u, Tokens: []string{"tok"}, Alpha: 1, Beta: u.Beta(),
+		Mode: server.ModeEpoch, Persist: st,
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(addr, 0, "tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		if _, err := c.PostBatch([]client.BatchPost{{Object: r, Value: 1, Positive: true}}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := srv.Digest()
+	c.Close()
+	srv.Close()
+	st.Close()
+
+	// Crash-recover from the same store; its tail carries one epoch marker
+	// per sealed epoch, in order.
+	st2, err := journal.OpenStore(dir, journal.SyncCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochs []int
+	if err := journal.ReplayRecords(st2.Tail(), func(rec journal.Record) error {
+		if rec.Kind == journal.RecordEpoch {
+			epochs = append(epochs, rec.Epoch)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 3 || epochs[0] != 0 || epochs[1] != 1 || epochs[2] != 2 {
+		t.Fatalf("epoch markers = %v, want [0 1 2]", epochs)
+	}
+	cfg.Persist = st2
+	srv2, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	defer st2.Close()
+	if srv2.Round() != 3 {
+		t.Fatalf("recovered round = %d, want 3", srv2.Round())
+	}
+	if !bytes.Equal(srv2.Digest(), want) {
+		t.Fatalf("recovered digest differs:\n%x\n%x", srv2.Digest(), want)
+	}
+}
+
+// epochWorkload drives the identical two-player posting script against a
+// server in the given mode and returns the final committed digest.
+func epochWorkload(t *testing.T, mode server.Mode, shards int) []byte {
+	t.Helper()
+	u, err := object.NewPlanted(object.Planted{M: 32, Good: 1}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Universe: u, Tokens: []string{"tok", "tok"}, Alpha: 1, Beta: u.Beta(),
+		Mode: mode, Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr, err := srv.Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients [2]*client.Client
+	for p := range clients {
+		c, err := client.Dial(addr, p, "tok")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[p] = c
+	}
+	const rounds = 5
+	var wg sync.WaitGroup
+	for p, c := range clients {
+		wg.Add(1)
+		go func(p int, c *client.Client) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Deterministic per-player script: distinct objects, mixed
+				// positive/negative, identical across modes.
+				batch := []client.BatchPost{
+					{Object: (p*7 + r) % 32, Value: float64(r + 1), Positive: r%2 == 0},
+					{Object: (p*11 + 2*r) % 32, Value: 1, Positive: true},
+				}
+				if _, err := c.PostBatch(batch, true); err != nil {
+					t.Errorf("player %d round %d: %v", p, r, err)
+					return
+				}
+			}
+		}(p, c)
+	}
+	wg.Wait()
+	if got := srv.Round(); got != rounds {
+		t.Fatalf("mode %v: server round = %d, want %d", mode, got, rounds)
+	}
+	return srv.Digest()
+}
+
+// TestEpochDigestMatchesSync is the tentpole convergence property in its
+// purest form: under quiescence, a pure-lamport epoch run commits the exact
+// posts into the exact rounds a synchronous-barrier run does — the final
+// board digests are byte-identical.
+func TestEpochDigestMatchesSync(t *testing.T) {
+	sync1 := epochWorkload(t, server.ModeSync, 0)
+	epoch1 := epochWorkload(t, server.ModeEpoch, 0)
+	if !bytes.Equal(sync1, epoch1) {
+		t.Fatalf("unsharded digests diverge:\nsync  %x\nepoch %x", sync1, epoch1)
+	}
+}
+
+// TestEpochDigestMatchesSyncSharded extends digest parity to the sharded
+// commit pipeline (epoch markers ride the coordinator commit point).
+func TestEpochDigestMatchesSyncSharded(t *testing.T) {
+	sync4 := epochWorkload(t, server.ModeSync, 4)
+	epoch4 := epochWorkload(t, server.ModeEpoch, 4)
+	if !bytes.Equal(sync4, epoch4) {
+		t.Fatalf("sharded digests diverge:\nsync  %x\nepoch %x", sync4, epoch4)
+	}
+	// And sharding itself is digest-neutral, epoch mode included.
+	if unsharded := epochWorkload(t, server.ModeEpoch, 0); !bytes.Equal(epoch4, unsharded) {
+		t.Fatalf("epoch sharded/unsharded digests diverge:\n%x\n%x", epoch4, unsharded)
+	}
+}

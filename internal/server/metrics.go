@@ -16,7 +16,7 @@ type serverMetrics struct {
 	enabled bool
 
 	connections *obs.Counter
-	requests    [wire.ReqPostBatch + 1]*obs.Counter
+	requests    [wire.ReqEpoch + 1]*obs.Counter
 	requestsBad *obs.Counter
 	rpcSeconds  *obs.Histogram
 	bytesIn     *obs.Counter
@@ -33,6 +33,9 @@ type serverMetrics struct {
 	barrierWait *obs.Histogram
 	rounds      *obs.Counter
 	forceDone   *obs.Counter
+
+	epochSeals     *obs.Counter
+	epochTickSeals *obs.Counter
 
 	snapshots       *obs.Counter
 	journalReplayed *obs.Counter
@@ -95,6 +98,9 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		rounds:      reg.Counter("server_rounds_total", "rounds committed"),
 		forceDone:   reg.Counter("server_force_done_total", "players expelled by a barrier deadline"),
 
+		epochSeals:     reg.Counter("server_epoch_seals_total", "epochs sealed (epoch mode)"),
+		epochTickSeals: reg.Counter("server_epoch_tick_seals_total", "epochs sealed by the tick clock without all stamps (epoch mode)"),
+
 		snapshots:       reg.Counter("server_snapshots_total", "service snapshots taken at journal rotation"),
 		journalReplayed: reg.Counter("server_journal_replayed_total", "journal records replayed at recovery"),
 		replaySeconds:   reg.Histogram("server_journal_replay_seconds", "recovery replay latency (snapshot restore + journal tail)", nil),
@@ -109,7 +115,7 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 			`server_commit_phase_seconds{phase="`+name+`"}`,
 			"sharded round commit latency by pipeline phase", commitBuckets)
 	}
-	for t := wire.ReqHello; t <= wire.ReqPostBatch; t++ {
+	for t := wire.ReqHello; t <= wire.ReqEpoch; t++ {
 		m.requests[t] = reg.Counter(
 			`server_requests_total{type="`+t.String()+`"}`,
 			"decoded client frames by request type")
@@ -132,7 +138,7 @@ func (m *serverMetrics) phaseTick(phase int, prev time.Time) time.Time {
 // request returns the per-type frame counter (nil-safe for unknown types
 // and for the disabled zero value).
 func (m *serverMetrics) request(t wire.ReqType) *obs.Counter {
-	if t >= wire.ReqHello && t <= wire.ReqPostBatch {
+	if t >= wire.ReqHello && t <= wire.ReqEpoch {
 		return m.requests[t]
 	}
 	return m.requestsBad

@@ -60,6 +60,37 @@ import (
 	"repro/internal/wire"
 )
 
+// Mode selects how the service paces commits (wire protocol v8).
+type Mode int
+
+const (
+	// ModeSync is the classic synchronous service: a global round barrier
+	// blocks every player until all active players arrive (the timestamp
+	// simulation of synchrony, §1.2). The zero value, so existing
+	// configurations are unchanged.
+	ModeSync Mode = iota
+	// ModeEpoch replaces the blocking barrier with timestamped epochs:
+	// posts bind to the currently open epoch, clients advance a lamport
+	// stamp ("finished submitting every epoch below e") in non-blocking
+	// frames, and the server seals an epoch once every active player's
+	// stamp has passed it — or, with EpochTick set, on a clock tick once
+	// any player has moved on, so a silent straggler can never stall the
+	// swarm. No handler ever blocks on another player's progress.
+	ModeEpoch
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModeEpoch:
+		return "epoch"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
 // Config describes a billboard service instance.
 type Config struct {
 	// Universe is the ground truth (required).
@@ -138,8 +169,22 @@ type Config struct {
 	// active player that has not arrived is force-Done'd — the decision is
 	// journaled — and the round commits. Zero waits forever. (It cannot
 	// unwedge round 0 while fewer than Expected players have registered:
-	// unregistered players are not yet part of the run.)
+	// unregistered players are not yet part of the run.) Synchronous-mode
+	// only: epoch mode never blocks a handler, so it has nothing to
+	// deadline — use EpochTick for liveness instead.
 	BarrierDeadline time.Duration
+	// Mode selects synchronous rounds (ModeSync, the default) or
+	// timestamped epochs (ModeEpoch); see the Mode constants. Advertised
+	// to clients at Hello.
+	Mode Mode
+	// EpochTick, with ModeEpoch, is the epoch clock's tick: every tick the
+	// server seals the open epoch if at least one active player's stamp
+	// has passed it, without waiting for stragglers — their late posts
+	// rebind forward to the next open epoch. This trades the byte-exact
+	// sync/epoch digest equivalence of pure lamport closure (tick zero,
+	// where an epoch seals only once every active player has stamped past
+	// it) for liveness past silent stragglers. Zero with ModeSync.
+	EpochTick time.Duration
 	// Logf, when non-nil, receives operational events (session resume,
 	// lease expiry, force-done) — e.g. log.Printf. Must be safe for
 	// concurrent use.
@@ -258,6 +303,16 @@ type Server struct {
 	barrierTimer *time.Timer
 	armedRound   int // round the barrier timer is armed for; -1 when idle
 
+	// Epoch mode (Config.Mode == ModeEpoch). lastStamp holds each player's
+	// lamport epoch stamp: the player has finished submitting every epoch
+	// below it. An epoch (== the round counter) seals when every active
+	// player's stamp has passed it; with EpochTick the self-re-arming
+	// epochTimer additionally seals on a tick once any player has moved
+	// on. The timer is stopped at Close and its callback checks s.closed,
+	// so no seal can race the teardown.
+	lastStamp  map[int]int
+	epochTimer *time.Timer
+
 	// Committed-round read cache, invalidated at every EndRound. Cached
 	// values are immutable once built (never mutated, only dropped), so
 	// sharing them across concurrently-encoded responses is safe.
@@ -298,6 +353,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Expected < 1 || cfg.Expected > len(cfg.Tokens) {
 		return nil, fmt.Errorf("server: Expected %d outside [1, %d]", cfg.Expected, len(cfg.Tokens))
 	}
+	if cfg.Mode < ModeSync || cfg.Mode > ModeEpoch {
+		return nil, fmt.Errorf("server: unknown Mode %d", int(cfg.Mode))
+	}
+	if cfg.Mode == ModeEpoch && cfg.BarrierDeadline > 0 {
+		return nil, fmt.Errorf("server: BarrierDeadline is a synchronous-mode knob; epoch mode paces with EpochTick")
+	}
+	if cfg.EpochTick < 0 {
+		return nil, fmt.Errorf("server: EpochTick must be non-negative")
+	}
+	if cfg.EpochTick > 0 && cfg.Mode != ModeEpoch {
+		return nil, fmt.Errorf("server: EpochTick requires Mode == ModeEpoch")
+	}
 	mode := billboard.FirstPositive
 	if !cfg.Universe.LocalTesting() {
 		mode = billboard.BestValue
@@ -334,6 +401,7 @@ func New(cfg Config) (*Server, error) {
 		probes:     make([]int, len(cfg.Tokens)),
 		cost:       make([]float64, len(cfg.Tokens)),
 		satisfied:  make([]bool, len(cfg.Tokens)),
+		lastStamp:  make(map[int]int),
 		armedRound: -1,
 		m:          newServerMetrics(cfg.Metrics), // before recovery: replay is recorded
 	}
@@ -473,6 +541,12 @@ func (s *Server) Close() error {
 	s.closed = true
 	if s.barrierTimer != nil {
 		s.barrierTimer.Stop()
+	}
+	if s.epochTimer != nil {
+		// An expire callback already past Stop re-checks s.closed under the
+		// lock before touching any seal state, so a tick can never commit
+		// into a closing server.
+		s.epochTimer.Stop()
 	}
 	// Stop pending lease timers: an expiry callback firing after Close
 	// would race the teardown (and log into a closed harness).
@@ -855,8 +929,23 @@ func (s *Server) executeLocked(sess *session, req *wire.Request) wire.Response {
 	case wire.ReqNegCount:
 		return s.negCountLocked(req.Object)
 	case wire.ReqWindow:
-		return wire.Response{Counts: s.windowLocked(req.From, req.To), Round: s.round}
+		from, to := req.From, req.To
+		if req.Last > 0 {
+			// Sliding window (protocol v8): the most recent Last closed
+			// rounds. Response.Round anchors the answer.
+			to = s.round
+			from = to - req.Last
+			if from < 0 {
+				from = 0
+			}
+		}
+		return wire.Response{Counts: s.windowLocked(from, to), Round: s.round}
+	case wire.ReqEpoch:
+		return s.epochLocked(sess, req)
 	case wire.ReqBarrier:
+		if s.cfg.Mode == ModeEpoch {
+			return wire.Response{Err: "barrier requests are not served in epoch mode; pace with epoch frames"}
+		}
 		return s.barrierLocked(sess, req.Seq)
 	case wire.ReqDone:
 		if sess.swarm {
@@ -959,6 +1048,7 @@ func (s *Server) helloPayloadLocked() wire.Response {
 		Costs:        costs,
 		Round:        s.round,
 		Shards:       s.ShardCount(),
+		Mode:         uint8(s.cfg.Mode),
 	}
 }
 
@@ -1228,9 +1318,95 @@ func (s *Server) postBatchLocked(sess *session, req *wire.Request) wire.Response
 		}
 	}
 	if req.EndRound {
+		if s.cfg.Mode == ModeEpoch {
+			// Epoch-stamped post batch: the posts above bound to the open
+			// epoch, and the same frame advances the sender's lamport stamp —
+			// the posts are already applied under this lock, so the epoch the
+			// stamp releases necessarily contains them. Non-blocking: the
+			// caller polls epoch frames to observe the seal.
+			target := req.Epoch
+			if target == 0 {
+				target = s.round + 1
+			}
+			s.stampLocked(sess, target)
+			s.advanceLocked()
+			s.armEpochTickLocked()
+			return wire.Response{Round: s.round}
+		}
 		return s.barrierLocked(sess, req.Seq)
 	}
 	return wire.Response{Round: s.round}
+}
+
+// epochLocked serves one epoch pacing frame (protocol v8, epoch mode): it
+// advances the session's lamport stamp, re-checks the seal condition, and
+// answers the currently open epoch without ever blocking — the non-blocking
+// analogue of barrier arrival.
+func (s *Server) epochLocked(sess *session, req *wire.Request) wire.Response {
+	if s.cfg.Mode != ModeEpoch {
+		return wire.Response{Err: "epoch requests require an epoch-mode server"}
+	}
+	s.stampLocked(sess, req.Epoch)
+	s.advanceLocked()
+	s.armEpochTickLocked()
+	return wire.Response{Round: s.round}
+}
+
+// stampLocked advances the lamport epoch stamp of every active member the
+// session speaks for (the whole block, for a swarm session). Stamps are
+// monotone: a stale or replayed frame can never move one backwards.
+func (s *Server) stampLocked(sess *session, epoch int) {
+	from, to := sess.memberRange()
+	for p := from; p < to; p++ {
+		if s.active[p] && epoch > s.lastStamp[p] {
+			s.lastStamp[p] = epoch
+		}
+	}
+}
+
+// armEpochTickLocked starts the epoch clock on first epoch activity (epoch
+// mode with EpochTick set). The timer re-arms itself from its own callback,
+// so one arm keeps the clock running for the server's life; Close stops it
+// and the callback's closed-check makes a racing tick a no-op.
+func (s *Server) armEpochTickLocked() {
+	if s.cfg.Mode != ModeEpoch || s.cfg.EpochTick <= 0 || s.closed || s.epochTimer != nil {
+		return
+	}
+	s.epochTimer = time.AfterFunc(s.cfg.EpochTick, s.epochExpire)
+}
+
+// epochExpire fires on each epoch clock tick: if at least one active player
+// has stamped past the open epoch, the epoch seals without waiting for the
+// stragglers — whose late posts then bind to the next open epoch. This is
+// the liveness escape hatch of tick mode; pure lamport closure (tick zero)
+// never force-seals and keeps byte-exact digest parity with sync mode.
+func (s *Server) epochExpire() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	moved := false
+	for p := range s.active {
+		if s.lastStamp[p] > s.round {
+			moved = true
+			break
+		}
+	}
+	if moved && len(s.registered) >= s.cfg.Expected {
+		forced := false
+		for p := range s.active {
+			if !s.arrived[p] && s.lastStamp[p] <= s.round {
+				forced = true
+			}
+			s.arrived[p] = true
+		}
+		if forced {
+			s.m.epochTickSeals.Inc()
+		}
+		s.advanceLocked()
+	}
+	s.epochTimer.Reset(s.cfg.EpochTick)
 }
 
 func (s *Server) votesLocked(ofPlayer int) wire.Response {
@@ -1485,8 +1661,31 @@ func (s *Server) leaveLocked(player int) {
 }
 
 // advanceLocked commits the round when everyone expected has registered and
-// every active player has arrived.
+// every active player has arrived. In epoch mode "arrived" is synthesized
+// from the lamport stamps — a player whose stamp has passed the open epoch
+// has finished submitting it — which makes the epoch seal condition
+// isomorphic to the sync barrier and the committed per-epoch post sets (and
+// hence the board digests) identical by construction under pure lamport
+// closure. The check loops because a commit opens the next epoch, which the
+// standing stamps may in principle already close.
 func (s *Server) advanceLocked() {
+	for {
+		r := s.round
+		if s.cfg.Mode == ModeEpoch {
+			for p := range s.active {
+				if s.lastStamp[p] > r {
+					s.arrived[p] = true
+				}
+			}
+		}
+		s.advanceOnceLocked()
+		if s.cfg.Mode != ModeEpoch || s.round == r {
+			return
+		}
+	}
+}
+
+func (s *Server) advanceOnceLocked() {
 	if len(s.registered) < s.cfg.Expected {
 		return
 	}
@@ -1501,6 +1700,7 @@ func (s *Server) advanceLocked() {
 			return
 		}
 	} else {
+		sealed := s.round
 		s.board.EndRound()
 		s.round++
 		s.roundA.Store(int64(s.round))
@@ -1509,11 +1709,20 @@ func (s *Server) advanceLocked() {
 		if s.cfg.Journal != nil {
 			// A marker failure is logged into the error path on the next post;
 			// the in-memory board stays authoritative for this process.
+			if s.cfg.Mode == ModeEpoch {
+				// The epoch marker precedes the round marker so SyncCommit's
+				// round-marker fsync makes both durable together; replay is
+				// board-neutral on it (the round markers alone rebuild state).
+				_ = s.cfg.Journal.EpochMark(sealed)
+				s.m.epochSeals.Inc()
+			}
 			if s.replLog != nil {
 				_ = s.cfg.Journal.EndRoundQuorum(nil, s.replTerm, s.replQuorum)
 			} else {
 				_ = s.cfg.Journal.EndRound()
 			}
+		} else if s.cfg.Mode == ModeEpoch {
+			s.m.epochSeals.Inc()
 		}
 	}
 	for p := range s.arrived {

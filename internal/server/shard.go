@@ -498,6 +498,14 @@ func (s *Server) commitShardedLocked() bool {
 	}
 	// Durable commit point: the coordinator's marker carries the admitted
 	// pairs, so recovery can top up a lane that misses its seal below.
+	if s.cfg.Mode == ModeEpoch {
+		// The epoch marker precedes the round marker so the round-marker
+		// fsync covers both; replay is board-neutral on it.
+		if s.cfg.Journal != nil {
+			_ = s.cfg.Journal.EpochMark(s.round)
+		}
+		s.m.epochSeals.Inc()
+	}
 	if s.cfg.Journal != nil {
 		if s.replLog != nil {
 			_ = s.cfg.Journal.EndRoundQuorum(admits, s.replTerm, s.replQuorum)

@@ -118,6 +118,23 @@ func (t *transport) pause(d time.Duration) error {
 	}
 }
 
+// idle sleeps for d without charging the backoff counter (epoch pacing
+// waits are expected quiescence, not failures), returning early if the
+// context is canceled.
+func (t *transport) idle(d time.Duration) error {
+	if d <= 0 {
+		return t.ctx.Err()
+	}
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return nil
+	case <-t.ctx.Done():
+		return t.ctx.Err()
+	}
+}
+
 // backoffWith returns the fully-jittered exponential backoff for an attempt
 // (1-based): uniform in (0, min(base·2^(attempt-1), max)].
 func (t *transport) backoffWith(src *rng.Source, attempt int) time.Duration {

@@ -1,0 +1,215 @@
+package swarm
+
+// Regression test for the reconnect double-delivery of a committed-round
+// notification. The transport resends the unacked frame tail after a
+// reconnect under the same sequence numbers, and the server replays
+// already-executed barriers with the round they originally committed. That
+// replayed notification is a second delivery of a round the group may have
+// already seen — runRound must dedupe on the group's last-seen round instead
+// of adopting the stale value and re-driving rounds the server has long
+// sealed.
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// scriptedServer speaks just enough of the wire protocol for a group's
+// primary connection: it answers Hello unconditionally and routes every
+// in-band frame through handle. Returning tear=true severs the connection
+// without answering — the reconnect trigger.
+type scriptedServer struct {
+	ln     net.Listener
+	handle func(connNum int, req *wire.Request) (resp wire.Response, tear bool)
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func startScriptedServer(t *testing.T, handle func(int, *wire.Request) (wire.Response, bool)) *scriptedServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &scriptedServer{ln: ln, handle: handle}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for n := 1; ; n++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, c)
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func(c net.Conn, n int) {
+				defer s.wg.Done()
+				defer c.Close()
+				dec := wire.NewStreamDecoder(bufio.NewReader(c))
+				enc := wire.NewStreamEncoder(c)
+				var hello wire.Request
+				if dec.DecodeRequest(&hello) != nil || hello.Type != wire.ReqHello {
+					return
+				}
+				if enc.EncodeResponse(&wire.Response{}) != nil {
+					return
+				}
+				for {
+					var req wire.Request
+					if dec.DecodeRequest(&req) != nil {
+						return
+					}
+					resp, tear := s.handle(n, &req)
+					if tear {
+						return
+					}
+					if enc.EncodeResponse(&resp) != nil {
+						return
+					}
+				}
+			}(c, n)
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		s.mu.Lock()
+		for _, c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+	})
+	return s
+}
+
+// newTestGroup wires a single-member group to addr with fast retry knobs —
+// the minimum state runRound's barrier tail touches.
+func newTestGroup(addr string) *group {
+	opt := normalizeOptions(client.Options{
+		Retries: 8, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+		CallTimeout: 5 * time.Second, BarrierTimeout: 5 * time.Second,
+	}, 0)
+	d := &driver{cfg: Config{Chunk: 4096}}
+	d.t = &transport{
+		ctx: context.Background(), opt: opt, token: "tok", window: 4,
+		met: &d.met, addr: addr, addrs: []string{addr},
+	}
+	g := &group{d: d, idx: 0, from: 0, to: 1, members: []int{0}}
+	g.prim = &conn{
+		t: d.t, label: "group 0", from: 0, to: 1,
+		session: 7, jitter: rng.New(1).Split(1),
+	}
+	return g
+}
+
+// TestStaleBarrierReplayDoesNotRegressRound scripts the double-delivery:
+// barrier 1 commits round 2 (the server ran ahead of this group), barrier 2
+// is executed server-side but the connection tears before the response
+// lands, and the resumed session replays the notification with the round
+// the frame originally committed — stale relative to what the group has
+// already seen. The group must treat the replay as a duplicate and keep its
+// round monotone; regressing it would re-drive rounds the server sealed
+// long ago.
+func TestStaleBarrierReplayDoesNotRegressRound(t *testing.T) {
+	var (
+		mu        sync.Mutex
+		barriers  int
+		tornSeq   uint64
+		replayed  bool
+		replaySeq uint64
+	)
+	srv := startScriptedServer(t, func(connNum int, req *wire.Request) (wire.Response, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if req.Type != wire.ReqBarrier {
+			return wire.Response{}, false
+		}
+		barriers++
+		switch {
+		case barriers == 1:
+			return wire.Response{Round: 2}, false
+		case barriers == 2:
+			// Executed server-side, response lost: tear without answering.
+			tornSeq = req.Seq
+			return wire.Response{}, true
+		default:
+			// The resumed session's replay: answer with the round the torn
+			// frame originally committed — stale, the group saw 2 already.
+			replayed = true
+			replaySeq = req.Seq
+			return wire.Response{Round: 1}, false
+		}
+	})
+
+	g := newTestGroup(srv.ln.Addr().String())
+	if err := g.runRound(); err != nil {
+		t.Fatal(err)
+	}
+	if g.round != 2 {
+		t.Fatalf("after barrier 1: group round = %d, want 2", g.round)
+	}
+	if err := g.runRound(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if !replayed {
+		t.Fatal("connection tear did not trigger a resend of the unacked barrier")
+	}
+	if replaySeq != tornSeq {
+		t.Fatalf("replayed barrier resent as seq %d, torn frame was seq %d — not the unacked tail", replaySeq, tornSeq)
+	}
+	if g.round != 2 {
+		t.Errorf("stale replayed barrier moved group round to %d, want it deduped at 2", g.round)
+	}
+}
+
+// TestStaleEpochReplayRepolls pins the epoch-mode analogue: a stale round in
+// an epoch-poll response is not a seal notification for the target epoch, so
+// the group keeps polling instead of adopting it.
+func TestStaleEpochReplayRepolls(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		polls int
+	)
+	srv := startScriptedServer(t, func(connNum int, req *wire.Request) (wire.Response, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if req.Type != wire.ReqEpoch {
+			return wire.Response{}, false
+		}
+		polls++
+		if polls < 3 {
+			// Stale deliveries below the target epoch: keep polling.
+			return wire.Response{Round: 0}, false
+		}
+		return wire.Response{Round: 1}, false
+	})
+
+	g := newTestGroup(srv.ln.Addr().String())
+	g.d.epoch = true
+	if err := g.runRound(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if polls != 3 {
+		t.Errorf("epoch barrier took %d polls, want 3 (stale rounds must re-poll)", polls)
+	}
+	if g.round != 1 {
+		t.Errorf("group round = %d after epoch seal, want 1", g.round)
+	}
+}

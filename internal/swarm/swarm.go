@@ -169,8 +169,9 @@ type driver struct {
 	board *boardReader
 	proto *core.Distill
 
-	n       int // total players served (server-advertised)
+	n       int  // total players served (server-advertised)
 	shards  int
+	epoch   bool // server advertised epoch mode in Hello
 	players []playerState // indexed by player-cfg.From
 	groups  []*group
 
@@ -245,6 +246,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	d.n = hello.N
 	d.shards = max(hello.Shards, 1)
+	d.epoch = hello.Mode == wire.ModeEpoch
 	d.uni = &universe{m: hello.M, costs: hello.Costs, localTesting: hello.LocalTesting}
 	for _, g := range d.groups[1:] {
 		if _, err := g.prim.ensure(); err != nil {
@@ -550,8 +552,31 @@ func (g *group) runRound() error {
 	}
 
 	// Barrier: every post of this group is acknowledged (journaled and
-	// buffered server-side), so arriving the whole block is safe.
+	// buffered server-side), so arriving the whole block is safe. In epoch
+	// mode the barrier frame is replaced by a lamport stamp covering the
+	// block plus a non-blocking poll until the target epoch seals.
 	start := time.Now()
+	if d.epoch {
+		target := g.round + 1
+		for {
+			resp, err := g.prim.one(wire.Request{Type: wire.ReqEpoch, Epoch: target}, false)
+			if err != nil {
+				return err
+			}
+			if resp.Round >= target {
+				if d.met.enabled {
+					d.met.barrierSeconds.ObserveSince(start)
+				}
+				if resp.Round > g.round {
+					g.round = resp.Round
+				}
+				return nil
+			}
+			if err := d.t.idle(d.t.opt.EpochPoll); err != nil {
+				return err
+			}
+		}
+	}
 	resp, err := g.prim.one(wire.Request{Type: wire.ReqBarrier}, true)
 	if err != nil {
 		return err
@@ -559,7 +584,12 @@ func (g *group) runRound() error {
 	if d.met.enabled {
 		d.met.barrierSeconds.ObserveSince(start)
 	}
-	g.round = resp.Round
+	// Monotone: a reconnect can replay the unacked tail, and a replayed
+	// barrier answers the round it originally committed — never let that
+	// stale delivery move the group's round backwards.
+	if resp.Round > g.round {
+		g.round = resp.Round
+	}
 	return nil
 }
 
@@ -639,6 +669,12 @@ func normalizeOptions(o client.Options, label int) client.Options {
 	}
 	if o.CallTimeout < 0 {
 		o.CallTimeout = 0
+	}
+	if o.EpochPoll == 0 {
+		o.EpochPoll = 2 * time.Millisecond
+	}
+	if o.EpochPoll < 0 {
+		o.EpochPoll = 0
 	}
 	if o.Seed == 0 {
 		o.Seed = 0x9e3779b97f4a7c15 ^ uint64(label)

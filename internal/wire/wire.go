@@ -83,6 +83,13 @@ const (
 	// its player. The swarm driver prefetches a whole advice round's vote
 	// lookups this way instead of one ReqVotes round-trip per player.
 	ReqVoteBatch
+	// ReqEpoch (protocol v8) is the non-blocking epoch-mode pacing frame:
+	// Request.Epoch carries the caller's lamport stamp ("I have finished
+	// submitting every epoch below this"), the response's Round reports the
+	// server's currently open epoch, and the call returns immediately —
+	// never waiting on other players. Rejected by servers running in
+	// synchronous mode.
+	ReqEpoch
 )
 
 // String returns the request kind name.
@@ -116,6 +123,8 @@ func (t ReqType) String() string {
 		return "swarm-done"
 	case ReqVoteBatch:
 		return "vote-batch"
+	case ReqEpoch:
+		return "epoch"
 	default:
 		return fmt.Sprintf("ReqType(%d)", uint8(t))
 	}
@@ -151,7 +160,16 @@ func (t ReqType) String() string {
 // requests are idempotent-or-reconstructible, so a swarm client may
 // pipeline many frames per connection and resend the unacknowledged tail
 // after a reconnect without a server-side response window.
-const Version = 7
+//
+// Version 8 adds asynchronous epoch mode: the Hello reply advertises the
+// server's operation mode (Response.Mode — 0 synchronous rounds, 1
+// timestamped epochs), post batches and pacing frames carry a lamport
+// epoch stamp (Request.Epoch), the non-blocking ReqEpoch frame replaces
+// the blocking barrier as the epoch-mode pacing primitive, and window
+// queries may ask for a sliding window relative to the current round
+// (Request.Last) instead of absolute bounds. Synchronous-mode streams are
+// wire-identical to v7 apart from the version number.
+const Version = 8
 
 // Shard maps an object id onto one of shards lanes. It is the single
 // shard-map definition shared by client and server: deterministic, seedless,
@@ -203,8 +221,12 @@ type Request struct {
 	// Votes target.
 	OfPlayer int
 
-	// Window bounds [From, To).
+	// Window bounds [From, To). Last (protocol v8), when positive, asks
+	// for the sliding window of the most recent Last closed rounds instead:
+	// the server answers [round-Last, round) against its current round and
+	// sets Response.Round so the caller knows which window it got.
 	From, To int
+	Last     int
 
 	// PostBatch payload (protocol v3): the round's posts, applied in
 	// order. EndRound, when true, additionally ends the caller's round in
@@ -238,6 +260,13 @@ type Request struct {
 
 	// SwarmDone payload (protocol v7): the players that halted.
 	Players []int
+
+	// Epoch (protocol v8) is the caller's lamport epoch stamp, meaningful
+	// on ReqEpoch and epoch-mode ReqPostBatch frames: the player asserts it
+	// has finished submitting every epoch below Epoch. The server seals an
+	// epoch once every active player's stamp has passed it — the
+	// non-blocking analogue of barrier arrival. Zero means "no stamp".
+	Epoch int
 }
 
 // ProbeMsg is one probe inside a ReqProbeBatch frame: player probes object.
@@ -377,7 +406,21 @@ type Response struct {
 	// ProbeResults (protocol v7) answers a ReqProbeBatch, one entry per
 	// Request.Probes element, in order.
 	ProbeResults []ProbeRes
+
+	// Mode (protocol v8) is the server's operation mode, advertised on the
+	// Hello reply: ModeSync (ReqBarrier paces) or ModeEpoch (ReqEpoch
+	// paces; ReqBarrier is rejected).
+	Mode uint8
 }
+
+// Operation modes carried in Response.Mode (protocol v8).
+const (
+	// ModeSync: synchronous rounds behind a global blocking barrier.
+	ModeSync uint8 = 0
+	// ModeEpoch: timestamped epochs advanced by lamport stamps; pacing is
+	// non-blocking polling via ReqEpoch.
+	ModeEpoch uint8 = 1
+)
 
 // Error materializes the response error, if any. Responses tagged with a
 // v4 code wrap the matching sentinel, so errors.Is(err, ErrSessionExpired)
