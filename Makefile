@@ -12,8 +12,10 @@
 # kill, isolation step-down, failover chaos digests) doubled under -race,
 # the epoch-mode suite (stamp closure, tick seals, sync-vs-epoch digest
 # convergence under chaos, close-during-commit seal audit, stale-replay
-# dedupe) doubled under -race, and a 1-iteration bench smoke so a broken
-# benchmark cannot land silently.
+# dedupe) doubled under -race, the scenario-replay golden (same file + seed
+# → byte-identical digest) doubled under -race plus the open-world swarm
+# dynamics suite and a `cmd/experiments -scenario` smoke test, and a
+# 1-iteration bench smoke so a broken benchmark cannot land silently.
 
 GO ?= go
 
@@ -34,6 +36,9 @@ check: build
 	$(GO) test -race -run 'TestReplica|TestLeader|TestChaosReplica|TestChaosLeader' -count=2 ./internal/server ./internal/dist
 	$(GO) test -race -run 'TestSwarm|TestFlatClusterConfig' -count=2 ./internal/swarm ./internal/dist
 	$(GO) test -race -run 'TestEpoch|TestStale|TestCloseDuringCommit' -count=2 ./internal/server ./internal/swarm ./internal/dist
+	$(GO) test -race -run 'TestGoldenScenarioReplay' -count=2 .
+	$(GO) test -race -run 'TestSwarmDynamics|TestEngineReplayDeterministic|TestClusterReplayDeterministic' -count=2 ./internal/dist ./internal/scenario
+	$(GO) test -race -run 'TestScenario' ./cmd/experiments
 	$(GO) test -run xxx -bench . -benchtime 1x . ./internal/server > /dev/null
 
 # Short fuzz passes over the byte-level decoders (wire frames, journal).

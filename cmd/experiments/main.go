@@ -9,10 +9,17 @@
 //	experiments -parallel 4      # run 4 experiments concurrently
 //	experiments -cpuprofile cpu.pprof   # profile the run
 //	experiments -trace-out run.jsonl    # JSONL event per experiment
+//
+// It also runs declarative scenarios (a builtin name or a JSON file path):
+//
+//	experiments -scenario flash-crowd -seed 7
+//	experiments -scenario testdata/scenarios/churn-trace.json
 package main
 
 import (
 	"bytes"
+	"context"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"io"
@@ -44,12 +51,13 @@ func run(args []string, out io.Writer) error {
 		workers    = fs.Int("workers", 0, "replication parallelism (0 = GOMAXPROCS)")
 		parallel   = fs.Int("parallel", 1, "experiments run concurrently (output order is unchanged)")
 		ablations  = fs.Bool("ablations", false, "also run the design-choice ablations A1…A5")
-		extensions = fs.Bool("extensions", false, "also run the §6 open-problem extensions X1…X6")
+		extensions = fs.Bool("extensions", false, "also run the §6 open-problem extensions X1…X8")
 		format     = fs.String("format", "text", `output format: "text" or "markdown"`)
 		list       = fs.Bool("list", false, "list all experiment ids and claims, then exit")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		traceOut   = fs.String("trace-out", "", "write one JSONL event per completed experiment to this file")
+		scenarioIn = fs.String("scenario", "", "run a declarative scenario instead: a builtin name or a JSON file path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,7 +70,13 @@ func run(args []string, out io.Writer) error {
 		for _, e := range all {
 			fmt.Fprintf(out, "%-4s %s\n     %s\n", e.ID, e.Title, e.Claim)
 		}
+		fmt.Fprintf(out, "scenarios (-scenario): %s, or a JSON file path\n",
+			strings.Join(repro.ScenarioNames(), ", "))
 		return nil
+	}
+
+	if *scenarioIn != "" {
+		return runScenario(*scenarioIn, *seed, out)
 	}
 
 	var selected []repro.Experiment
@@ -198,6 +212,36 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return trace.Err()
+}
+
+// runScenario loads nameOrPath as a scenario file if it exists on disk,
+// else as a builtin name, runs it with the given seed, and prints a
+// summary. The printed digest is the replay contract: the same
+// (scenario, seed) always reproduces it byte for byte.
+func runScenario(nameOrPath string, seed uint64, out io.Writer) error {
+	var sc *repro.Scenario
+	var err error
+	if _, statErr := os.Stat(nameOrPath); statErr == nil {
+		sc, err = repro.LoadScenario(nameOrPath)
+	} else {
+		sc, err = repro.BuiltinScenario(nameOrPath)
+	}
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := repro.RunScenario(context.Background(), sc, repro.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "=== scenario %s (%s backend, %.1fs)\n", res.Name, res.Backend, time.Since(start).Seconds())
+	if sc.Description != "" {
+		fmt.Fprintf(out, "%s\n", sc.Description)
+	}
+	fmt.Fprintf(out, "seed %d: %d rounds, honest %d: found %d, departed %d, timed out %d, mean probes %.1f\n",
+		res.Seed, res.Rounds, res.Honest, res.Found, res.Departed, res.TimedOut, res.MeanProbes)
+	fmt.Fprintf(out, "digest sha256:%x\n", sha256.Sum256(res.Digest))
+	return nil
 }
 
 // experimentEvent is the JSONL record -trace-out emits per completed

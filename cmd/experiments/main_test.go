@@ -123,3 +123,51 @@ func TestListFlag(t *testing.T) {
 		}
 	}
 }
+
+func TestScenarioBuiltinRuns(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "flash-crowd", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "=== scenario flash-crowd") {
+		t.Fatalf("missing scenario header:\n%s", got)
+	}
+	if !strings.Contains(got, "digest ") {
+		t.Fatalf("missing digest line:\n%s", got)
+	}
+	// Replay: the digest line must reproduce byte for byte.
+	var again strings.Builder
+	if err := run([]string{"-scenario", "flash-crowd", "-seed", "7"}, &again); err != nil {
+		t.Fatal(err)
+	}
+	digestLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "digest ") {
+				return line
+			}
+		}
+		return ""
+	}
+	if d := digestLine(got); d == "" || d != digestLine(again.String()) {
+		t.Fatalf("scenario replay digest mismatch:\n%s\nvs\n%s", got, again.String())
+	}
+}
+
+func TestScenarioFileRuns(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "scenarios", "flash-crowd.json")
+	var out strings.Builder
+	if err := run([]string{"-scenario", path, "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digest ") {
+		t.Fatalf("missing digest line:\n%s", out.String())
+	}
+}
+
+func TestScenarioUnknownRejected(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scenario", "no-such-scenario"}, &out); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -77,11 +77,11 @@ func run(args []string, out io.Writer) error {
 		repro.WithSwarmGroups(*groups),
 		repro.WithSwarmChunk(*chunk),
 		repro.WithSwarmWindow(*window),
-		repro.WithSwarmMetrics(reg),
+		repro.WithMetrics(reg),
 	}
 	if *verbose {
 		logf := func(format string, a ...any) { fmt.Fprintf(out, format+"\n", a...) }
-		opts = append(opts, repro.WithSwarmLogf(logf))
+		opts = append(opts, repro.WithLogf(logf))
 	}
 
 	fmt.Fprintf(out, "swarm-bench: %d players, m=%d good=%d shards=%d groups=%d chunk=%d window=%d max-rounds=%d\n",

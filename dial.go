@@ -2,8 +2,6 @@ package repro
 
 import (
 	"context"
-	"net"
-	"time"
 
 	"repro/internal/client"
 )
@@ -18,66 +16,10 @@ import (
 // the returned client. This is the one supported constructor; the legacy
 // deprecated dial wrappers are gone.
 
-// DialOption customizes one Dial call. Options apply in order over the
-// zero ClientOptions value; unset knobs keep the documented defaults.
-type DialOption func(*ClientOptions)
-
-// WithRetries sets how many times a failed call is retried (reconnecting
-// and resuming the session first) before the error is reported. Negative
-// disables retries.
-func WithRetries(n int) DialOption {
-	return func(o *ClientOptions) { o.Retries = n }
-}
-
-// WithBackoff shapes the jittered exponential backoff between retries.
-func WithBackoff(base, max time.Duration) DialOption {
-	return func(o *ClientOptions) { o.BackoffBase, o.BackoffMax = base, max }
-}
-
-// WithCallTimeout bounds one attempt of a non-barrier call. Negative
-// disables the deadline.
-func WithCallTimeout(d time.Duration) DialOption {
-	return func(o *ClientOptions) { o.CallTimeout = d }
-}
-
-// WithBarrierTimeout bounds one attempt of a Barrier call (default: no
-// deadline — barriers block legitimately while other players finish).
-func WithBarrierTimeout(d time.Duration) DialOption {
-	return func(o *ClientOptions) { o.BarrierTimeout = d }
-}
-
-// WithEpochPoll sets the sleep between epoch pacing polls against a
-// ModeEpoch server (default 2ms; negative polls without sleeping). Sync
-// servers ignore it — the client learns the mode from the handshake.
-func WithEpochPoll(d time.Duration) DialOption {
-	return func(o *ClientOptions) { o.EpochPoll = d }
-}
-
-// WithDialer overrides the transport dial — the hook fault injection
-// (NewFaultInjector) plugs into.
-func WithDialer(dial func(addr string) (net.Conn, error)) DialOption {
-	return func(o *ClientOptions) { o.Dialer = dial }
-}
-
-// WithClientSeed seeds the backoff jitter (default: derived from the
-// player id).
-func WithClientSeed(seed uint64) DialOption {
-	return func(o *ClientOptions) { o.Seed = seed }
-}
-
-// WithMetrics records the client_* metric family (dials, reconnects,
-// retries, backoff time, frames/bytes sent) into reg. Share one registry
-// across a fleet of clients to aggregate.
-func WithMetrics(reg *Metrics) DialOption {
-	return func(o *ClientOptions) { o.Metrics = reg }
-}
-
-// WithClientOptions replaces the whole option struct — the escape hatch
-// for callers that already hold a ClientOptions value. Later options still
-// apply on top.
-func WithClientOptions(opt ClientOptions) DialOption {
-	return func(o *ClientOptions) { *o = opt }
-}
+// DialOption and its constructors live in options.go with the rest of the
+// unified option layer: the transport knobs (WithRetries, WithBackoff,
+// WithCallTimeout, WithBarrierTimeout, WithEpochPoll, WithDialer,
+// WithClientSeed) plus the shared WithMetrics and WithClientOptions.
 
 // Dial connects and authenticates to a billboard server as the given
 // player. With no options it uses sane fault-tolerance defaults and no
@@ -89,7 +31,7 @@ func WithClientOptions(opt ClientOptions) DialOption {
 func Dial(ctx context.Context, addr string, player int, token string, opts ...DialOption) (*BillboardClient, error) {
 	var o ClientOptions
 	for _, opt := range opts {
-		opt(&o)
+		opt.applyDial(&o)
 	}
 	return client.DialContext(ctx, addr, player, token, o)
 }

@@ -83,5 +83,5 @@ func ExampleExperiments() {
 	// Output:
 	// paper experiments: 13
 	// ablations: 5
-	// extensions: 6
+	// extensions: 8
 }

@@ -2,7 +2,6 @@ package repro
 
 import (
 	"io"
-	"time"
 
 	"repro/internal/async"
 	"repro/internal/client"
@@ -126,36 +125,22 @@ type (
 	ClusterDrive = dist.Drive
 	// FlatClusterConfig is the historical flat flag-bag shape; its Cluster
 	// method folds it into the structured ClusterConfig.
+	//
+	// Deprecated: build ClusterConfig directly with its Topology, Chaos,
+	// and Drive sub-structs — the flat shape cannot express the newer
+	// knobs (Mode, EpochTick, Drive.*) and will not grow new fields.
 	FlatClusterConfig = dist.FlatClusterConfig
 	// ClusterResult aggregates a distributed run.
 	ClusterResult = dist.ClusterResult
 )
 
-// ClusterOption customizes one RunDistributedCluster call on top of the
-// ClusterConfig value. Options apply in order.
-type ClusterOption func(*ClusterConfig)
-
-// WithMode selects the cluster's operation mode: ModeSync (the default)
-// closes rounds through the global barrier, ModeEpoch replaces it with
-// lamport-paced epochs — gossip-style operation that never blocks a frame
-// on other players.
-func WithMode(m ServerMode) ClusterOption {
-	return func(c *ClusterConfig) { c.Mode = m }
-}
-
-// WithEpochTick arms the wall-clock epoch clock for a ModeEpoch cluster:
-// epochs also seal every d even when stragglers have not stamped past them
-// (trading the byte-exact sync equivalence of pure lamport pacing for
-// bounded epoch latency).
-func WithEpochTick(d time.Duration) ClusterOption {
-	return func(c *ClusterConfig) { c.EpochTick = d }
-}
-
 // RunDistributedCluster starts a billboard server and runs every player as
-// a concurrent TCP client.
+// a concurrent TCP client. ClusterOption and its constructors (WithMode,
+// WithEpochTick, WithMetrics, WithLogf, WithClientOptions) live in
+// options.go with the rest of the unified option layer.
 func RunDistributedCluster(cfg ClusterConfig, opts ...ClusterOption) (*ClusterResult, error) {
 	for _, opt := range opts {
-		opt(&cfg)
+		opt.applyCluster(&cfg)
 	}
 	return dist.RunCluster(cfg)
 }

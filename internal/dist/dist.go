@@ -39,6 +39,7 @@ type HonestResult struct {
 	Rounds   int // round at which the player halted (or MaxRounds)
 	Found    bool
 	TimedOut bool
+	Departed bool // left via Drive.Dynamics before finding an object
 }
 
 // RunHonestPlayer connects to the billboard server at addr and runs DISTILL
@@ -229,6 +230,12 @@ type Drive struct {
 	SwarmGroups int
 	SwarmChunk  int
 	SwarmWindow int
+	// Dynamics, when non-nil, opens the world: honest arrivals and
+	// departures flow through the hook at round boundaries (see
+	// sim.Dynamics and swarm.Config.Dynamics). Requires Swarm — the
+	// goroutine-per-player fleet has no round-aligned point to inject
+	// membership changes deterministically, the event-loop driver does.
+	Dynamics sim.Dynamics
 }
 
 // ClusterConfig describes a full distributed run on localhost: the world
@@ -284,8 +291,12 @@ type ClusterConfig struct {
 
 // FlatClusterConfig is the historical flat shape of ClusterConfig, kept as
 // a compatibility constructor: Cluster folds the flat flags into the
-// Topology/Chaos/Drive sub-structs. New code should build ClusterConfig
-// directly.
+// Topology/Chaos/Drive sub-structs.
+//
+// Deprecated: build ClusterConfig directly with its Topology, Chaos, and
+// Drive sub-structs. The flat shape predates those groupings, cannot
+// express the newer knobs (Mode, EpochTick, Drive.*), and will not grow
+// new fields.
 type FlatClusterConfig struct {
 	Universe          *object.Universe
 	Honest            int
@@ -309,6 +320,9 @@ type FlatClusterConfig struct {
 }
 
 // Cluster converts the flat shape into the structured ClusterConfig.
+//
+// Deprecated: migration shim for FlatClusterConfig holders; build
+// ClusterConfig directly.
 func (f FlatClusterConfig) Cluster() ClusterConfig {
 	return ClusterConfig{
 		Universe:        f.Universe,
@@ -342,6 +356,9 @@ type ClusterResult struct {
 	Honest     []*HonestResult
 	Rounds     int // server round count at teardown
 	AllFound   bool
+	// Departed counts honest players that left via Drive.Dynamics without
+	// finding an object (they also clear AllFound).
+	Departed   int
 	MeanProbes float64
 	// ServerProbes is the per-player probe count as charged by the server.
 	// For honest players it equals HonestResult.Probes exactly when no
@@ -371,6 +388,9 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if cfg.Honest < 1 {
 		return nil, fmt.Errorf("dist: need at least one honest player")
 	}
+	if cfg.Drive.Dynamics != nil && !cfg.Drive.Swarm {
+		return nil, fmt.Errorf("dist: Drive.Dynamics requires Drive.Swarm")
+	}
 	if cfg.Topology.Replicas > 1 {
 		return runReplicated(cfg)
 	}
@@ -382,7 +402,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	}
 	n := cfg.Honest + cfg.Byzantine
 	tokens := make([]string, n)
-	tokenRng := rng.New(cfg.Seed).Split(9999)
+	tokenRng := rng.NewPartition(cfg.Seed).Stream(rng.StreamTokens)
 	for i := range tokens {
 		tokens[i] = fmt.Sprintf("tok-%d-%016x", i, tokenRng.Uint64())
 	}
@@ -616,6 +636,9 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		if !r.Found {
 			out.AllFound = false
 		}
+		if r.Departed {
+			out.Departed++
+		}
 		total += r.Probes
 		if r.Rounds > out.Rounds {
 			out.Rounds = r.Rounds
@@ -651,6 +674,7 @@ func runHonestFleet(cfg *ClusterConfig, addr string, tokens []string, swarmToken
 			Groups:    cfg.Drive.SwarmGroups,
 			Chunk:     cfg.Drive.SwarmChunk,
 			Window:    cfg.Drive.SwarmWindow,
+			Dynamics:  cfg.Drive.Dynamics,
 			Client:    opt,
 			Metrics:   opt.Metrics,
 			Logf:      cfg.Logf,
@@ -667,6 +691,7 @@ func runHonestFleet(cfg *ClusterConfig, addr string, tokens []string, swarmToken
 				Rounds:   pr.Rounds,
 				Found:    pr.Found,
 				TimedOut: pr.TimedOut,
+				Departed: pr.Departed,
 			}
 		}
 		return results, nil

@@ -7,6 +7,11 @@ import (
 )
 
 // x6: churn — the "changing interests" setting of the prior work [1]. The
+// workload shape is also available declaratively as the "two-epoch-churn"
+// builtin scenario (internal/scenario); X8 measures the same fragility
+// through that layer as a continuous drift process. This experiment keeps
+// its hand-rolled two-epoch loop because it reuses the stale board across
+// engine runs — a cross-run coupling a single scenario cannot express.
 // one-vote rule that powers Theorem 4 assumes a static good set: after the
 // good object moves, honest players have already spent their votes, so a
 // second search over the same billboard cannot distill (stale votes point

@@ -10,11 +10,13 @@ import (
 	"repro/internal/stats"
 )
 
-// Extensions returns the experiments X1…X3 exploring the open problems of
+// Extensions returns the experiments X1…X8 exploring the open problems of
 // the paper's §6 (and the §1.2 asynchronous-model motivation). They go
-// beyond the paper's claims, so they live outside the E registry.
+// beyond the paper's claims, so they live outside the E registry. X7 and
+// X8 run through the declarative scenario layer (internal/scenario): the
+// populations that used to be hard-coded here are now named builtin specs.
 func Extensions() []Experiment {
-	return []Experiment{x1(), x2(), x3(), x4(), x5(), x6()}
+	return []Experiment{x1(), x2(), x3(), x4(), x5(), x6(), x7(), x8()}
 }
 
 // x1: the §1.2 motivation — in the asynchronous model of [1], the schedule

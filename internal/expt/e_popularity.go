@@ -11,7 +11,9 @@ import (
 )
 
 // x4: §1.3 — popularity-style search hands control to the Byzantine
-// minority; DISTILL's one-vote + window discipline does not.
+// minority; DISTILL's one-vote + window discipline does not. The
+// popularity-drift side of this theme lives declaratively in the
+// "popularity-drift" builtin scenario (internal/scenario), measured by X8.
 func x4() Experiment {
 	return Experiment{
 		ID:    "X4",

@@ -69,7 +69,7 @@ func All() []Experiment {
 }
 
 // Everything returns the paper experiments E1…E13, the ablations A1…A5,
-// and the open-problem extensions X1…X6, in that order.
+// and the open-problem extensions X1…X8, in that order.
 func Everything() []Experiment {
 	return append(AllWithAblations(), Extensions()...)
 }

@@ -54,11 +54,11 @@ func TestAblationAndExtensionRegistries(t *testing.T) {
 	if got := len(Ablations()); got != 5 {
 		t.Fatalf("ablations = %d, want 5", got)
 	}
-	if got := len(Extensions()); got != 6 {
-		t.Fatalf("extensions = %d, want 6", got)
+	if got := len(Extensions()); got != 8 {
+		t.Fatalf("extensions = %d, want 8", got)
 	}
-	if got := len(Everything()); got != 24 {
-		t.Fatalf("everything = %d, want 24", got)
+	if got := len(Everything()); got != 26 {
+		t.Fatalf("everything = %d, want 26", got)
 	}
 	seen := map[string]bool{}
 	for _, e := range Everything() {

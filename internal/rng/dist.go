@@ -85,6 +85,38 @@ func (s *Source) Binomial(n int, p float64) int {
 	return count
 }
 
+// Poisson returns a Poisson(mean)-distributed int. For small means it uses
+// Knuth's product-of-uniforms method; for large means it falls back to a
+// normal approximation with continuity correction, which keeps the draw O(1)
+// instead of O(mean). It panics if mean < 0; mean == 0 returns 0.
+func (s *Source) Poisson(mean float64) int {
+	if mean < 0 || math.IsNaN(mean) {
+		panic("rng: Poisson with mean < 0")
+	}
+	if mean == 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= s.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation: Poisson(mean) ≈ N(mean, mean) for large mean.
+	// Arrival processes only care about aggregate counts at this scale.
+	v := math.Round(mean + math.Sqrt(mean)*s.NormFloat64())
+	if v < 0 {
+		return 0
+	}
+	return int(v)
+}
+
 // Zipf draws from a Zipf distribution over {0, ..., n-1} with exponent
 // alpha > 0: P(k) proportional to 1/(k+1)^alpha. The cumulative weights are
 // computed lazily per call; callers that draw many values should use

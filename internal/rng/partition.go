@@ -1,0 +1,85 @@
+package rng
+
+// Stream keys name the per-subsystem random streams of a Partition. The
+// numeric values are part of the determinism contract: a stream's draw
+// sequence is a pure function of (seed, key), so renumbering a key silently
+// re-randomizes every run that consumed it. Keys 1-4 are the compat keys —
+// the exact labels the simulation engine has split off its master stream
+// since the first release — and are pinned byte-identical by the golden
+// end-to-end tests. StreamTokens is the historical label the distributed
+// runner used for credential generation. The scenario-era keys live far
+// above 2^32 so they can never collide with a per-player stream label
+// (player ids double as Split labels in the dist and swarm drivers).
+const (
+	// StreamProtocol seeds the honest protocol's private stream.
+	StreamProtocol uint64 = 1
+	// StreamAdversary seeds the Byzantine strategy's stream.
+	StreamAdversary uint64 = 2
+	// StreamMembership seeds honest-set sampling.
+	StreamMembership uint64 = 3
+	// StreamErrors seeds the §4.1 erroneous-vote coin flips.
+	StreamErrors uint64 = 4
+	// StreamTokens seeds cluster credential generation (dist).
+	StreamTokens uint64 = 9999
+
+	// StreamArrival seeds the scenario player-arrival process.
+	StreamArrival uint64 = 1<<40 + 1
+	// StreamDeparture seeds the scenario player-departure process.
+	StreamDeparture uint64 = 1<<40 + 2
+	// StreamPopularity seeds the scenario popularity-drift process.
+	StreamPopularity uint64 = 1<<40 + 3
+	// StreamCampaign seeds the scenario adversary campaign (each phase
+	// splits its own child off this stream).
+	StreamCampaign uint64 = 1<<40 + 4
+	// StreamWorld seeds scenario universe construction.
+	StreamWorld uint64 = 1<<40 + 5
+)
+
+// Partition hands out independent per-subsystem random streams derived from
+// one master seed. Every stream is identified by a stable key: because
+// Split depends only on (seed, key) — never on how much any other stream
+// has consumed — adding a subsystem, reordering initialization, or running
+// subsystems in parallel cannot perturb another subsystem's draw sequence.
+// This is the property the scenario engine's replayability rests on: a
+// workload generator can appear, disappear, or draw more without moving a
+// single byte anywhere else.
+//
+// Stream returns the same *Source on repeated calls with the same key, so
+// a subsystem that re-fetches its stream continues where it left off. A
+// Partition (and the Sources it returns) is not safe for concurrent use;
+// derive one Partition per goroutine from the same seed, or hand each
+// goroutine a disjoint set of keys.
+type Partition struct {
+	root    *Source
+	streams map[uint64]*Source
+}
+
+// NewPartition returns a Partition over the given master seed.
+func NewPartition(seed uint64) *Partition {
+	return &Partition{root: New(seed)}
+}
+
+// Seed returns the master seed this partition derives every stream from.
+func (p *Partition) Seed() uint64 { return p.root.Seed() }
+
+// Stream returns the stream for key, creating it on first use. Repeated
+// calls return the same stream, advanced by however much it has consumed.
+func (p *Partition) Stream(key uint64) *Source {
+	if s, ok := p.streams[key]; ok {
+		return s
+	}
+	if p.streams == nil {
+		p.streams = make(map[uint64]*Source)
+	}
+	s := p.root.Split(key)
+	p.streams[key] = s
+	return s
+}
+
+// Player returns the per-player stream for the given player id — the same
+// derivation (label = player id) the distributed and swarm drivers have
+// always used, exposed through the partition so player streams and
+// subsystem streams share one seed without sharing state.
+func (p *Partition) Player(player int) *Source {
+	return p.Stream(uint64(player))
+}

@@ -1,0 +1,157 @@
+package rng
+
+import "testing"
+
+// drain returns the next n outputs of a stream.
+func drain(s *Source, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = s.Uint64()
+	}
+	return out
+}
+
+// TestSplitStreamIndependence is the property the Partition refactor rests
+// on: consuming (any amount of) one split stream must not change another
+// split stream's sequence, and the split itself must not depend on how far
+// the parent has advanced.
+func TestSplitStreamIndependence(t *testing.T) {
+	const seed = 12345
+
+	// Reference sequences: split both streams, touch nothing else.
+	ref1 := drain(New(seed).Split(1), 32)
+	ref2 := drain(New(seed).Split(2), 32)
+
+	// Interleaved draws on stream 1 — including splitting stream 1 before
+	// stream 2 and drawing heavily from it first — must leave stream 2's
+	// sequence untouched, and vice versa.
+	parent := New(seed)
+	s1 := parent.Split(1)
+	drain(s1, 1000) // burn stream 1
+	s2 := parent.Split(2)
+	if got := drain(s2, 32); !equalU64(got, ref2) {
+		t.Fatalf("stream 2 perturbed by draws on stream 1:\n got %v\nwant %v", got[:4], ref2[:4])
+	}
+
+	parent = New(seed)
+	s2 = parent.Split(2)
+	drain(s2, 1000) // burn stream 2 first this time
+	s1 = parent.Split(1)
+	if got := drain(s1, 32); !equalU64(got, ref1) {
+		t.Fatalf("stream 1 perturbed by draws on stream 2:\n got %v\nwant %v", got[:4], ref1[:4])
+	}
+
+	// Advancing the parent between splits must not move the children:
+	// Split depends only on (parent seed, label).
+	parent = New(seed)
+	drain(parent, 500)
+	if got := drain(parent.Split(1), 32); !equalU64(got, ref1) {
+		t.Fatalf("child stream depends on parent draw position")
+	}
+}
+
+// TestSplitDistinctLabels checks that nearby labels give streams that do not
+// collide (a weak sanity check, not a statistical test).
+func TestSplitDistinctLabels(t *testing.T) {
+	parent := New(7)
+	seen := make(map[uint64]uint64)
+	labels := []uint64{0, 1, 2, 3, 4, 9999, StreamArrival, StreamDeparture, StreamPopularity, StreamCampaign, StreamWorld}
+	for _, label := range labels {
+		first := parent.Split(label).Uint64()
+		if prev, dup := seen[first]; dup {
+			t.Fatalf("labels %d and %d produced identical first outputs", prev, label)
+		}
+		seen[first] = label
+	}
+}
+
+// TestPartitionMatchesSplit pins the compat contract: Partition.Stream(key)
+// is byte-for-byte the stream New(seed).Split(key) — the derivation every
+// existing golden test was recorded against.
+func TestPartitionMatchesSplit(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		p := NewPartition(seed)
+		for _, key := range []uint64{StreamProtocol, StreamAdversary, StreamMembership, StreamErrors, StreamTokens, StreamArrival, 77} {
+			want := drain(New(seed).Split(key), 16)
+			got := drain(p.Stream(key), 16)
+			if !equalU64(got, want) {
+				t.Fatalf("seed %d key %d: Partition.Stream != Split", seed, key)
+			}
+		}
+		if p.Seed() != seed {
+			t.Fatalf("Seed() = %d, want %d", p.Seed(), seed)
+		}
+	}
+}
+
+// TestPartitionStreamIsStateful checks that re-fetching a stream resumes it
+// rather than restarting it, and that Player aliases Stream(uint64(id)).
+func TestPartitionStreamIsStateful(t *testing.T) {
+	p := NewPartition(99)
+	ref := drain(New(99).Split(5), 8)
+
+	first := drain(p.Stream(5), 4)
+	rest := drain(p.Stream(5), 4)
+	if !equalU64(append(first, rest...), ref) {
+		t.Fatalf("re-fetched stream restarted instead of resuming")
+	}
+
+	if p.Player(5) != p.Stream(5) {
+		t.Fatalf("Player(5) is not the same stream as Stream(5)")
+	}
+}
+
+// TestPartitionScenarioKeysClearPlayerRange documents that the scenario
+// subsystem keys cannot collide with per-player stream labels (player ids
+// are ints well below 2^40).
+func TestPartitionScenarioKeysClearPlayerRange(t *testing.T) {
+	for _, key := range []uint64{StreamArrival, StreamDeparture, StreamPopularity, StreamCampaign, StreamWorld} {
+		if key <= 1<<32 {
+			t.Fatalf("scenario stream key %d inside the player-id range", key)
+		}
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	s := New(11)
+	if got := s.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+
+	// Empirical mean within 5%% of the parameter for a small and a large
+	// mean (the large mean exercises the normal-approximation branch).
+	for _, mean := range []float64{3.5, 200} {
+		const n = 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			v := s.Poisson(mean)
+			if v < 0 {
+				t.Fatalf("Poisson(%g) returned negative %d", mean, v)
+			}
+			sum += v
+		}
+		got := float64(sum) / n
+		if got < 0.95*mean || got > 1.05*mean {
+			t.Fatalf("Poisson(%g) empirical mean %g outside 5%%", mean, got)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Poisson(-1) did not panic")
+		}
+	}()
+	s.Poisson(-1)
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builtins is the named scenario library: the workload shapes the expt
+// suite used to hard-code, now expressed as specs. Each call site gets a
+// fresh copy (specs are mutated by Validate's default-filling).
+var builtins = map[string]func() *Spec{
+	// open-world: Poisson arrivals and departures over the in-process
+	// engine — the declarative form of the X7 churn study's population.
+	"open-world": func() *Spec {
+		return &Spec{
+			Name:        "open-world",
+			Description: "Poisson arrival/departure churn on the engine backend",
+			Players:     48,
+			MaxRounds:   256,
+			World:       World{Objects: 96, Good: 3},
+			Arrivals:    &Process{Kind: "poisson", Rate: 3, Until: 20},
+			Departures:  &Process{Kind: "poisson", Rate: 0.5, From: 4},
+		}
+	},
+	// flash-crowd: a quiet start, then bursts of arrivals slamming the
+	// board at once — the gossip-search overload shape.
+	"flash-crowd": func() *Spec {
+		return &Spec{
+			Name:        "flash-crowd",
+			Description: "burst arrivals: 4 early players, then two flash crowds",
+			Players:     64,
+			MaxRounds:   256,
+			World:       World{Objects: 128, Good: 4},
+			Arrivals:    &Process{Kind: "burst", At: []int{0, 6, 12}, Size: []int{4, 28, 32}},
+		}
+	},
+	// popularity-drift: a Zipf-planted catalog whose good set drifts every
+	// few rounds — the declarative form of the X4/X8 popularity studies.
+	// The world is deliberately sparse (1/β = 256) so searches outlast the
+	// drift period: the re-plant must land while players are still probing,
+	// or the drift process is dead weight.
+	"popularity-drift": func() *Spec {
+		return &Spec{
+			Name:        "popularity-drift",
+			Description: "Zipf-planted good set re-drawn every 3 rounds",
+			Players:     32,
+			MaxRounds:   192,
+			World:       World{Objects: 512, Good: 2, Zipf: 1.1},
+			Drift:       &Drift{Every: 3, Zipf: 1.1},
+		}
+	},
+	// two-epoch-churn: the X6 shape — a stable population, an abrupt
+	// interest change mid-run (every good object replaced), stale votes
+	// left on the board. As with popularity-drift, the sparse world keeps
+	// the search alive past the first re-plant.
+	"two-epoch-churn": func() *Spec {
+		return &Spec{
+			Name:        "two-epoch-churn",
+			Description: "abrupt good-set changes mid-run (the X6 after-effects shape)",
+			Players:     32,
+			MaxRounds:   192,
+			World:       World{Objects: 384, Good: 2},
+			Drift:       &Drift{Every: 4, Zipf: 1.0},
+		}
+	},
+	// adversary-switch: dishonest players open silent, turn to vote
+	// stuffing, then to slander — the phased-campaign shape of the BAR
+	// asynchronous-collusion adversaries.
+	"adversary-switch": func() *Spec {
+		return &Spec{
+			Name:        "adversary-switch",
+			Description: "campaign: silent, then spam-distinct, then slander",
+			Players:     40,
+			Byzantine:   10,
+			MaxRounds:   256,
+			World:       World{Objects: 96, Good: 3},
+			Campaign: []Phase{
+				{From: 0, Strategy: "silent"},
+				{From: 4, Strategy: "spam-distinct"},
+				{From: 10, Strategy: "slander"},
+			},
+		}
+	},
+	// cluster-churn: open-world churn over the real wire protocol — the
+	// swarm event-loop fleet against a loopback billboard server.
+	"cluster-churn": func() *Spec {
+		return &Spec{
+			Name:        "cluster-churn",
+			Description: "Poisson churn on the networked cluster (swarm fleet)",
+			Backend:     BackendCluster,
+			Players:     16,
+			MaxRounds:   128,
+			World:       World{Objects: 64, Good: 2},
+			Arrivals:    &Process{Kind: "poisson", Rate: 4, Until: 6},
+			Departures:  &Process{Kind: "poisson", Rate: 0.25, From: 2},
+		}
+	},
+}
+
+// Names lists the builtin scenarios, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builtins))
+	for name := range builtins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Builtin returns a fresh, validated copy of the named builtin scenario.
+func Builtin(name string) (*Spec, error) {
+	mk, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown builtin %q (known: %v)", name, Names())
+	}
+	s := mk()
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: builtin %q: %w", name, err)
+	}
+	return s, nil
+}

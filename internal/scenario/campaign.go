@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// campaign is a phased adversary: phase i's strategy controls the
+// dishonest players from round Campaign[i].From until the next phase
+// begins. Each phase owns a fresh strategy instance (strategies are
+// stateful) and a private split of the campaign stream, so reordering
+// phases or lengthening one cannot perturb another's draws — the
+// mid-run strategy switch is exactly a scheduled handover.
+type campaign struct {
+	phases []Phase
+	insts  []sim.Adversary
+	rngs   []*rng.Source
+	name   string
+}
+
+// newCampaign instantiates the spec's phases against the adversary
+// registry. The campaign stream comes from the partition; phase i draws
+// from campaignStream.Split(i).
+func newCampaign(phases []Phase, part *rng.Partition) (*campaign, error) {
+	if len(phases) == 0 {
+		return nil, nil
+	}
+	c := &campaign{phases: phases}
+	stream := part.Stream(rng.StreamCampaign)
+	names := make([]string, len(phases))
+	for i, ph := range phases {
+		inst := adversary.ByName(ph.Strategy)
+		if inst == nil {
+			return nil, fmt.Errorf("scenario: campaign phase %d: unknown strategy %q (known: %s)",
+				i, ph.Strategy, strings.Join(adversary.Names(), ", "))
+		}
+		c.insts = append(c.insts, inst)
+		c.rngs = append(c.rngs, stream.Split(uint64(i)))
+		names[i] = fmt.Sprintf("%s@%d", ph.Strategy, ph.From)
+	}
+	c.name = "campaign(" + strings.Join(names, ",") + ")"
+	return c, nil
+}
+
+func (c *campaign) Name() string { return c.name }
+
+// Act delegates to the phase covering ctx.Round, swapping in that phase's
+// private stream for the duration of the call. The delegate sees the round
+// RELATIVE to its phase start: a strategy that fires "at round 0" (the
+// one-shot vote stuffers) fires at the phase handover, which is what a
+// mid-run strategy switch means.
+func (c *campaign) Act(ctx *sim.AdvContext) {
+	i := 0
+	for i+1 < len(c.phases) && c.phases[i+1].From <= ctx.Round {
+		i++
+	}
+	savedRng, savedRound := ctx.Rng, ctx.Round
+	ctx.Rng = c.rngs[i]
+	ctx.Round = savedRound - c.phases[i].From
+	c.insts[i].Act(ctx)
+	ctx.Rng, ctx.Round = savedRng, savedRound
+}

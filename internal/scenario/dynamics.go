@@ -1,0 +1,215 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/rng"
+)
+
+// dynamics realizes a Spec's open-world processes as a sim.Dynamics hook.
+// One instance drives either backend: the engine consumes it directly, the
+// cluster forwards it to the swarm event-loop driver. Every stochastic
+// decision draws from its own keyed stream, so the three processes are
+// mutually independent by construction.
+type dynamics struct {
+	spec *Spec
+
+	arrRng *rng.Source // StreamArrival
+	depRng *rng.Source // StreamDeparture
+	popRng *rng.Source // StreamPopularity
+
+	pool    int    // honest pool size; ids are [0, pool)
+	next    int    // next never-arrived id for count-based arrivals
+	arrived []bool // ids that have arrived at least once
+
+	lastArrival int // after this round the arrival process is spent
+
+	// Engine backend only: the universe to drift. The cluster backend
+	// validates Drift away (its server owns the world).
+	uni  *object.Universe
+	zipf *rng.Zipfian
+}
+
+// newDynamics builds the hook, or returns nil when the spec is closed-world
+// (no arrivals, departures, or drift — the classic fixed population).
+func newDynamics(spec *Spec, part *rng.Partition, uni *object.Universe) *dynamics {
+	if spec.Arrivals == nil && spec.Departures == nil && spec.Drift == nil {
+		return nil
+	}
+	d := &dynamics{
+		spec:        spec,
+		arrRng:      part.Stream(rng.StreamArrival),
+		depRng:      part.Stream(rng.StreamDeparture),
+		popRng:      part.Stream(rng.StreamPopularity),
+		pool:        spec.Players - spec.Byzantine,
+		lastArrival: spec.Arrivals.lastRound(),
+		uni:         uni,
+	}
+	d.arrived = make([]bool, d.pool)
+	if spec.Drift != nil {
+		d.zipf = rng.NewZipf(spec.World.Objects, spec.Drift.Zipf)
+	}
+	return d
+}
+
+// BeginRound implements sim.Dynamics: this round's arrivals and departures.
+func (d *dynamics) BeginRound(round int, active []int) (arrive, depart []int) {
+	arrive = d.arrivals(round)
+	depart = d.departures(round, active)
+	return arrive, depart
+}
+
+// arrivals materializes the arrival process for one round. Count-based
+// processes admit the lowest never-arrived ids, so a given (spec, seed)
+// names the same players regardless of backend.
+func (d *dynamics) arrivals(round int) []int {
+	p := d.spec.Arrivals
+	if p == nil {
+		// Departures/drift without an arrival process: the whole pool is
+		// present from round 0.
+		if round > 0 {
+			return nil
+		}
+		return d.take(d.pool)
+	}
+	switch p.Kind {
+	case "poisson":
+		if round < p.From || round > p.Until {
+			return nil
+		}
+		return d.take(d.arrRng.Poisson(p.Rate))
+	case "burst":
+		for i, at := range p.At {
+			if at == round {
+				return d.take(p.Size[i])
+			}
+		}
+		return nil
+	case "trace":
+		for i := range p.Trace {
+			ev := &p.Trace[i]
+			if ev.Round != round {
+				continue
+			}
+			if ev.Count > 0 {
+				return d.take(ev.Count)
+			}
+			ids := make([]int, 0, len(ev.Players))
+			for _, id := range ev.Players {
+				if !d.arrived[id] {
+					d.arrived[id] = true
+					ids = append(ids, id)
+				}
+			}
+			return ids
+		}
+	}
+	return nil
+}
+
+// take admits up to n of the lowest never-arrived ids.
+func (d *dynamics) take(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	ids := make([]int, 0, n)
+	for d.next < d.pool && len(ids) < n {
+		if !d.arrived[d.next] {
+			d.arrived[d.next] = true
+			ids = append(ids, d.next)
+		}
+		d.next++
+	}
+	return ids
+}
+
+// departures materializes the departure process for one round: count-based
+// departures sample uniformly from the active set on the departure stream;
+// trace departures name players explicitly, skipping any no longer active.
+func (d *dynamics) departures(round int, active []int) []int {
+	p := d.spec.Departures
+	if p == nil || len(active) == 0 {
+		return nil
+	}
+	switch p.Kind {
+	case "poisson":
+		if round < p.From || (p.Until > 0 && round > p.Until) {
+			return nil
+		}
+		return d.sample(active, d.depRng.Poisson(p.Rate))
+	case "burst":
+		for i, at := range p.At {
+			if at == round {
+				return d.sample(active, p.Size[i])
+			}
+		}
+	case "trace":
+		for i := range p.Trace {
+			ev := &p.Trace[i]
+			if ev.Round != round {
+				continue
+			}
+			if ev.Count > 0 {
+				return d.sample(active, ev.Count)
+			}
+			isActive := make(map[int]bool, len(active))
+			for _, id := range active {
+				isActive[id] = true
+			}
+			var ids []int
+			for _, id := range ev.Players {
+				if isActive[id] {
+					ids = append(ids, id)
+				}
+			}
+			return ids
+		}
+	}
+	return nil
+}
+
+// sample draws up to n distinct players uniformly from active.
+func (d *dynamics) sample(active []int, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if n >= len(active) {
+		return append([]int(nil), active...)
+	}
+	idx := d.depRng.Sample(len(active), n)
+	ids := make([]int, len(idx))
+	for i, j := range idx {
+		ids[i] = active[j]
+	}
+	return ids
+}
+
+// EndRound implements sim.Dynamics: the popularity-drift hook. Every
+// Drift.Every committed rounds the good set is re-planted at Zipf-popular
+// ids drawn on the popularity stream.
+func (d *dynamics) EndRound(round int) error {
+	drift := d.spec.Drift
+	if drift == nil || (round+1)%drift.Every != 0 {
+		return nil
+	}
+	if d.uni == nil {
+		return fmt.Errorf("scenario: drift on a backend without a universe")
+	}
+	good := make([]int, 0, drift.Good)
+	seen := make(map[int]bool, drift.Good)
+	for len(good) < drift.Good {
+		obj := d.zipf.Draw(d.popRng)
+		if !seen[obj] {
+			seen[obj] = true
+			good = append(good, obj)
+		}
+	}
+	return d.uni.Churn(good)
+}
+
+// Idle implements sim.Dynamics: true once the arrival process can no
+// longer admit anyone at or after the given round.
+func (d *dynamics) Idle(round int) bool {
+	return round > d.lastArrival
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/rng"
+)
+
+// scriptedDynamics replays fixed arrival/departure schedules keyed by round.
+type scriptedDynamics struct {
+	arrivals   map[int][]int
+	departures map[int][]int
+	lastRound  int // no arrivals after this round
+	churnAt    map[int][]int
+	universe   *object.Universe
+	endCalls   int
+}
+
+func (d *scriptedDynamics) BeginRound(round int, active []int) (arrive, depart []int) {
+	return d.arrivals[round], d.departures[round]
+}
+
+func (d *scriptedDynamics) EndRound(round int) error {
+	d.endCalls++
+	if newGood, ok := d.churnAt[round]; ok {
+		return d.universe.Churn(newGood)
+	}
+	return nil
+}
+
+func (d *scriptedDynamics) Idle(round int) bool { return round >= d.lastRound }
+
+func TestDynamicsOpenWorld(t *testing.T) {
+	// 5 honest players, no good objects reachable quickly: use a universe
+	// where only object 0 is good, and a fixed protocol probing object 1
+	// forever — players only leave via scripted departure, so membership is
+	// fully dynamics-controlled.
+	u, err := object.NewPlanted(object.Planted{M: 8, Good: 1}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 1
+	if u.IsGood(bad) {
+		bad = 2
+	}
+	dyn := &scriptedDynamics{
+		arrivals:   map[int][]int{0: {0, 1}, 2: {2}, 4: {3, 4}},
+		departures: map[int][]int{3: {0}, 6: {1, 2, 3, 4}},
+		lastRound:  4,
+	}
+	var probed [][]int
+	proto := &probeRecorder{object: bad, perRound: &probed}
+	e, err := NewEngine(Config{
+		Universe: u,
+		Protocol: proto,
+		N:        6,
+		Honest:   []int{0, 1, 2, 3, 4},
+		Seed:     11,
+		Dynamics: dyn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-by-round expected active sets:
+	// r0: {0,1}  r1: {0,1}  r2: {0,1,2}  r3: depart 0 → {1,2}
+	// r4: {1,2,3,4}  r5: same  r6: all depart → empty, idle → stop.
+	want := [][]int{{0, 1}, {0, 1}, {0, 1, 2}, {1, 2}, {1, 2, 3, 4}, {1, 2, 3, 4}}
+	if res.Rounds != len(want) {
+		t.Fatalf("Rounds = %d, want %d (probed %v)", res.Rounds, len(want), probed)
+	}
+	for r, w := range want {
+		if !sameSet(probed[r], w) {
+			t.Fatalf("round %d active = %v, want %v", r, probed[r], w)
+		}
+	}
+	if res.DepartedRound[0] != 3 {
+		t.Fatalf("DepartedRound[0] = %d, want 3", res.DepartedRound[0])
+	}
+	if res.DepartedRound[4] != 6 {
+		t.Fatalf("DepartedRound[4] = %d, want 6", res.DepartedRound[4])
+	}
+	if res.DepartedRound[5] != -1 {
+		t.Fatalf("DepartedRound[5] = %d for a never-present player, want -1", res.DepartedRound[5])
+	}
+	if dyn.endCalls != len(want) {
+		t.Fatalf("EndRound called %d times, want %d", dyn.endCalls, len(want))
+	}
+}
+
+func TestDynamicsSatisfiedPlayersCannotRearrive(t *testing.T) {
+	// Everyone probes the (single) good object in round 0 and halts; a
+	// scripted re-arrival at round 1 must be ignored and the run must end.
+	u, err := object.NewPlanted(object.Planted{M: 4, Good: 1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := u.GoodObjects()[0]
+	dyn := &scriptedDynamics{
+		arrivals:  map[int][]int{0: {0, 1}, 1: {0}},
+		lastRound: 1,
+	}
+	e, err := NewEngine(Config{
+		Universe: u,
+		Protocol: &fixedProtocol{schedule: []int{good}},
+		N:        2,
+		Honest:   []int{0, 1},
+		Seed:     7,
+		Dynamics: dyn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SatisfiedRound[0] != 0 || res.SatisfiedRound[1] != 0 {
+		t.Fatalf("players did not halt in round 0: %v", res.SatisfiedRound)
+	}
+	// Round 1 runs with the ignored re-arrival leaving the set empty; Idle
+	// then ends the run at round 2's boundary.
+	if res.TimedOut {
+		t.Fatalf("run timed out instead of going idle")
+	}
+}
+
+func TestDynamicsRejectsStrangers(t *testing.T) {
+	u, err := object.NewPlanted(object.Planted{M: 4, Good: 1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := &scriptedDynamics{
+		arrivals:  map[int][]int{0: {3}}, // 3 is dishonest in this run
+		lastRound: 0,
+	}
+	e, err := NewEngine(Config{
+		Universe: u,
+		Protocol: &randomProtocol{},
+		N:        4,
+		Honest:   []int{0, 1},
+		Seed:     9,
+		Dynamics: dyn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatalf("arrival outside the honest set did not error")
+	}
+}
+
+func TestDynamicsWorldDriftChurn(t *testing.T) {
+	// EndRound re-plants the good set mid-run; players probing the NEW good
+	// object only halt after the churn lands.
+	u, err := object.NewPlanted(object.Planted{M: 10, Good: 1}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldGood := u.GoodObjects()[0]
+	newGood := (oldGood + 1) % 10
+	dyn := &scriptedDynamics{
+		arrivals:  map[int][]int{0: {0}},
+		lastRound: 0,
+		churnAt:   map[int][]int{2: {newGood}},
+		universe:  u,
+	}
+	e, err := NewEngine(Config{
+		Universe: u,
+		Protocol: &fixedProtocol{schedule: []int{newGood}},
+		N:        2,
+		Honest:   []int{0},
+		Seed:     13,
+		Dynamics: dyn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounds 0-2 probe newGood while it is still bad; churn commits after
+	// round 2, so the round-3 probe is the satisfying one.
+	if res.SatisfiedRound[0] != 3 {
+		t.Fatalf("SatisfiedRound[0] = %d, want 3 (churn after round 2)", res.SatisfiedRound[0])
+	}
+}
+
+// probeRecorder probes a fixed object for every active player and records
+// the active set it saw each round.
+type probeRecorder struct {
+	object   int
+	perRound *[][]int
+}
+
+func (p *probeRecorder) Name() string          { return "test-recorder" }
+func (p *probeRecorder) Init(Setup) error      { return nil }
+func (p *probeRecorder) PrescribedRounds() int { return 0 }
+func (p *probeRecorder) Probes(round int, active []int, dst []Probe) []Probe {
+	*p.perRound = append(*p.perRound, append([]int(nil), active...))
+	for _, player := range active {
+		dst = append(dst, Probe{Player: player, Object: p.object})
+	}
+	return dst
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]bool, len(a))
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		if !seen[x] {
+			return false
+		}
+	}
+	return true
+}

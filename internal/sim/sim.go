@@ -97,6 +97,30 @@ type Adversary interface {
 	Act(ctx *AdvContext)
 }
 
+// Dynamics opens the world: a scenario-supplied hook that injects player
+// arrivals and departures at round boundaries and drifts the universe
+// between rounds. When Config.Dynamics is set the engine starts with an
+// EMPTY active set — every activation, including the initial population,
+// flows through BeginRound — and the run ends only when the active set is
+// empty AND Idle reports no arrivals remain (or MaxRounds hits).
+//
+// All ids returned by BeginRound must come from the run's honest set
+// (Config.Honest / the sampled set); the engine validates them. A player
+// that has halted satisfied cannot re-arrive; a departed player can.
+type Dynamics interface {
+	// BeginRound is called at the top of every round with the players
+	// active entering it. It returns the ids arriving this round and the
+	// ids departing before it (both may be nil).
+	BeginRound(round int, active []int) (arrive, depart []int)
+	// EndRound is called after the round commits — the world-drift hook
+	// (popularity churn, campaign bookkeeping). A non-nil error aborts
+	// the run.
+	EndRound(round int) error
+	// Idle reports whether no further arrivals will ever occur at or
+	// after the given round; with an empty active set it ends the run.
+	Idle(round int) bool
+}
+
 // Config describes one simulation run.
 type Config struct {
 	Universe *object.Universe
@@ -142,6 +166,10 @@ type Config struct {
 	// cooperative and round-aligned, so a canceled run never tears a round
 	// in half.
 	Context context.Context
+	// Dynamics, when non-nil, runs the simulation open-world: arrivals,
+	// departures, and universe drift are injected at round boundaries (see
+	// the Dynamics interface). nil preserves the closed-world §2.1 model.
+	Dynamics Dynamics
 	// Board, when non-nil, reuses an existing billboard instead of creating
 	// a fresh one — the "after effects" mechanism of §5.1 (spent votes and
 	// stale recommendations persist across phases) and the substrate of the
@@ -188,6 +216,10 @@ type Result struct {
 	// and halted (-1 if never). Only meaningful for honest players in
 	// local-testing mode.
 	SatisfiedRound []int
+	// DepartedRound[p] is the last round at which player p departed via
+	// Config.Dynamics (-1 if never). A player that later re-arrived and
+	// halted satisfied keeps its departure history here.
+	DepartedRound []int
 	// Probes[p] counts the probes player p made (honest players only; the
 	// individual cost of the paper under unit costs).
 	Probes []int
@@ -207,7 +239,7 @@ type Engine struct {
 	cfg       Config
 	universe  *object.Universe
 	board     *billboard.Board
-	master    *rng.Source
+	part      *rng.Partition
 	advRng    *rng.Source
 	honest    []int
 	honestSet []bool
@@ -234,13 +266,16 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 1 << 20
 	}
-	master := rng.New(cfg.Seed)
+	// The partition's streams are byte-identical to the historical
+	// master.Split(label) derivations: Split depends only on (seed, label),
+	// so swapping the ad-hoc splits for named streams is a pure rename.
+	part := rng.NewPartition(cfg.Seed)
 
 	e := &Engine{
 		cfg:      cfg,
 		universe: cfg.Universe,
-		master:   master,
-		advRng:   master.Split(2),
+		part:     part,
+		advRng:   part.Stream(rng.StreamAdversary),
 	}
 
 	if cfg.Honest != nil {
@@ -253,7 +288,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if k > cfg.N {
 			k = cfg.N
 		}
-		e.honest = master.Split(3).Sample(cfg.N, k)
+		e.honest = part.Stream(rng.StreamMembership).Sample(cfg.N, k)
 	}
 	if len(e.honest) == 0 {
 		return nil, fmt.Errorf("sim: need at least one honest player")
@@ -330,7 +365,7 @@ func (e *Engine) Run() (*Result, error) {
 		Beta:     assumedBeta,
 		Universe: e.universe,
 		Board:    e.board,
-		Rng:      e.master.Split(1),
+		Rng:      e.part.Stream(rng.StreamProtocol),
 	}); err != nil {
 		return nil, fmt.Errorf("sim: protocol init: %w", err)
 	}
@@ -342,6 +377,7 @@ func (e *Engine) Run() (*Result, error) {
 		Alpha:          float64(len(e.honest)) / float64(n),
 		Honest:         e.Honest(),
 		SatisfiedRound: make([]int, n),
+		DepartedRound:  make([]int, n),
 		Probes:         make([]int, n),
 		Cost:           make([]float64, n),
 		Success:        make([]bool, n),
@@ -352,6 +388,7 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	for p := range res.SatisfiedRound {
 		res.SatisfiedRound[p] = -1
+		res.DepartedRound[p] = -1
 		res.BestObject[p] = -1
 	}
 	bestValue := make([]float64, n)
@@ -361,12 +398,20 @@ func (e *Engine) Run() (*Result, error) {
 		votesCap = 1
 	}
 	errCount := make([]int, n)
-	errRng := e.master.Split(4)
+	errRng := e.part.Stream(rng.StreamErrors)
 
 	localTesting := e.universe.LocalTesting()
 	prescribed := cfg.Protocol.PrescribedRounds()
 
-	active := append([]int(nil), e.honest...)
+	dyn := cfg.Dynamics
+	var active []int
+	if dyn == nil {
+		active = append([]int(nil), e.honest...)
+	} // open world: the initial population arrives through BeginRound
+	inActive := make([]bool, n)
+	for _, p := range active {
+		inActive[p] = true
+	}
 	satisfied := make([]bool, n)
 	probeBuf := make([]Probe, 0, len(active))
 	advCtx := &AdvContext{
@@ -392,11 +437,40 @@ func (e *Engine) Run() (*Result, error) {
 				return nil, fmt.Errorf("sim: run canceled at round %d: %w", round, err)
 			}
 		}
+		if dyn != nil {
+			arrive, depart := dyn.BeginRound(round, active)
+			for _, p := range depart {
+				if p < 0 || p >= n || !inActive[p] {
+					return nil, fmt.Errorf("sim: dynamics departed inactive player %d at round %d", p, round)
+				}
+				inActive[p] = false
+				res.DepartedRound[p] = round
+			}
+			if len(depart) > 0 {
+				keep := active[:0]
+				for _, p := range active {
+					if inActive[p] {
+						keep = append(keep, p)
+					}
+				}
+				active = keep
+			}
+			for _, p := range arrive {
+				if p < 0 || p >= n || !e.honestSet[p] {
+					return nil, fmt.Errorf("sim: dynamics arrival %d outside the honest set at round %d", p, round)
+				}
+				if satisfied[p] || inActive[p] {
+					continue // halted players stay halted; double arrivals are no-ops
+				}
+				inActive[p] = true
+				active = append(active, p)
+			}
+		}
 		if prescribed > 0 {
 			if round-start >= prescribed {
 				break
 			}
-		} else if len(active) == 0 {
+		} else if len(active) == 0 && (dyn == nil || dyn.Idle(round)) {
 			break
 		}
 		if round-start >= cfg.MaxRounds {
@@ -454,6 +528,11 @@ func (e *Engine) Run() (*Result, error) {
 			cfg.Adversary.Act(advCtx)
 		}
 		e.board.EndRound()
+		if dyn != nil {
+			if err := dyn.EndRound(round); err != nil {
+				return nil, fmt.Errorf("sim: dynamics at round %d: %w", round, err)
+			}
+		}
 
 		if cfg.Observer != nil {
 			stats := RoundStats{
@@ -467,7 +546,17 @@ func (e *Engine) Run() (*Result, error) {
 					stats.SatisfiedHonest++
 				}
 			}
-			stats.ActiveHonest = len(e.honest) - stats.SatisfiedHonest
+			if dyn == nil {
+				stats.ActiveHonest = len(e.honest) - stats.SatisfiedHonest
+			} else {
+				// Open world: "active" means present this round, not merely
+				// unsatisfied.
+				for _, p := range active {
+					if !satisfied[p] {
+						stats.ActiveHonest++
+					}
+				}
+			}
 			for _, obj := range e.universe.GoodObjects() {
 				stats.GoodVotes += e.board.VoteCount(obj)
 			}
@@ -479,6 +568,8 @@ func (e *Engine) Run() (*Result, error) {
 			for _, p := range active {
 				if !satisfied[p] {
 					keep = append(keep, p)
+				} else {
+					inActive[p] = false
 				}
 			}
 			active = keep

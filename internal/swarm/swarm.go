@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -71,6 +72,19 @@ type Config struct {
 	Client client.Options
 	// Metrics, when non-nil, receives the swarm_* metric family.
 	Metrics *obs.Registry
+	// Dynamics, when non-nil, opens the world: the driver starts with an
+	// empty active set and player arrivals/departures flow through the hook
+	// at round boundaries (see sim.Dynamics). The whole block [From, To)
+	// stays registered with the server from the handshake — an inactive
+	// player is a silent spectator covered by its group's barrier — so
+	// membership changes are pure driver-side bookkeeping and the committed
+	// digest is a function of (scenario, seed) alone, independent of
+	// connection scheduling. Departure deregisters the player permanently:
+	// a departed player cannot re-arrive (the engine-backend rejoin
+	// semantics do not exist here), and EndRound cannot drift the universe
+	// (the server owns it); scenarios that need either must run on the
+	// in-process engine backend.
+	Dynamics sim.Dynamics
 	// Observer, when non-nil, receives a RoundStats snapshot after every
 	// committed round. The driver fills the fields it can see from the
 	// scheduler and one committed-board read — Round, ActiveHonest,
@@ -89,6 +103,7 @@ type PlayerResult struct {
 	Rounds   int // round at which the player halted (or MaxRounds)
 	Found    bool
 	TimedOut bool
+	Departed bool // left via Config.Dynamics before finding an object
 }
 
 // Result is a completed swarm run.
@@ -98,6 +113,7 @@ type Result struct {
 	Rounds   int            // max rounds any player ran
 	Found    int
 	TimedOut int
+	Departed int
 	MeanProbes float64
 }
 
@@ -136,8 +152,11 @@ type playerState struct {
 	probes   int32
 	nextIdx  int32 // next sharded post index (client-stamped commit order)
 	rounds   int32
+	active   bool // currently searching (mirrors group membership)
 	found    bool
 	timedOut bool
+	departed bool // left via Dynamics
+	deregistered bool // ReqSwarmDone sent for this player
 }
 
 // group is one connection group: a contiguous sub-block of players, the
@@ -150,15 +169,22 @@ type group struct {
 	prim     *conn
 	lanes    []*conn
 	members  []int // active players, ascending
+	// registered counts the players of this block still registered with the
+	// server (not yet deregistered via ReqSwarmDone). Under Dynamics a group
+	// can hold zero active members while not-yet-arrived players remain
+	// registered; its barrier must still run then, or every other group's
+	// barrier waits forever on this block's silent spectators.
+	registered int
 
 	// Per-round scratch, reused across rounds.
-	probes []wire.ProbeMsg
-	posts  []wire.PostMsg
-	parts  [][]wire.PostMsg
-	found  []int
-	reqs   []wire.Request
-	resps  []wire.Response
-	round  int // round reported by this group's barrier
+	probes  []wire.ProbeMsg
+	posts   []wire.PostMsg
+	parts   [][]wire.PostMsg
+	found   []int
+	departs []int
+	reqs    []wire.Request
+	resps   []wire.Response
+	round   int // round reported by this group's barrier
 }
 
 type driver struct {
@@ -223,10 +249,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			session: newSessionID(gFrom),
 			jitter:  rng.New(opt.Seed).Split(0x5731 + uint64(gi)),
 		}
+		g.registered = gTo - gFrom
 		g.members = make([]int, 0, gTo-gFrom)
-		for p := gFrom; p < gTo; p++ {
-			g.members = append(g.members, p)
-		}
+		if cfg.Dynamics == nil {
+			for p := gFrom; p < gTo; p++ {
+				g.members = append(g.members, p)
+			}
+		} // open world: everyone starts as a registered spectator
 		d.groups[gi] = g
 	}
 	defer func() {
@@ -270,10 +299,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	// Player state: the same per-player stream derivation the
 	// goroutine-per-player path uses (Split depends only on (seed, label)).
+	// (This is the rng.Partition player-stream derivation inlined: bulk
+	// blocks skip the partition's stream cache, which would pin a Source
+	// per player.)
 	base := rng.New(cfg.Seed)
 	d.players = make([]playerState, total)
 	for i := range d.players {
 		d.players[i].src = *base.Split(uint64(cfg.From + i))
+		d.players[i].active = cfg.Dynamics == nil
 	}
 	if met.enabled {
 		met.players.Set(float64(total))
@@ -306,11 +339,22 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 // run is the event loop: one iteration per round while players remain.
 func (d *driver) run() error {
 	cfg := &d.cfg
+	dyn := cfg.Dynamics
 	active := 0
 	for _, g := range d.groups {
 		active += len(g.members)
 	}
-	for round := 0; round < cfg.MaxRounds && active > 0; round++ {
+	for round := 0; round < cfg.MaxRounds; round++ {
+		if dyn != nil {
+			delta, err := d.applyDynamics(dyn, round)
+			if err != nil {
+				return err
+			}
+			active += delta
+		}
+		if active == 0 && (dyn == nil || dyn.Idle(round)) {
+			break
+		}
 		start := time.Now()
 		if d.met.enabled {
 			d.met.activePlayers.Set(float64(active))
@@ -359,6 +403,7 @@ func (d *driver) run() error {
 				st := d.state(p)
 				if st.found {
 					st.rounds = int32(round + 1)
+					st.active = false
 					g.found = append(g.found, p)
 					found++
 				} else {
@@ -372,6 +417,11 @@ func (d *driver) run() error {
 				return err
 			}
 			active -= found
+		}
+		if dyn != nil {
+			if err := dyn.EndRound(round); err != nil {
+				return fmt.Errorf("swarm: dynamics at round %d: %w", round, err)
+			}
 		}
 		if d.cfg.Observer != nil {
 			d.cfg.Observer.ObserveRound(sim.RoundStats{
@@ -393,22 +443,125 @@ func (d *driver) run() error {
 			round, active+found, found, time.Since(start).Seconds())
 	}
 
-	// Timed out: deregister the stragglers (best effort, like the
-	// per-player path's final Done).
-	if active > 0 {
-		for _, g := range d.groups {
-			for _, p := range g.members {
-				st := d.state(p)
-				st.rounds = int32(cfg.MaxRounds)
-				st.timedOut = true
+	// Deregister everyone still registered (best effort, like the
+	// per-player path's final Done): stragglers active at MaxRounds are
+	// timed out; under Dynamics the sweep also releases never-arrived
+	// spectators, which simply never played.
+	for _, g := range d.groups {
+		for _, p := range g.members {
+			st := d.state(p)
+			st.rounds = int32(cfg.MaxRounds)
+			st.timedOut = true
+		}
+	}
+	_ = d.eachGroup(func(g *group) error {
+		defer func() { g.members = g.members[:0] }()
+		if g.registered == 0 {
+			return nil
+		}
+		g.departs = g.departs[:0]
+		for p := g.from; p < g.to; p++ {
+			if !d.state(p).deregistered {
+				g.departs = append(g.departs, p)
 			}
 		}
-		_ = d.eachGroup(func(g *group) error {
-			defer func() { g.members = g.members[:0] }()
-			return g.sendDones(g.members)
-		})
-	}
+		return g.sendDones(g.departs)
+	})
 	return nil
+}
+
+// applyDynamics injects one round's arrivals and departures and returns the
+// net change to the active count. Departures deregister immediately (before
+// the round's probes), so the server's expected set tracks the driver's.
+func (d *driver) applyDynamics(dyn sim.Dynamics, round int) (int, error) {
+	arrive, depart := dyn.BeginRound(round, d.activeList())
+	if len(arrive) == 0 && len(depart) == 0 {
+		return 0, nil
+	}
+	for _, p := range depart {
+		st, err := d.checkedState(p, round)
+		if err != nil {
+			return 0, err
+		}
+		if !st.active {
+			return 0, fmt.Errorf("swarm: dynamics departed inactive player %d at round %d", p, round)
+		}
+		st.active = false
+		st.departed = true
+		st.rounds = int32(round)
+	}
+	departed := 0
+	if len(depart) > 0 {
+		for _, g := range d.groups {
+			g.departs = g.departs[:0]
+			keep := g.members[:0]
+			for _, p := range g.members {
+				if st := d.state(p); st.departed && !st.deregistered {
+					g.departs = append(g.departs, p)
+					departed++
+				} else {
+					keep = append(keep, p)
+				}
+			}
+			g.members = keep
+		}
+		if err := d.eachGroup(func(g *group) error { return g.sendDones(g.departs) }); err != nil {
+			return 0, err
+		}
+	}
+	arrived := 0
+	for _, p := range arrive {
+		st, err := d.checkedState(p, round)
+		if err != nil {
+			return 0, err
+		}
+		if st.deregistered || st.departed {
+			return 0, fmt.Errorf("swarm: dynamics re-arrival of departed player %d at round %d (swarm departures are permanent)", p, round)
+		}
+		if st.active || st.found {
+			continue // double arrivals are no-ops; halted players stay halted
+		}
+		st.active = true
+		g := d.groupOf(p)
+		g.members = append(g.members, p)
+		arrived++
+	}
+	if arrived > 0 {
+		// Keep each group's members ascending: member order fixes probe
+		// order, which fixes frame contents and the committed digest.
+		for _, g := range d.groups {
+			sort.Ints(g.members)
+		}
+	}
+	return arrived - departed, nil
+}
+
+// activeList flattens the groups' member lists in ascending player order.
+func (d *driver) activeList() []int {
+	var out []int
+	for _, g := range d.groups {
+		out = append(out, g.members...)
+	}
+	return out
+}
+
+// checkedState bounds-checks a dynamics-supplied player id.
+func (d *driver) checkedState(p, round int) (*playerState, error) {
+	if p < d.cfg.From || p >= d.cfg.To {
+		return nil, fmt.Errorf("swarm: dynamics player %d outside block [%d, %d) at round %d",
+			p, d.cfg.From, d.cfg.To, round)
+	}
+	return d.state(p), nil
+}
+
+// groupOf returns the group whose sub-block contains player p.
+func (d *driver) groupOf(p int) *group {
+	for _, g := range d.groups {
+		if p >= g.from && p < g.to {
+			return g
+		}
+	}
+	panic("swarm: player outside every group") // unreachable after checkedState
 }
 
 // probesThisRound sums the round's probe draws across groups.
@@ -462,9 +615,11 @@ func (d *driver) eachGroup(fn func(g *group) error) error {
 // batches, the resulting posts (scattered to shard lanes when sharded),
 // and the round barrier.
 func (g *group) runRound() error {
-	if len(g.members) == 0 {
-		// An empty group holds no registered players; its barrier would
-		// add nothing and only wait on everyone else.
+	if len(g.members) == 0 && g.registered == 0 {
+		// A fully deregistered group adds nothing; its barrier would only
+		// wait on everyone else. A group with no ACTIVE members but
+		// registered spectators (open-world Dynamics) must still fall
+		// through to the barrier — the server waits on its whole block.
 		return nil
 	}
 	d := g.d
@@ -605,7 +760,16 @@ func (g *group) sendDones(players []int) error {
 		g.reqs = append(g.reqs, wire.Request{Type: wire.ReqSwarmDone, Players: players[lo:hi]})
 	}
 	g.resps = resize(g.resps, len(g.reqs))
-	return g.prim.exchange(g.reqs, g.resps, false)
+	if err := g.prim.exchange(g.reqs, g.resps, false); err != nil {
+		return err
+	}
+	for _, p := range players {
+		if st := g.d.state(p); !st.deregistered {
+			st.deregistered = true
+			g.registered--
+		}
+	}
+	return nil
 }
 
 // collect assembles the Result from the swept player state.
@@ -621,6 +785,7 @@ func (d *driver) collect() *Result {
 			Rounds: int(st.rounds),
 			Found:  st.found,
 			TimedOut: st.timedOut,
+			Departed: st.departed,
 		}
 		res.Players[i] = pr
 		total += pr.Probes
@@ -629,6 +794,9 @@ func (d *driver) collect() *Result {
 		}
 		if pr.TimedOut {
 			res.TimedOut++
+		}
+		if pr.Departed {
+			res.Departed++
 		}
 		if pr.Rounds > res.Rounds {
 			res.Rounds = pr.Rounds

@@ -1,7 +1,6 @@
 package repro
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/adversary"
@@ -171,7 +170,7 @@ func Experiments() []Experiment { return expt.All() }
 // ExperimentAblations returns the design-choice ablation studies A1…A5.
 func ExperimentAblations() []Experiment { return expt.Ablations() }
 
-// ExperimentExtensions returns the extension studies X1…X6 (§1.3/§6 and beyond).
+// ExperimentExtensions returns the extension studies X1…X8 (§1.3/§6 and beyond).
 func ExperimentExtensions() []Experiment { return expt.Extensions() }
 
 // ExperimentByID looks up one experiment (e.g. "E3").
@@ -243,26 +242,9 @@ func ProtocolNames() []string {
 	}
 }
 
-// RunOption customizes one Run call beyond what SearchConfig describes —
-// hooks that take live values (observers) rather than plain parameters.
-type RunOption func(*EngineConfig)
-
-// WithObserver attaches an Observer to the run: it receives a RoundStats
-// snapshot after every committed round. Combine sinks with MultiObserver;
-// observers never perturb the simulation (same seeds, same probes).
-func WithObserver(o Observer) RunOption {
-	return func(ec *EngineConfig) { ec.Observer = o }
-}
-
-// WithContext lets ctx cancel the run: the engine checks it at every round
-// boundary and stops with its error once it is done. Cancellation is
-// cooperative and round-aligned — a canceled run never tears a round in
-// half, and a run that completes first is unaffected.
-func WithContext(ctx context.Context) RunOption {
-	return func(ec *EngineConfig) { ec.Context = ctx }
-}
-
 // Run executes one search described by cfg and returns the result.
+// RunOption and its constructors (WithObserver, WithContext) live in
+// options.go with the rest of the unified option layer.
 func Run(cfg SearchConfig, opts ...RunOption) (*Result, error) {
 	if cfg.GoodObjects == 0 {
 		cfg.GoodObjects = 1
@@ -297,7 +279,7 @@ func Run(cfg SearchConfig, opts ...RunOption) (*Result, error) {
 		HonestErrorRate: cfg.HonestErrorRate,
 	}
 	for _, opt := range opts {
-		opt(&ec)
+		opt.applyRun(&ec)
 	}
 	engine, err := NewEngine(ec)
 	if err != nil {

@@ -1,0 +1,63 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/scenario"
+)
+
+// This file is the declarative scenario entry point:
+//
+//	sc, err := repro.LoadScenario("testdata/scenarios/flash-crowd.json")
+//	res, err := repro.RunScenario(ctx, sc, repro.WithSeed(42))
+//
+// A Scenario names a workload — player arrival/departure processes
+// (Poisson, bursts, trace replay), power-law object popularity with drift,
+// and phased adversary campaigns — while (scenario, seed) names a run:
+// replaying the same pair reproduces the committed billboard digest byte
+// for byte, on either backend. Every stochastic decision draws from its
+// own keyed RNG stream, so editing one process in a scenario file never
+// perturbs the draws of another.
+
+type (
+	// Scenario is a declarative workload spec, loaded from JSON
+	// (LoadScenario / ParseScenario), picked from the builtin library
+	// (BuiltinScenario), or built literally.
+	Scenario = scenario.Spec
+	// ScenarioWorld sizes the object universe and its popularity profile.
+	ScenarioWorld = scenario.World
+	// ScenarioProcess is an arrival or departure process.
+	ScenarioProcess = scenario.Process
+	// ScenarioTraceEvent is one trace-replay event.
+	ScenarioTraceEvent = scenario.TraceEvent
+	// ScenarioDrift periodically re-plants the good set at Zipf-popular ids.
+	ScenarioDrift = scenario.Drift
+	// ScenarioPhase is one adversary campaign phase.
+	ScenarioPhase = scenario.Phase
+	// ScenarioResult is a completed scenario run.
+	ScenarioResult = scenario.Result
+)
+
+// LoadScenario reads and validates a scenario file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// ParseScenario parses and validates scenario JSON. Unknown fields are
+// rejected — a typo in a workload file fails loudly, not silently.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// ScenarioNames lists the builtin scenario library, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// BuiltinScenario returns a fresh, validated copy of the named builtin.
+func BuiltinScenario(name string) (*Scenario, error) { return scenario.Builtin(name) }
+
+// RunScenario executes a scenario. The context cancels engine-backed runs
+// at round boundaries and cluster-backed runs through the fleet driver.
+// Accepts WithSeed plus the shared WithObserver, WithMetrics, and WithLogf.
+func RunScenario(ctx context.Context, sc *Scenario, opts ...ScenarioOption) (*ScenarioResult, error) {
+	var o scenario.Options
+	for _, opt := range opts {
+		opt.applyScenario(&o)
+	}
+	return scenario.Run(ctx, sc, o)
+}

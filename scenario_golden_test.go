@@ -1,0 +1,62 @@
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+// TestGoldenScenarioReplay pins the replay contract for every example
+// scenario file: (file, seed 42) → the exact committed billboard, as the
+// SHA-256 of its canonical digest. The run is executed twice and must be
+// byte-identical both between the two runs and against the pinned hash —
+// a change here means the workload semantics or the RNG stream layout
+// changed (intentionally or not), not just noise. Update the constants
+// deliberately when the change is intended, and say so in the commit.
+func TestGoldenScenarioReplay(t *testing.T) {
+	golden := map[string]string{
+		"adversary-switch.json":    "53d25cd99d99a0d4dd25cb93abfbc6b4d4cc01fa455cea19bbaa84a43406b995",
+		"churn-trace.json":         "a9f085bf2e34bb5b4f9ea01fbb53fd115a093e07de989dcf8950b077d7e1ee30",
+		"cluster-epoch-churn.json": "c5d2f2f432bebbc18e909f974b46ea3709b81b62fbc9f500c493df7ad6d03c2a",
+		"flash-crowd.json":         "5f486e1a7a927e571370499a0ba6544e286c816abdf76cb9eb7bb546f01eb169",
+	}
+	files, err := filepath.Glob("testdata/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(golden) {
+		t.Fatalf("testdata/scenarios holds %d files, golden map pins %d — add the new file's hash", len(files), len(golden))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			run := func() []byte {
+				sc, err := repro.LoadScenario(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := repro.RunScenario(context.Background(), sc, repro.WithSeed(42))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Digest
+			}
+			a, b := run(), run()
+			if !bytes.Equal(a, b) {
+				t.Fatal("two runs of the same (file, seed) produced different digests")
+			}
+			want, ok := golden[filepath.Base(f)]
+			if !ok {
+				t.Fatalf("no golden hash pinned for %s", f)
+			}
+			if got := fmt.Sprintf("%x", sha256.Sum256(a)); got != want {
+				t.Fatalf("digest hash = %s, want %s", got, want)
+			}
+		})
+	}
+}

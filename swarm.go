@@ -12,7 +12,7 @@ import (
 //		Addr: addr, From: 0, To: 1_000_000, Token: token,
 //	},
 //		repro.WithSwarmGroups(8),
-//		repro.WithSwarmMetrics(reg))
+//		repro.WithMetrics(reg))
 //
 // A swarm drives a block of players over a handful of pipelined
 // connections — an event-loop scheduler over plain player state instead of
@@ -31,67 +31,18 @@ type SwarmResult = swarm.Result
 // SwarmPlayerResult is one swarm player's outcome.
 type SwarmPlayerResult = swarm.PlayerResult
 
-// SwarmOption customizes one RunSwarm call. Options apply in order over
-// the config; unset knobs keep the documented defaults.
-type SwarmOption func(*SwarmConfig)
-
-// WithSwarmGroups sets the number of connection groups; each group owns a
-// contiguous sub-block of players and its own pipelined connection
-// (default 4, clamped to the player count).
-func WithSwarmGroups(n int) SwarmOption {
-	return func(c *SwarmConfig) { c.Groups = n }
-}
-
-// WithSwarmChunk caps probes/posts/dones per frame (default 4096).
-func WithSwarmChunk(n int) SwarmOption {
-	return func(c *SwarmConfig) { c.Chunk = n }
-}
-
-// WithSwarmWindow caps pipelined in-flight frames per connection
-// (default 8).
-func WithSwarmWindow(n int) SwarmOption {
-	return func(c *SwarmConfig) { c.Window = n }
-}
-
-// WithSwarmFallbacks appends fallback addresses — the rest of a replicated
-// coordinator group's client ring. Not-leader redirects steer every swarm
-// connection to whichever member leads.
-func WithSwarmFallbacks(addrs ...string) SwarmOption {
-	return func(c *SwarmConfig) { c.Fallbacks = append(c.Fallbacks, addrs...) }
-}
-
-// WithSwarmClientOptions sets the transport knobs (dialer, retries,
-// backoff, timeouts) — the same ClientOptions the per-player client takes,
-// including the fault-injection dialer hook.
-func WithSwarmClientOptions(opt ClientOptions) SwarmOption {
-	return func(c *SwarmConfig) { c.Client = opt }
-}
-
-// WithSwarmMetrics records the swarm_* metric family (scheduler depth,
-// round and barrier latency, transport health) into reg.
-func WithSwarmMetrics(reg *Metrics) SwarmOption {
-	return func(c *SwarmConfig) { c.Metrics = reg }
-}
-
-// WithSwarmObserver attaches an Observer: it receives a RoundStats
-// snapshot after every committed swarm round. Combine sinks with
-// MultiObserver.
-func WithSwarmObserver(o Observer) SwarmOption {
-	return func(c *SwarmConfig) { c.Observer = o }
-}
-
-// WithSwarmLogf directs per-round progress lines to logf.
-func WithSwarmLogf(logf func(format string, args ...any)) SwarmOption {
-	return func(c *SwarmConfig) { c.Logf = logf }
-}
-
 // RunSwarm drives the configured player block to completion: every player
 // either finds a good object or times out at the round bound. The context
 // cancels the run, including mid-backoff and mid-barrier. The server must
 // have been configured with a SwarmToken matching cfg.Token.
+//
+// SwarmOption and its constructors live in options.go with the rest of the
+// unified option layer: the layout knobs (WithSwarmGroups, WithSwarmChunk,
+// WithSwarmWindow, WithSwarmFallbacks) plus the shared WithMetrics,
+// WithObserver, WithLogf, and WithClientOptions.
 func RunSwarm(ctx context.Context, cfg SwarmConfig, opts ...SwarmOption) (*SwarmResult, error) {
 	for _, opt := range opts {
-		opt(&cfg)
+		opt.applySwarm(&cfg)
 	}
 	return swarm.Run(ctx, cfg)
 }
